@@ -1,0 +1,102 @@
+"""Ablation D — multi-channel scaling and the shared-CPU question.
+
+The paper's controllers drive one channel; a real SSD bundles several
+(Fig. 1).  When BABOL's software half runs every channel on one shared
+core (the Cosmos+ has two ARM cores for the whole device), scheduling
+work from different channels contends.  This ablation sweeps channel
+count × {shared core, core per channel} for both runtimes and measures
+aggregate READ throughput.
+
+Expected shape: near-linear channel scaling for per-channel cores; the
+shared core saturates once the aggregate transaction rate exhausts its
+serialized cycles — much earlier for the heavyweight coroutine runtime.
+"""
+
+import pytest
+
+from repro.core import StorageConfig, StorageController
+from repro.core.controller import ControllerConfig
+from repro.core.softenv import GHZ
+from repro.flash import HYNIX_V7
+from repro.sim import Simulator
+from repro.sim.kernel import NS_PER_S
+
+from benchmarks.conftest import print_table
+
+CHANNELS = [1, 2, 4]
+LUNS = 4
+READS_PER_LUN = 8
+
+
+def aggregate_throughput(runtime: str, channels: int, shared_cpu: bool) -> float:
+    sim = Simulator()
+    storage = StorageController(
+        sim,
+        StorageConfig(
+            channel_count=channels,
+            shared_cpu=shared_cpu,
+            channel=ControllerConfig(
+                vendor=HYNIX_V7, lun_count=LUNS, runtime=runtime,
+                cpu_freq_hz=GHZ, track_data=False,
+            ),
+        ),
+    )
+    total_luns = channels * LUNS
+    done = {"pages": 0}
+
+    def driver(lun):
+        for i in range(READS_PER_LUN):
+            task = storage.read_page(lun, 1, i, 0)
+            yield from storage.wait(task)
+            done["pages"] += 1
+
+    for lun in range(total_luns):
+        sim.spawn(driver(lun))
+    sim.run()
+    payload = done["pages"] * HYNIX_V7.geometry.page_size
+    return payload / (sim.now / NS_PER_S) / 1e6
+
+
+def run_all():
+    return {
+        (runtime, channels, shared): aggregate_throughput(runtime, channels, shared)
+        for runtime in ("rtos", "coroutine")
+        for channels in CHANNELS
+        for shared in (True, False)
+    }
+
+
+@pytest.mark.benchmark(group="ablation-channels")
+def test_ablation_multichannel_cpu_sharing(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for runtime in ("rtos", "coroutine"):
+        rows = [
+            [str(channels),
+             f"{results[(runtime, channels, True)]:.1f}",
+             f"{results[(runtime, channels, False)]:.1f}"]
+            for channels in CHANNELS
+        ]
+        print_table(
+            f"Ablation D: {runtime} aggregate throughput (MB/s), "
+            f"{LUNS} LUNs/channel, 1 GHz",
+            ["channels", "shared core", "core per channel"], rows,
+        )
+
+    for runtime in ("rtos", "coroutine"):
+        # Channel scaling holds in both CPU arrangements.
+        for shared in (True, False):
+            assert (
+                results[(runtime, 4, shared)]
+                > results[(runtime, 1, shared)] * 2.0
+            )
+        # Dedicated cores never lose to the shared one.
+        for channels in CHANNELS:
+            assert (
+                results[(runtime, channels, False)]
+                >= results[(runtime, channels, True)] * 0.98
+            )
+    # The heavyweight runtime pays more for sharing at 4 channels.
+    coro_cost = 1 - results[("coroutine", 4, True)] / results[("coroutine", 4, False)]
+    rtos_cost = 1 - results[("rtos", 4, True)] / results[("rtos", 4, False)]
+    assert coro_cost >= rtos_cost - 0.02

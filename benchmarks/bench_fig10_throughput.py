@@ -1,0 +1,148 @@
+"""Fig. 10 — READ throughput of BABOL controllers vs. the hardware
+baseline across packages, channel speeds, CPU frequencies, and LUN
+counts.
+
+Regenerates every series of the figure: {Hynix, Toshiba, Micron} ×
+{100, 200 MT/s} × {HW, RTOS, Coro} × CPU {150 MHz*, 200 MHz, 400 MHz,
+1 GHz} × LUNs {2, 4, 8} (Micron channels are wired for 2 LUNs only).
+
+Shape assertions (the paper's observations):
+  * throughput grows with LUN count for every controller;
+  * software controllers speed up with CPU frequency;
+  * the RTOS controller is within a few percent of hardware at
+    >= 200 MHz with 8 LUNs;
+  * the coroutine controller needs the 1 GHz core and approaches the
+    hardware baseline at high LUN counts;
+  * both software controllers degrade badly on the 150 MHz soft-core.
+"""
+
+import pytest
+
+from repro.flash import HYNIX_V7, MICRON_B47R, TOSHIBA_BICS5
+from repro.onfi import NVDDR2_100, NVDDR2_200
+
+from benchmarks.conftest import (
+    CPU_POINTS,
+    build_babol,
+    build_hw,
+    print_table,
+    read_throughput_mb_s,
+)
+
+VENDORS = {"Hynix": HYNIX_V7, "Toshiba": TOSHIBA_BICS5, "Micron": MICRON_B47R}
+INTERFACES = {"100MT/s": NVDDR2_100, "200MT/s": NVDDR2_200}
+
+
+def run_grid():
+    """Compute the full Fig. 10 grid; returns {key: MB/s}."""
+    grid = {}
+    for vendor_name, vendor in VENDORS.items():
+        lun_counts = [2] if vendor.luns_per_channel == 2 else [2, 4, 8]
+        for iface_name, interface in INTERFACES.items():
+            for luns in lun_counts:
+                sim, hw = build_hw(vendor, luns, interface)
+                grid[(vendor_name, iface_name, luns, "HW", "-")] = (
+                    read_throughput_mb_s(sim, hw, luns)
+                )
+                for cpu_name, freq in CPU_POINTS.items():
+                    for runtime, tag in (("rtos", "RTOS"), ("coroutine", "Coro")):
+                        sim, controller = build_babol(
+                            vendor, luns, interface, runtime, cpu_freq_hz=freq
+                        )
+                        grid[(vendor_name, iface_name, luns, tag, cpu_name)] = (
+                            read_throughput_mb_s(sim, controller, luns)
+                        )
+    return grid
+
+
+def print_grid(grid):
+    for vendor_name in VENDORS:
+        rows = []
+        lun_counts = sorted({k[2] for k in grid if k[0] == vendor_name})
+        for iface_name in INTERFACES:
+            for luns in lun_counts:
+                row = [iface_name, str(luns),
+                       f"{grid[(vendor_name, iface_name, luns, 'HW', '-')]:.1f}"]
+                for cpu_name in CPU_POINTS:
+                    for tag in ("RTOS", "Coro"):
+                        row.append(
+                            f"{grid[(vendor_name, iface_name, luns, tag, cpu_name)]:.1f}"
+                        )
+                rows.append(row)
+        headers = ["Channel", "LUNs", "HW"]
+        for cpu_name in CPU_POINTS:
+            headers += [f"RTOS@{cpu_name}", f"Coro@{cpu_name}"]
+        print_table(f"Fig. 10: READ throughput (MB/s) — {vendor_name}",
+                    headers, rows)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_throughput_grid(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    print_grid(grid)
+
+    def get(vendor, iface, luns, tag, cpu="-"):
+        return grid[(vendor, iface, luns, tag, cpu)]
+
+    for vendor_name, vendor in VENDORS.items():
+        if vendor.luns_per_channel == 2:
+            continue
+        for iface_name in INTERFACES:
+            # Trend 1: performance improves with LUN count until the
+            # channel saturates (at 100 MT/s two Hynix LUNs already
+            # pipeline perfectly for hardware, so "no regression" is the
+            # saturated form of the trend).
+            assert (
+                get(vendor_name, iface_name, 8, "HW")
+                > get(vendor_name, iface_name, 2, "HW") * 0.95
+            )
+            for tag in ("RTOS", "Coro"):
+                assert (
+                    get(vendor_name, iface_name, 8, tag, "1GHz")
+                    > get(vendor_name, iface_name, 2, tag, "1GHz") * 1.05
+                )
+            # Trend 2: faster CPUs never hurt, and they matter a lot for
+            # the heavyweight coroutine runtime on the fast channel.
+            for tag in ("RTOS", "Coro"):
+                assert (
+                    get(vendor_name, iface_name, 8, tag, "1GHz")
+                    >= get(vendor_name, iface_name, 8, tag, "150MHz*") * 0.99
+                )
+        assert (
+            get(vendor_name, "200MT/s", 8, "Coro", "1GHz")
+            > get(vendor_name, "200MT/s", 8, "Coro", "150MHz*") * 1.3
+        )
+        # RTOS viability: within 10% of hardware at 200 MHz+, 8 LUNs.
+        for cpu in ("200MHz", "400MHz", "1GHz"):
+            assert (
+                get(vendor_name, "200MT/s", 8, "RTOS", cpu)
+                > get(vendor_name, "200MT/s", 8, "HW") * 0.90
+            )
+        # Coroutine viability needs the fast core: close to HW at 1 GHz,
+        # far from it on the soft-core.
+        assert (
+            get(vendor_name, "200MT/s", 8, "Coro", "1GHz")
+            > get(vendor_name, "200MT/s", 8, "HW") * 0.85
+        )
+        assert (
+            get(vendor_name, "200MT/s", 8, "Coro", "150MHz*")
+            < get(vendor_name, "200MT/s", 8, "HW") * 0.75
+        )
+        # Busy 100 MT/s channels mask software latency: at 8 LUNs and
+        # 1 GHz both runtimes sit within a few percent of hardware
+        # (the regime where the paper's coroutine controller even edges
+        # ahead; see EXPERIMENTS.md for the residual gap discussion).
+        assert (
+            get(vendor_name, "100MT/s", 8, "Coro", "1GHz")
+            > get(vendor_name, "100MT/s", 8, "HW") * 0.93
+        )
+        assert (
+            get(vendor_name, "100MT/s", 8, "RTOS", "1GHz")
+            > get(vendor_name, "100MT/s", 8, "HW") * 0.97
+        )
+
+    # Micron (2-LUN wiring): grid exists and follows the same CPU trend.
+    assert get("Micron", "200MT/s", 2, "Coro", "1GHz") > get(
+        "Micron", "200MT/s", 2, "Coro", "150MHz*"
+    )
+    benchmark.extra_info["cells"] = len(grid)

@@ -1,0 +1,57 @@
+"""Table II — lines of code per operation across controllers.
+
+The paper counts the lines implementing READ, PROGRAM, and ERASE in a
+synchronous hardware controller (420/420/327), the Cosmos+ asynchronous
+one (454/260/203), and BABOL (58/44/27).  This bench measures the
+*actual source in this repository* with the tokenizing LoC counter:
+hardware baselines are Python stand-ins for Verilog (written at one
+state per signal phase), so absolute numbers sit below the paper's
+Verilog counts, but the ordering and the BABOL reduction factor are
+genuine measurements.
+"""
+
+import pytest
+
+from repro.analysis import operation_loc_table
+
+from benchmarks.conftest import print_table
+
+PAPER = {
+    "READ": {"sync_hw": 420, "async_hw": 454, "babol": 58},
+    "PROGRAM": {"sync_hw": 420, "async_hw": 260, "babol": 44},
+    "ERASE": {"sync_hw": 327, "async_hw": 203, "babol": 27},
+}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_lines_of_code(benchmark):
+    table = benchmark.pedantic(operation_loc_table, rounds=1, iterations=1)
+
+    rows = []
+    for op in ("READ", "PROGRAM", "ERASE"):
+        measured = table[op]
+        paper = PAPER[op]
+        rows.append([
+            op,
+            f"{measured['sync_hw']} ({paper['sync_hw']})",
+            f"{measured['async_hw']} ({paper['async_hw']})",
+            f"{measured['babol']} ({paper['babol']})",
+            f"{measured['sync_hw'] / measured['babol']:.1f}x "
+            f"({paper['sync_hw'] / paper['babol']:.1f}x)",
+        ])
+    print_table(
+        "Table II: LoC per operation — measured (paper)",
+        ["Operation", "Sync HW [50]", "Async HW [25]", "BABOL", "reduction"],
+        rows,
+    )
+
+    for op, row in table.items():
+        # Ordering: BABOL is the smallest implementation for every op.
+        assert row["babol"] < row["async_hw"], op
+        assert row["babol"] < row["sync_hw"], op
+        # Factor: a substantial reduction against the synchronous HW
+        # design (the paper's is ~7-12x against Verilog; our Python
+        # stand-in for Verilog is denser, so require >= 1.8x).
+        assert row["sync_hw"] / row["babol"] >= 1.8, op
+
+    benchmark.extra_info["babol_read_loc"] = table["READ"]["babol"]

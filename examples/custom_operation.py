@@ -1,0 +1,146 @@
+"""Writing a custom operation: the paper's programmability pitch.
+
+This example plays the SSD Architect.  It starts from the stock READ
+(Algorithm 2), derives the pSLC variant (Algorithm 3) the way Fig. 8
+shows — a two-latch diff — and then composes a brand-new operation the
+library doesn't ship: a *verified read* that re-reads at escalating
+read-retry voltages until the (behavioural) BCH engine decodes the
+page, then reports which voltage level worked.
+
+Everything happens in plain Python over the µFSM instruction set; no
+"hardware" was modified.
+
+Run: ``python examples/custom_operation.py``
+"""
+
+import numpy as np
+
+from repro import BabolController, ControllerConfig, Simulator
+from repro.core.ops import poll_until_ready, read_page_op, set_features_op
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.ecc import BchConfig, BchEngine
+from repro.flash import HYNIX_V7
+from repro.flash.errors import ErrorModelConfig
+from repro.onfi.commands import CMD
+from repro.onfi.features import FeatureAddress
+from repro.onfi.geometry import PhysicalAddress
+
+PAGE = HYNIX_V7.geometry.full_page_size
+
+
+# ---------------------------------------------------------------------------
+# 1. A custom operation: pSLC READ, derived from Algorithm 2 by hand.
+#    (The library ships `pslc_read_op`; this is the from-scratch version
+#    to show how small the diff really is.)
+# ---------------------------------------------------------------------------
+
+def my_pslc_read(ctx, codec, address, dram_address):
+    bank = ctx.ufsm
+    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="my-pslc-read")
+    preamble.add_segment(bank.ca_writer.emit(
+        [
+            cmd(CMD.VENDOR_PSLC_ENTER),           # <-- the Fig. 8 gray diff
+            cmd(CMD.READ_1ST),
+            addr(codec.encode(address)),
+            cmd(CMD.READ_2ND),
+        ],
+        chip_mask=ctx.chip_mask,
+    ))
+    yield from ctx.add_transaction(preamble)
+    yield from poll_until_ready(ctx)
+
+    handle = ctx.packetizer.from_flash(dram_address, PAGE)
+    transfer = ctx.transaction(TxnKind.DATA_OUT, label="my-pslc-transfer")
+    transfer.add_segment(bank.ca_writer.emit(
+        [cmd(CMD.CHANGE_READ_COL_1ST), addr(codec.encode_column(0)),
+         cmd(CMD.CHANGE_READ_COL_2ND)],
+        chip_mask=ctx.chip_mask,
+    ))
+    transfer.add_segment(bank.timer.emit(bank.ca_writer.timing.tCCS,
+                                         chip_mask=ctx.chip_mask))
+    transfer.add_segment(bank.data_reader.emit(PAGE, handle,
+                                               chip_mask=ctx.chip_mask))
+    transfer.add_segment(bank.ca_writer.emit([cmd(CMD.VENDOR_PSLC_EXIT)],
+                                             chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(transfer)
+    return handle
+
+
+# ---------------------------------------------------------------------------
+# 2. A composed operation: verified read with a retry sweep (cf. [48]).
+# ---------------------------------------------------------------------------
+
+def verified_read(ctx, codec, address, dram_address, ecc, pristine, max_levels=8):
+    for level in range(max_levels):
+        if level:
+            yield from set_features_op(
+                ctx, FeatureAddress.VENDOR_READ_RETRY, (level, 0, 0, 0)
+            )
+        _, handle = yield from read_page_op(ctx, codec, address, dram_address)
+        received = handle.dram.read(handle.address, PAGE)
+        result = ecc.decode(received, pristine)
+        if result.ok:
+            if level:
+                yield from set_features_op(
+                    ctx, FeatureAddress.VENDOR_READ_RETRY, (0, 0, 0, 0)
+                )
+            return level, result.corrected_bits
+    return None, 0
+
+
+def main() -> None:
+    sim = Simulator()
+    controller = BabolController(
+        sim, ControllerConfig(vendor=HYNIX_V7, lun_count=2, runtime="coroutine")
+    )
+
+    payload = (np.arange(PAGE) % 247).astype(np.uint8)
+    controller.dram.write(0, payload)
+
+    # -- pSLC path --------------------------------------------------------
+    controller.run_to_completion(controller.pslc_erase(0, 3))
+    controller.run_to_completion(controller.pslc_program(0, 3, 0, 0))
+    t0 = sim.now
+    task = controller.submit(my_pslc_read, 0, codec=controller.codec,
+                             address=PhysicalAddress(block=3, page=0),
+                             dram_address=PAGE)
+    controller.run_to_completion(task)
+    pslc_us = (sim.now - t0) / 1000
+    print(f"custom pSLC read : {pslc_us:7.1f} us")
+
+    controller.dram.write(0, payload)
+    controller.run_to_completion(controller.program_page(1, 3, 0, 0))
+    t0 = sim.now
+    controller.run_to_completion(controller.read_page(1, 3, 0, PAGE))
+    native_us = (sim.now - t0) / 1000
+    print(f"native TLC read  : {native_us:7.1f} us  "
+          f"(pSLC is {native_us / pslc_us:.1f}x faster)")
+
+    # -- verified read with a retry sweep -----------------------------------
+    # Age the block artificially so the default voltage is hopeless.
+    lun = controller.luns[0]
+    lun.array.error_model.config = ErrorModelConfig(
+        base_rber=0.0, wear_rber_per_kcycle=0.0,
+        retention_rber_per_hour=0.0, retry_penalty_per_step=2e-3,
+    )
+    block = lun.array.block(7)
+    block.optimal_retry_level = 4
+    controller.dram.write(0, payload)
+    controller.run_to_completion(controller.program_page(0, 7, 0, 0))
+
+    ecc = BchEngine(BchConfig(codeword_bytes=1024, t=40))
+    task = controller.submit(
+        verified_read, 0, codec=controller.codec,
+        address=PhysicalAddress(block=7, page=0), dram_address=PAGE,
+        ecc=ecc, pristine=payload,
+    )
+    level, corrected = controller.run_to_completion(task)
+    print(f"verified read    : decoded at retry level {level} "
+          f"(block optimum = {block.optimal_retry_level}), "
+          f"{corrected} bits corrected, "
+          f"{ecc.pages_failed} level(s) uncorrectable along the way")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""A logic-analyzer session: watching BABOL on the wire.
+
+Reproduces the Section VI-B methodology interactively: attach the
+simulated analyzer to the channel, run one READ under each software
+runtime, render the captured waveform activity, and measure the polling
+period difference that explains the Fig. 10 latency gap.
+
+Run: ``python examples/logic_analyzer_session.py``
+"""
+
+from repro import BabolController, ControllerConfig, Simulator
+from repro.analysis import LogicAnalyzer, render_segment, render_timeline
+from repro.flash import HYNIX_V7
+from repro.onfi import NVDDR2_200, timing_for_mode
+
+
+def capture_one_read(runtime: str):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=HYNIX_V7, lun_count=1, runtime=runtime,
+                         track_data=False),
+    )
+    analyzer = LogicAnalyzer(controller.channel)
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    return controller, analyzer
+
+
+def main() -> None:
+    for runtime in ("rtos", "coroutine"):
+        controller, analyzer = capture_one_read(runtime)
+        summary = analyzer.polling_summary()
+        print(f"\n{'=' * 70}\nruntime: {runtime}")
+        print(f"READ STATUS polls: {summary.count}, "
+              f"period mean {summary.mean_ns / 1000:.1f} us "
+              f"(min {summary.min_ns / 1000:.1f}, max {summary.max_ns / 1000:.1f})")
+        print("\ncaptured channel timeline (first 14 events):")
+        print(render_timeline(analyzer.events[:14]))
+        print("\nannotated phases:")
+        for name, t in analyzer.operation_phases()[:8]:
+            print(f"  {t / 1000:9.2f} us  {name}")
+
+    # Pin-level view of one captured segment (the Fig. 2 altitude).
+    controller, analyzer = capture_one_read("rtos")
+    preamble = analyzer.segments[0]
+    print(f"\n{'=' * 70}\npin-level rendering of the READ preamble segment:")
+    print(render_segment(preamble, timing_for_mode(NVDDR2_200.name), NVDDR2_200))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Scheduling strategies: the other half of the software-defined story.
+
+"BABOL does not mandate or enforce any objective for these schedulers
+... It is the job of an SSD Architect to make decisions about
+scheduling strategy" (Section V).  This example demonstrates why that
+matters with a mixed workload: a latency-critical log writer sharing a
+channel with bulk readers.
+
+It compares two *task* schedulers — fair round-robin vs. priority —
+and shows the priority scheduler slashing the log-append latency while
+bulk throughput barely moves (the paper's database-logging example).
+
+Run: ``python examples/scheduler_comparison.py``
+"""
+
+from repro import BabolController, ControllerConfig, Simulator
+from repro.analysis import summarize_latencies
+from repro.core.softenv.task_scheduler import (
+    PriorityTaskScheduler,
+    RoundRobinTaskScheduler,
+)
+from repro.flash import HYNIX_V7
+
+LOG_APPENDS = 12
+BULK_READS_PER_LUN = 10
+LOG_LUN = 0
+BULK_LUNS = (1, 2, 3)
+
+
+def run_mix(task_scheduler) -> tuple:
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=HYNIX_V7, lun_count=4, runtime="coroutine",
+                         track_data=False),
+        task_scheduler=task_scheduler,
+    )
+    log_latencies = []
+    bulk_done = {"count": 0}
+
+    def log_writer():
+        # A database log: small, synchronous, latency-critical appends
+        # (page-sized here; priority 0 = most urgent).
+        for i in range(LOG_APPENDS):
+            start = sim.now
+            task = controller.program_page(LOG_LUN, 1, i, 0, priority=0)
+            yield from controller.wait(task)
+            log_latencies.append(sim.now - start)
+
+    def bulk_reader(lun):
+        for i in range(BULK_READS_PER_LUN):
+            task = controller.read_page(lun, 1, i, 65536 * lun, priority=5)
+            yield from controller.wait(task)
+            bulk_done["count"] += 1
+
+    sim.spawn(log_writer())
+    for lun in BULK_LUNS:
+        sim.spawn(bulk_reader(lun))
+    sim.run()
+    bulk_bytes = bulk_done["count"] * HYNIX_V7.geometry.page_size
+    bulk_mb_s = bulk_bytes / (sim.now / 1e9) / 1e6
+    return summarize_latencies(log_latencies), bulk_mb_s
+
+
+def main() -> None:
+    print("mixed workload: 1 log writer (LUN 0) + 3 bulk readers (LUNs 1-3)\n")
+    for name, scheduler in (
+        ("fair round-robin", RoundRobinTaskScheduler()),
+        ("priority (log first)", PriorityTaskScheduler()),
+    ):
+        stats, bulk = run_mix(scheduler)
+        print(f"task scheduler: {name}")
+        print(f"  log append latency : {stats.describe()}")
+        print(f"  bulk read goodput  : {bulk:.1f} MB/s\n")
+    print("The priority scheduler trims the log's scheduling queueing")
+    print("without rebuilding any hardware — swap one Python class.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Measurement and reporting tools.
+
+* :mod:`logic_analyzer` — the stand-in for the Keysight 16862A of
+  Section VI-B: taps the channel, records every segment and decoded
+  event with exact nanosecond timestamps, measures polling periods.
+* :mod:`waveform_render` — ASCII timing diagrams (Figs. 2/9/11 style).
+* :mod:`loc` — source-line counting for the Table II comparison.
+* :mod:`area` — the structural FPGA area model behind Table III.
+* :mod:`metrics` — shared throughput/latency summaries.
+"""
+
+from repro.analysis.logic_analyzer import AnalyzerEvent, LogicAnalyzer
+from repro.analysis.waveform_render import render_segment, render_timeline
+from repro.analysis.loc import count_source_lines, operation_loc_table
+from repro.analysis.area import AreaEstimate, estimate_area
+from repro.analysis.metrics import LatencyStats, summarize_latencies
+from repro.analysis.timing_check import TimingChecker, TimingViolation
+
+__all__ = [
+    "TimingChecker",
+    "TimingViolation",
+    "AnalyzerEvent",
+    "LogicAnalyzer",
+    "render_segment",
+    "render_timeline",
+    "count_source_lines",
+    "operation_loc_table",
+    "AreaEstimate",
+    "estimate_area",
+    "LatencyStats",
+    "summarize_latencies",
+]

@@ -1,0 +1,46 @@
+"""Shared latency/throughput summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample (nanoseconds)."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    min_ns: int
+    max_ns: int
+
+    def describe(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_ns / 1000:.1f}us "
+            f"p50={self.p50_ns / 1000:.1f}us p99={self.p99_ns / 1000:.1f}us"
+        )
+
+
+def _percentile(ordered: Sequence[int], fraction: float) -> float:
+    if not ordered:
+        return 0.0
+    index = min(int(len(ordered) * fraction), len(ordered) - 1)
+    return float(ordered[index])
+
+
+def summarize_latencies(samples_ns: Sequence[int]) -> LatencyStats:
+    """Summarize a latency sample; empty input yields all-zero stats."""
+    if not samples_ns:
+        return LatencyStats(0, 0.0, 0.0, 0.0, 0, 0)
+    ordered = sorted(samples_ns)
+    return LatencyStats(
+        count=len(ordered),
+        mean_ns=sum(ordered) / len(ordered),
+        p50_ns=_percentile(ordered, 0.50),
+        p99_ns=_percentile(ordered, 0.99),
+        min_ns=ordered[0],
+        max_ns=ordered[-1],
+    )

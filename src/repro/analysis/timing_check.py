@@ -1,0 +1,198 @@
+"""ONFI protocol/timing linter over logic-analyzer captures.
+
+Controllers are validated on real rigs by staring at scope traces; the
+simulated equivalent is automated.  Given a capture, the checker
+verifies per-LUN ONFI sequencing and inter-event timing rules:
+
+* a confirm command is followed by no non-status command until the LUN
+  had time to raise R/B# (tWB respected before the next poll);
+* a CHANGE READ COLUMN confirm is separated from the following data-out
+  burst by at least tCCS;
+* address latches immediately follow an address-bearing command;
+* data-out bursts only occur after something armed a data source.
+
+The checker runs over *decoded events*, so it validates any controller
+on the channel — BABOL or the hardware baselines — which is how the
+test suite proves all three emit legal ONFI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.logic_analyzer import AnalyzerEvent, LogicAnalyzer
+from repro.onfi.commands import CMD, CommandClass, classify_opcode, opcode_name
+from repro.onfi.timing import TimingSet
+
+_ADDRESS_BEARING = {
+    CommandClass.READ,
+    CommandClass.PROGRAM,
+    CommandClass.ERASE,
+    CommandClass.IDENT,
+    CommandClass.FEATURES,
+}
+_CONFIRM = {
+    CommandClass.READ_CONFIRM,
+    CommandClass.CACHE_READ_CONFIRM,
+    CommandClass.CACHE_READ_END,
+    CommandClass.PROGRAM_CONFIRM,
+    CommandClass.CACHE_PROGRAM_CONFIRM,
+    CommandClass.ERASE_CONFIRM,
+    CommandClass.RESET,
+}
+_ARMS_DATA_OUT = {
+    CMD.READ_STATUS, CMD.READ_STATUS_ENHANCED, CMD.READ_ID,
+    CMD.CHANGE_READ_COL_2ND, CMD.GET_FEATURES, CMD.READ_PARAMETER_PAGE,
+}
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    """One detected protocol/timing problem."""
+
+    time_ns: int
+    lun_mask: int
+    rule: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"t={self.time_ns}ns mask=0b{self.lun_mask:b} [{self.rule}] {self.detail}"
+
+
+@dataclass
+class _LunTrack:
+    last_confirm_ns: Optional[int] = None
+    last_ccol_confirm_ns: Optional[int] = None
+    awaiting_address: Optional[int] = None  # opcode expecting address next
+    data_armed: bool = False
+    read_pending: bool = False
+
+
+class TimingChecker:
+    """Validate a capture against the ONFI rules above."""
+
+    def __init__(self, timing: TimingSet, lun_count: int = 16):
+        self.timing = timing
+        self.lun_count = lun_count
+        self.violations: list[TimingViolation] = []
+        self._tracks = [_LunTrack() for _ in range(lun_count)]
+
+    # -- entry points ------------------------------------------------------
+
+    def check_analyzer(self, analyzer: LogicAnalyzer) -> list[TimingViolation]:
+        return self.check_events(analyzer.events)
+
+    def check_events(self, events: list[AnalyzerEvent]) -> list[TimingViolation]:
+        for event in events:
+            for lun in range(self.lun_count):
+                if event.chip_mask >> lun & 1:
+                    self._feed(lun, event)
+        return self.violations
+
+    # -- per-LUN state machine ------------------------------------------------
+
+    def _flag(self, event: AnalyzerEvent, rule: str, detail: str) -> None:
+        self.violations.append(
+            TimingViolation(
+                time_ns=event.time_ns, lun_mask=event.chip_mask,
+                rule=rule, detail=detail,
+            )
+        )
+
+    def _feed(self, lun: int, event: AnalyzerEvent) -> None:
+        track = self._tracks[lun]
+        if event.kind == "cmd":
+            self._on_command(track, event)
+        elif event.kind == "addr":
+            self._on_address(track, event)
+        elif event.kind == "data_out":
+            self._on_data_out(track, event)
+        elif event.kind == "data_in":
+            track.awaiting_address = None
+
+    def _on_command(self, track: _LunTrack, event: AnalyzerEvent) -> None:
+        opcode = event.opcode
+        cls = classify_opcode(opcode) if opcode is not None else CommandClass.UNKNOWN
+
+        if track.awaiting_address is not None and cls is not CommandClass.UNKNOWN:
+            expecting = track.awaiting_address
+            # A second command before the address is legal only for
+            # multi-latch preambles that embed vendor prefixes; an
+            # address-bearing command chained straight into a confirm
+            # without any address is not.
+            if cls in _CONFIRM:
+                self._flag(
+                    event, "confirm-without-address",
+                    f"{opcode_name(opcode)} follows "
+                    f"{opcode_name(expecting)} with no address latch",
+                )
+            track.awaiting_address = None
+
+        # tWB: after a confirm, the controller must give the LUN tWB
+        # before asking anything of it (status polls included).
+        if (
+            track.last_confirm_ns is not None
+            and cls is CommandClass.STATUS
+            and event.time_ns - track.last_confirm_ns < self.timing.tWB
+        ):
+            self._flag(
+                event, "tWB",
+                f"status poll {event.time_ns - track.last_confirm_ns}ns "
+                f"after confirm (tWB={self.timing.tWB}ns)",
+            )
+
+        if cls in _ADDRESS_BEARING:
+            track.awaiting_address = opcode
+        if opcode in (CMD.READ_STATUS_ENHANCED, CMD.CHANGE_WRITE_COL):
+            # Both carry address cycles despite their command class.
+            track.awaiting_address = opcode
+        if cls in _CONFIRM:
+            track.last_confirm_ns = event.time_ns
+            if cls is CommandClass.READ_CONFIRM:
+                track.read_pending = True
+        if opcode in _ARMS_DATA_OUT:
+            track.data_armed = True
+        if opcode == CMD.CHANGE_READ_COL_2ND:
+            track.last_ccol_confirm_ns = event.time_ns
+        if opcode == CMD.CHANGE_READ_COL_1ST or opcode == CMD.CHANGE_READ_COL_ENH_1ST:
+            track.awaiting_address = opcode
+
+    def _on_address(self, track: _LunTrack, event: AnalyzerEvent) -> None:
+        if track.awaiting_address is None:
+            self._flag(
+                event, "orphan-address",
+                f"address latch [{event.detail}] with no pending command",
+            )
+        track.awaiting_address = None
+
+    def _on_data_out(self, track: _LunTrack, event: AnalyzerEvent) -> None:
+        if not track.data_armed:
+            self._flag(
+                event, "unarmed-data-out",
+                f"data burst {event.detail} with no arming command",
+            )
+        # tCCS between a column-change confirm and the burst.
+        if (
+            track.last_ccol_confirm_ns is not None
+            and event.time_ns - track.last_ccol_confirm_ns < self.timing.tCCS
+        ):
+            self._flag(
+                event, "tCCS",
+                f"burst {event.time_ns - track.last_ccol_confirm_ns}ns after "
+                f"CHANGE READ COLUMN (tCCS={self.timing.tCCS}ns)",
+            )
+        track.last_ccol_confirm_ns = None
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if self.clean:
+            return "timing check: clean"
+        lines = [f"timing check: {len(self.violations)} violation(s)"]
+        lines.extend("  " + v.describe() for v in self.violations[:20])
+        return "\n".join(lines)

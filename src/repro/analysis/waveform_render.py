@@ -1,0 +1,99 @@
+"""ASCII waveform rendering.
+
+Two views: a per-pin edge rendering of one segment (the Fig. 2 level of
+detail) and an event timeline of a capture window (the Fig. 11
+screenshot's information content).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.logic_analyzer import AnalyzerEvent
+from repro.onfi.datamodes import DataInterface
+from repro.onfi.signals import Pin, WaveformSegment
+from repro.onfi.timing import TimingSet
+
+_RENDER_PINS = [Pin.CE, Pin.CLE, Pin.ALE, Pin.WE, Pin.RE, Pin.DQS, Pin.DQ]
+
+
+def render_segment(
+    segment: WaveformSegment,
+    timing: TimingSet,
+    interface: DataInterface,
+    width: int = 72,
+) -> str:
+    """Render one segment's pins as ASCII traces.
+
+    Control pins draw as ``▔``/``▁`` levels; DQ prints latched bytes at
+    their positions.  Time is linearly compressed into ``width`` cells.
+    """
+    edges = segment.render_edges(timing, interface)
+    span = max(segment.duration_ns, 1)
+    scale = (width - 1) / span
+
+    lines = []
+    header = f"segment: {segment.describe()} ({segment.duration_ns} ns)"
+    lines.append(header)
+    for pin in _RENDER_PINS:
+        pin_edges = [e for e in edges if e.pin is pin]
+        if not pin_edges:
+            continue
+        if pin is Pin.DQ:
+            row = [" "] * width
+            for edge in pin_edges:
+                pos = min(int(edge.t * scale), width - 3)
+                text = f"{edge.value:02X}"
+                for i, ch in enumerate(text):
+                    if pos + i < width:
+                        row[pos + i] = ch
+            lines.append(f"{pin.value:>8} |{''.join(row)}|")
+        else:
+            # Active-low pins start high; others start low.
+            level = 1 if pin in (Pin.CE, Pin.WE, Pin.RE) else 0
+            row = []
+            edge_iter = iter(sorted(pin_edges, key=lambda e: e.t))
+            next_edge = next(edge_iter, None)
+            for cell in range(width):
+                t = cell / scale if scale else 0
+                while next_edge is not None and next_edge.t <= t:
+                    level = next_edge.value
+                    next_edge = next(edge_iter, None)
+                row.append("▔" if level else "▁")
+            lines.append(f"{pin.value:>8} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_timeline(
+    events: Iterable[AnalyzerEvent],
+    start_ns: int = 0,
+    span_ns: int = 0,
+    width: int = 78,
+) -> str:
+    """Render a capture window as a labeled event timeline.
+
+    ``C`` = command latch, ``A`` = address, ``<`` = data out,
+    ``>`` = data in.  Below the strip, each event is listed with its
+    timestamp — the textual equivalent of the Fig. 11 screenshots.
+    """
+    events = [e for e in events if e.time_ns >= start_ns]
+    if span_ns:
+        events = [e for e in events if e.time_ns <= start_ns + span_ns]
+    if not events:
+        return "(empty capture)"
+    t0 = events[0].time_ns
+    t1 = events[-1].time_ns
+    span = max(t1 - t0, 1)
+    scale = (width - 1) / span
+
+    glyphs = {"cmd": "C", "addr": "A", "data_out": "<", "data_in": ">", "wait": "."}
+    strip = [" "] * width
+    for event in events:
+        pos = min(int((event.time_ns - t0) * scale), width - 1)
+        strip[pos] = glyphs.get(event.kind, "?")
+
+    lines = [f"|{''.join(strip)}|  ({span} ns)"]
+    for event in events:
+        offset_us = (event.time_ns - t0) / 1000.0
+        lines.append(f"  +{offset_us:10.3f} us  {event.kind:<9} {event.detail}")
+    return "\n".join(lines)

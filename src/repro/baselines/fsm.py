@@ -1,0 +1,67 @@
+"""Shared scaffolding for the hardware baseline controllers.
+
+Hardware controllers expose the same request/completion surface as a
+BABOL :class:`~repro.core.softenv.base.Task` so the FTL, the workload
+generators, and the benchmarks can drive any controller uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.onfi.geometry import PhysicalAddress
+from repro.sim import Simulator
+from repro.sim.sync import Trigger
+
+_request_ids = itertools.count()
+
+
+class HwRequestKind(enum.Enum):
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+
+
+@dataclass
+class HwRequest:
+    """One FTL-level request against a hardware controller."""
+
+    sim: Simulator
+    kind: HwRequestKind
+    lun: int
+    address: PhysicalAddress
+    dram_address: int = 0
+    length: Optional[int] = None
+    priority: int = 1
+    id: int = field(default_factory=lambda: next(_request_ids))
+    completed: Trigger = None  # type: ignore[assignment]
+    result: Any = None
+    submitted_at: int = 0
+    finished_at: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.completed is None:
+            self.completed = Trigger(self.sim)
+        self.submitted_at = self.sim.now
+
+    def finish(self, result: Any) -> None:
+        self.result = result
+        self.finished_at = self.sim.now
+        self.completed.fire(result)
+
+    @property
+    def state(self):  # parity with Task.state checks in shared helpers
+        from repro.core.softenv.base import TaskState
+
+        return TaskState.DONE if self.finished_at is not None else TaskState.RUNNING
+
+
+def wait_request(request: HwRequest) -> Generator:
+    """Process helper mirroring ``SoftwareEnvironment.wait_task``."""
+    if request.finished_at is not None:
+        return request.result
+    result = yield from request.completed.wait()
+    return result

@@ -1,0 +1,6 @@
+"""The shared flash channel: arbitration, transmission, and PHY."""
+
+from repro.bus.channel import Channel, ChannelStats
+from repro.bus.phy import ChannelPhy
+
+__all__ = ["Channel", "ChannelStats", "ChannelPhy"]

@@ -1,0 +1,167 @@
+"""The shared channel bus.
+
+The channel is the contended resource at the heart of the paper: LUNs
+share it, segments monopolize it for their duration, and everything the
+schedulers do is about keeping it busy.  This model provides:
+
+* FIFO-fair arbitration (a :class:`~repro.sim.Mutex`) — the bus master
+  (an executor or a hardware controller) acquires, transmits segments,
+  and releases;
+* transmission: timestamping a segment, handing its decoded actions to
+  the chip-enabled LUNs, applying the PHY reliability check to data
+  bursts, and holding the bus for the segment's duration;
+* an event tap for the logic analyzer; and
+* busy-time accounting for utilization metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from repro.bus.phy import ChannelPhy
+from repro.flash.lun import Lun
+from repro.onfi.datamodes import DataInterface, NVDDR2_200
+from repro.onfi.signals import (
+    DataInAction,
+    DataOutAction,
+    SegmentKind,
+    WaveformSegment,
+)
+from repro.onfi.timing import TimingSet, timing_for_mode
+from repro.sim import Simulator, Timeout
+from repro.sim.sync import Mutex
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate channel accounting."""
+
+    segments: int = 0
+    busy_ns: int = 0
+    data_bytes_out: int = 0
+    data_bytes_in: int = 0
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, segment: WaveformSegment) -> None:
+        self.segments += 1
+        self.busy_ns += segment.duration_ns
+        key = segment.kind.value
+        self.per_kind[key] = self.per_kind.get(key, 0) + 1
+        for _, action in segment.actions:
+            if isinstance(action, DataOutAction):
+                self.data_bytes_out += action.nbytes
+            elif isinstance(action, DataInAction):
+                self.data_bytes_in += action.nbytes
+
+
+class Channel:
+    """One flash channel wiring a controller to its LUNs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        luns: list[Lun],
+        interface: DataInterface = NVDDR2_200,
+        phy: Optional[ChannelPhy] = None,
+        perfect_phy: bool = True,
+    ):
+        if not luns:
+            raise ValueError("a channel needs at least one LUN")
+        self.sim = sim
+        self.luns = luns
+        self.interface = interface
+        self.timing: TimingSet = timing_for_mode(interface.name)
+        self.mutex = Mutex(sim)
+        self.stats = ChannelStats()
+        self._taps: list[Callable[[int, WaveformSegment], None]] = []
+        if phy is not None:
+            self.phy = phy
+        else:
+            self.phy = ChannelPhy(len(luns), seed=7)
+            if perfect_phy:
+                # Default channels come pre-calibrated so functional tests
+                # exercise clean data paths; calibration tests supply a
+                # skewed PHY explicitly.
+                for position in range(len(luns)):
+                    self.phy.set_trim(position, -self.phy.offsets[position])
+
+    # -- configuration ---------------------------------------------------
+
+    def set_interface(self, interface: DataInterface) -> None:
+        """Retarget the channel's data mode (boot sequences do this)."""
+        self.interface = interface
+        self.timing = timing_for_mode(interface.name)
+
+    def add_tap(self, tap: Callable[[int, WaveformSegment], None]) -> None:
+        """Register a probe called with (time_ns, segment) per transmission."""
+        self._taps.append(tap)
+
+    @property
+    def width(self) -> int:
+        return len(self.luns)
+
+    # -- arbitration ------------------------------------------------------
+
+    def acquire(self, owner=None) -> Generator:
+        yield from self.mutex.acquire(owner)
+
+    def release(self) -> None:
+        self.mutex.release()
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.mutex.locked
+
+    # -- transmission -------------------------------------------------------
+
+    def transmit(self, segment: WaveformSegment) -> Generator:
+        """Drive one segment onto the bus (caller must hold the mutex).
+
+        Holds the simulated bus for ``segment.duration_ns`` and delivers
+        the decoded actions to every chip-enabled LUN.
+        """
+        if not self.mutex.locked:
+            raise RuntimeError("transmit without owning the channel")
+        segment.emitted_at = self.sim.now
+        self.stats.record(segment)
+        for tap in self._taps:
+            tap(self.sim.now, segment)
+        targets = segment.targets(self.width)
+        if not targets and segment.kind is not SegmentKind.TIMER:
+            raise ValueError(f"segment {segment.describe()} selects no LUN")
+        self._apply_phy(segment, targets)
+        for position in targets:
+            self.luns[position].deliver_segment(segment)
+        if segment.duration_ns:
+            yield Timeout(segment.duration_ns)
+
+    def _apply_phy(self, segment: WaveformSegment, targets: list[int]) -> None:
+        if not self.interface.ddr:
+            # SDR is slow enough that trace-length skew never leaves the
+            # sampling eye — which is why packages can always boot in it.
+            return
+        if segment.kind not in (SegmentKind.DATA_OUT, SegmentKind.DATA_IN):
+            return
+        unreliable = [p for p in targets if not self.phy.data_reliable(p)]
+        if not unreliable:
+            return
+        for offset, action in segment.actions:
+            handle = getattr(action, "dma_handle", None)
+            if handle is not None:
+                handle.corrupt_seed = (segment.emitted_at or 0) ^ offset ^ 0xDEAD
+
+    # -- reporting ------------------------------------------------------------
+
+    def utilization(self, elapsed_ns: Optional[int] = None) -> float:
+        """Fraction of wall time the bus carried a segment."""
+        elapsed = elapsed_ns if elapsed_ns is not None else self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return min(self.stats.busy_ns / elapsed, 1.0)
+
+    def describe(self) -> str:
+        return (
+            f"Channel[{self.interface.name}] {self.width} LUNs, "
+            f"{self.stats.segments} segments, util={self.utilization():.2%}"
+        )

@@ -1,0 +1,50 @@
+"""Physical-layer model: per-position phase skew.
+
+Section IV-C: "the traces connecting the controller and Flash packages
+can be different even in different instances of the same device. The
+controller may need to individually adjust the waveform phase for each
+package."  We model that with a hidden per-position phase offset (in
+trim steps).  A data burst is only reliable when the controller's
+programmed trim lands within the sampling eye around that offset; the
+calibration tool (:mod:`repro.calibration.phase`) sweeps trims to find
+it, exactly as BABOL's calibration tool suggests adjustments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ChannelPhy:
+    """Hidden phase offsets plus the reliability predicate."""
+
+    def __init__(
+        self,
+        positions: int,
+        seed: int = 0,
+        max_offset_steps: int = 6,
+        eye_half_width: int = 2,
+    ):
+        if positions <= 0:
+            raise ValueError("positions must be positive")
+        rng = np.random.default_rng(seed)
+        self.offsets = [
+            int(rng.integers(-max_offset_steps, max_offset_steps + 1))
+            for _ in range(positions)
+        ]
+        self.eye_half_width = eye_half_width
+        self.trims = [0] * positions
+
+    def set_trim(self, position: int, trim: int) -> None:
+        self.trims[position] = int(trim)
+
+    def residual_skew(self, position: int) -> int:
+        """Sampling-point error after trim; 0 is perfectly centred."""
+        return self.offsets[position] + self.trims[position]
+
+    def data_reliable(self, position: int) -> bool:
+        return abs(self.residual_skew(position)) <= self.eye_half_width
+
+    def margin(self, position: int) -> int:
+        """Remaining eye margin in trim steps (negative = outside eye)."""
+        return self.eye_half_width - abs(self.residual_skew(position))

@@ -1,0 +1,17 @@
+"""Working-with-a-new-package tools (Section IV-C).
+
+BABOL ships a calibration tool that detects per-package phase skew and
+suggests trims, and uses its software operation environment to express
+package boot/initialization sequences.  Both are implemented here
+against the simulated PHY and package models.
+"""
+
+from repro.calibration.phase import PhaseCalibrationResult, calibrate_phase
+from repro.calibration.boot import BootReport, boot_channel
+
+__all__ = [
+    "PhaseCalibrationResult",
+    "calibrate_phase",
+    "BootReport",
+    "boot_channel",
+]

@@ -1,0 +1,110 @@
+"""Channel boot/initialization sequence.
+
+"Some packages boot in SDR data mode and can only be reconfigured to
+faster data modes through that interface ... some or all of these
+adjustments need to be done at every single boot" (Section IV-C).
+
+The sequence below is the software-expressed bring-up BABOL advocates:
+
+1. RESET every LUN (packages power up in an undefined state);
+2. READ ID and verify the ONFI signature;
+3. READ PARAMETER PAGE in SDR and check its CRC;
+4. SET FEATURES to select the target timing mode on every LUN;
+5. retarget the channel and the µFSM bank to the fast interface;
+6. phase-calibrate every position at speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator
+
+from repro.calibration.phase import PhaseCalibrationResult, calibrate_phase
+from repro.core.controller import BabolController
+from repro.flash.param_page import parse_parameter_page
+from repro.onfi.datamodes import DataInterface, SDR_MODE0
+from repro.onfi.features import FeatureAddress
+
+_TIMING_MODE_BY_INTERFACE = {
+    "SDR-mode0": 0,
+    "NV-DDR2-100": 4,
+    "NV-DDR2-200": 5,
+}
+
+
+@dataclass
+class BootReport:
+    """What the bring-up found and configured."""
+
+    lun_count: int = 0
+    onfi_confirmed: list[bool] = field(default_factory=list)
+    parameter_pages: list[dict] = field(default_factory=list)
+    timing_mode: int = 0
+    interface_name: str = ""
+    calibration: list[PhaseCalibrationResult] = field(default_factory=list)
+
+    @property
+    def all_healthy(self) -> bool:
+        return (
+            all(self.onfi_confirmed)
+            and len(self.parameter_pages) == self.lun_count
+            and all(result.locked for result in self.calibration)
+        )
+
+
+def boot_channel(
+    controller: BabolController,
+    target_interface: DataInterface,
+) -> Generator:
+    """Bring up every LUN; returns a :class:`BootReport`.
+
+    Run as a simulation process.  The controller should have been
+    constructed with ``interface=SDR_MODE0`` (packages boot in SDR);
+    booting from a faster mode is tolerated for pre-calibrated rigs.
+    """
+    report = BootReport(lun_count=len(controller.luns))
+
+    if controller.channel.interface is not SDR_MODE0:
+        # Not fatal (the simulation tolerates it) but worth recording:
+        # a real bring-up must start from the boot interface.
+        pass
+
+    # 1-3: reset, identify, read the parameter page on every LUN.
+    for lun in range(report.lun_count):
+        task = controller.reset(lun)
+        yield from controller.wait(task)
+
+        task = controller.read_id(lun, area=0x20)
+        signature = yield from controller.wait(task)
+        report.onfi_confirmed.append(bytes(signature[:4]) == b"ONFI")
+
+        task = controller.read_parameter_page(lun)
+        raw = yield from controller.wait(task)
+        try:
+            report.parameter_pages.append(parse_parameter_page(raw))
+        except ValueError:
+            # Retry once: a marginal SDR link can garble a read.
+            task = controller.read_parameter_page(lun)
+            raw = yield from controller.wait(task)
+            report.parameter_pages.append(parse_parameter_page(raw))
+
+    # 4: select the timing mode through the boot interface.
+    mode = _TIMING_MODE_BY_INTERFACE.get(target_interface.name, 0)
+    for lun in range(report.lun_count):
+        task = controller.set_features(
+            lun, FeatureAddress.TIMING_MODE, (mode, 0, 0, 0)
+        )
+        yield from controller.wait(task)
+    report.timing_mode = mode
+
+    # 5: retarget the controller side coherently.
+    controller.channel.set_interface(target_interface)
+    controller.ufsm.retarget(target_interface)
+    report.interface_name = target_interface.name
+
+    # 6: phase-calibrate at speed.
+    for lun in range(report.lun_count):
+        result = yield from calibrate_phase(controller, lun)
+        report.calibration.append(result)
+
+    return report

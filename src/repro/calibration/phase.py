@@ -1,0 +1,90 @@
+"""Per-position phase calibration.
+
+"There is a calibration tool to detect phase differences and suggest
+adjustments" (Section IV-C).  The tool sweeps the controller-side
+output-phase trim for one LUN position and, at each setting, performs a
+known-answer read (the ONFI parameter page, which carries a CRC).  The
+set of trims whose reads decode cleanly is the sampling eye; the tool
+centres the trim in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.core.controller import BabolController
+from repro.flash.param_page import parse_parameter_page
+
+
+@dataclass
+class PhaseCalibrationResult:
+    """Outcome of one position's sweep."""
+
+    position: int
+    tested_trims: list[int]
+    good_trims: list[int]
+    chosen_trim: int
+    eye_width: int
+
+    @property
+    def locked(self) -> bool:
+        return self.eye_width > 0
+
+
+def calibrate_phase(
+    controller: BabolController,
+    position: int,
+    trim_range: tuple[int, int] = (-8, 8),
+) -> Generator:
+    """Sweep trims on one LUN position; apply and return the best.
+
+    Runs as a simulation process:
+    ``result = yield from calibrate_phase(controller, 0)``.
+    """
+    phy = controller.channel.phy
+    low, high = trim_range
+    tested: list[int] = []
+    good: list[int] = []
+
+    for trim in range(low, high + 1):
+        tested.append(trim)
+        phy.set_trim(position, trim)
+        task = controller.read_parameter_page(position)
+        page = yield from controller.wait(task)
+        try:
+            parse_parameter_page(page)
+        except ValueError:
+            continue  # garbled read: outside the eye
+        good.append(trim)
+
+    if good:
+        # Centre the trim in the widest contiguous run of good settings.
+        best_run = _longest_run(good)
+        chosen = best_run[len(best_run) // 2]
+        eye_width = len(best_run)
+    else:
+        chosen = 0
+        eye_width = 0
+    phy.set_trim(position, chosen)
+    return PhaseCalibrationResult(
+        position=position,
+        tested_trims=tested,
+        good_trims=good,
+        chosen_trim=chosen,
+        eye_width=eye_width,
+    )
+
+
+def _longest_run(values: list[int]) -> list[int]:
+    """Longest run of consecutive integers in a sorted list."""
+    best: list[int] = []
+    current: list[int] = []
+    for value in values:
+        if current and value == current[-1] + 1:
+            current.append(value)
+        else:
+            current = [value]
+        if len(current) > len(best):
+            best = current
+    return best

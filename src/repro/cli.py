@@ -1,0 +1,255 @@
+"""Command-line interface: run the paper's experiments without pytest.
+
+Usage examples::
+
+    python -m repro.cli table1
+    python -m repro.cli fig10 --vendor hynix --interface 200 --luns 8
+    python -m repro.cli fig11
+    python -m repro.cli fig12 --ways 1 2 4 8
+    python -m repro.cli table2
+    python -m repro.cli table3
+    python -m repro.cli demo
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.core import BabolController, ControllerConfig
+from repro.core.softenv import GHZ, MHZ
+from repro.flash.vendors import VENDOR_PROFILES, profile_by_name
+from repro.host import measure_read_throughput
+from repro.onfi.datamodes import NVDDR2_100, NVDDR2_200
+from repro.sim import Simulator
+
+
+def _print_rows(headers, rows):
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _interface(mt: int):
+    return NVDDR2_200 if mt == 200 else NVDDR2_100
+
+
+def cmd_demo(args) -> int:
+    import numpy as np
+
+    sim = Simulator()
+    controller = BabolController(
+        sim, ControllerConfig(vendor=profile_by_name(args.vendor),
+                              lun_count=args.luns, runtime=args.runtime)
+    )
+    page = controller.codec.geometry.full_page_size
+    payload = (np.arange(page) % 251).astype(np.uint8)
+    controller.dram.write(0, payload)
+    controller.run_to_completion(controller.program_page(0, 1, 0, 0))
+    controller.run_to_completion(controller.read_page(0, 1, 0, page))
+    errors = int((controller.dram.read(page, page) != payload).sum())
+    print(controller.describe())
+    print(f"program+read roundtrip in {sim.now / 1000:.1f} us of device time; "
+          f"{errors} raw byte error(s) before ECC")
+    return 0
+
+
+def cmd_table1(args) -> int:
+    rows = []
+    for name, vendor in VENDOR_PROFILES.items():
+        rows.append([name, f"{vendor.timing.t_read_ns / 1000:.0f} us",
+                     f"{vendor.geometry.page_size} B",
+                     str(vendor.luns_per_channel)])
+    print("Table I: flash memory parameters")
+    _print_rows(["vendor", "tR", "page", "LUNs/channel"], rows)
+    full = profile_by_name("hynix").geometry.full_page_size
+    print(f"page transfer: {NVDDR2_100.transfer_ns(full) / 1000:.0f} us @100MT/s, "
+          f"{NVDDR2_200.transfer_ns(full) / 1000:.0f} us @200MT/s")
+    return 0
+
+
+def cmd_fig10(args) -> int:
+    vendor = profile_by_name(args.vendor)
+    interface = _interface(args.interface)
+    rows = []
+    from repro.baselines import SyncHwController
+
+    sim = Simulator()
+    hw = SyncHwController(sim, vendor=vendor, lun_count=args.luns,
+                          interface=interface, track_data=False)
+    result = measure_read_throughput(sim, hw, args.luns)
+    rows.append(["HW baseline", "-", f"{result.throughput_mb_s:.1f}"])
+    for runtime in ("rtos", "coroutine"):
+        for mhz in args.freq_mhz:
+            sim = Simulator()
+            controller = BabolController(
+                sim,
+                ControllerConfig(vendor=vendor, lun_count=args.luns,
+                                 interface=interface, runtime=runtime,
+                                 cpu_freq_hz=mhz * MHZ, track_data=False),
+            )
+            result = measure_read_throughput(sim, controller, args.luns)
+            rows.append([runtime, f"{mhz} MHz", f"{result.throughput_mb_s:.1f}"])
+    print(f"Fig. 10 cell: {args.vendor}, {args.interface} MT/s, "
+          f"{args.luns} LUNs (MB/s)")
+    _print_rows(["controller", "CPU", "throughput"], rows)
+    return 0
+
+
+def cmd_fig11(args) -> int:
+    from repro.analysis import LogicAnalyzer
+
+    rows = []
+    for runtime in ("rtos", "coroutine"):
+        sim = Simulator()
+        controller = BabolController(
+            sim, ControllerConfig(vendor=profile_by_name(args.vendor),
+                                  lun_count=1, runtime=runtime,
+                                  track_data=False),
+        )
+        analyzer = LogicAnalyzer(controller.channel)
+        for i in range(args.reads):
+            controller.run_to_completion(controller.read_page(0, 1, i, 0))
+        summary = analyzer.polling_summary()
+        rows.append([runtime, str(summary.count),
+                     f"{summary.mean_ns / 1000:.1f} us",
+                     f"{sim.now / args.reads / 1000:.1f} us"])
+    print("Fig. 11: polling period (1 LUN, 1 GHz)")
+    _print_rows(["runtime", "polls", "period", "READ latency"], rows)
+    return 0
+
+
+def cmd_fig12(args) -> int:
+    from repro.baselines import AsyncHwController
+    from repro.ftl import FtlConfig, PageMappedFtl
+    from repro.host import FioJob, HostInterface, run_fio
+
+    vendor = profile_by_name(args.vendor)
+    rows = []
+    for ways in args.ways:
+        bandwidths = []
+        for kind in ("cosmos", "rtos", "coroutine"):
+            sim = Simulator()
+            if kind == "cosmos":
+                controller = AsyncHwController(
+                    sim, vendor=vendor, lun_count=ways, track_data=False
+                )
+            else:
+                controller = BabolController(
+                    sim,
+                    ControllerConfig(vendor=vendor, lun_count=ways,
+                                     runtime=kind, cpu_freq_hz=GHZ,
+                                     track_data=False),
+                )
+            ftl = PageMappedFtl(
+                sim, controller,
+                FtlConfig(blocks_per_lun=8, overprovision_blocks=2,
+                          gc_staging_base=48 * 1024 * 1024),
+            )
+            ftl.prefill(min(ftl.logical_pages, 64 * ways))
+            hic = HostInterface(sim, ftl, iodepth=16)
+            result = run_fio(sim, hic, FioJob(pattern=args.pattern,
+                                              io_count=24 * ways + 16,
+                                              iodepth=16))
+            bandwidths.append(result.bandwidth_mb_s)
+        rows.append([str(ways)] + [f"{bw:.1f}" for bw in bandwidths])
+    print(f"Fig. 12: fio {args.pattern} read bandwidth (MB/s)")
+    _print_rows(["ways", "Cosmos+ (HW)", "BABOL-RTOS", "BABOL-Coro"], rows)
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.analysis import operation_loc_table
+
+    table = operation_loc_table()
+    rows = [[op, str(v["sync_hw"]), str(v["async_hw"]), str(v["babol"])]
+            for op, v in table.items()]
+    print("Table II: lines of code per operation (measured in this repo)")
+    _print_rows(["operation", "sync HW", "async HW", "BABOL"], rows)
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from repro.analysis import estimate_area
+    from repro.analysis.area import babol_inventory
+    from repro.baselines import AsyncHwController, SyncHwController
+
+    estimates = {
+        "sync HW": estimate_area(
+            SyncHwController(Simulator(), lun_count=8, track_data=False).inventory()
+        ),
+        "async HW": estimate_area(
+            AsyncHwController(Simulator(), lun_count=8, track_data=False).inventory()
+        ),
+        "BABOL": estimate_area(babol_inventory(8)),
+    }
+    rows = [[name, str(e.lut), str(e.ff), f"{e.bram:g}"]
+            for name, e in estimates.items()]
+    print("Table III: modeled FPGA resources")
+    _print_rows(["controller", "LUT", "FF", "BRAM"], rows)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="babol-repro",
+        description="BABOL (MICRO 2024) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--vendor", default="hynix",
+                       choices=sorted(VENDOR_PROFILES))
+
+    p = sub.add_parser("demo", help="program+read roundtrip demo")
+    common(p)
+    p.add_argument("--luns", type=int, default=8)
+    p.add_argument("--runtime", default="coroutine",
+                   choices=["coroutine", "rtos"])
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("table1", help="flash parameters")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("fig10", help="throughput cell")
+    common(p)
+    p.add_argument("--luns", type=int, default=8)
+    p.add_argument("--interface", type=int, default=200, choices=[100, 200])
+    p.add_argument("--freq-mhz", type=int, nargs="+",
+                   default=[150, 200, 400, 1000])
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fig11", help="polling breakdown")
+    common(p)
+    p.add_argument("--reads", type=int, default=8)
+    p.set_defaults(func=cmd_fig11)
+
+    p = sub.add_parser("fig12", help="end-to-end fio bandwidth")
+    common(p)
+    p.add_argument("--ways", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--pattern", default="sequential",
+                   choices=["sequential", "random"])
+    p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser("table2", help="lines of code")
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("table3", help="FPGA area")
+    p.set_defaults(func=cmd_table3)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""BABOL: the paper's contribution.
+
+The core package implements the software-defined controller of Fig. 5:
+
+* :mod:`repro.core.ufsm` — the five parameterized waveform-segment
+  emitters (C/A Writer, Data Writer, Data Reader, Chip Control, Timer);
+* :mod:`repro.core.packetizer` — the DMA companion of the data µFSMs;
+* :mod:`repro.core.transaction` — the queueable "waveform instruction"
+  unit that decouples scheduling from execution;
+* :mod:`repro.core.executor` — the hardware execution half draining the
+  transaction queue onto the channel;
+* :mod:`repro.core.softenv` — the software half: modeled CPU, task and
+  transaction schedulers, and the Coroutine/RTOS runtimes;
+* :mod:`repro.core.ops` — the operation library written against the
+  µFSM instruction set (Algorithms 1–3 and friends);
+* :mod:`repro.core.controller` — the FTL-facing facade.
+"""
+
+from repro.core.controller import BabolController, ControllerConfig
+from repro.core.storage import StorageConfig, StorageController, build_storage
+from repro.core.transaction import Transaction, TxnKind
+
+__all__ = [
+    "BabolController",
+    "ControllerConfig",
+    "StorageConfig",
+    "StorageController",
+    "build_storage",
+    "Transaction",
+    "TxnKind",
+]

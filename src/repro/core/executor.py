@@ -1,0 +1,94 @@
+"""Operation Execution: the hardware half of BABOL.
+
+A small hardware pipeline (Fig. 5, right-hand module) that drains
+transaction descriptors from a shallow queue and drives their waveform
+segments onto the channel.  Because descriptors are *prepared in
+advance* by software, the only latency this stage adds is a fixed
+hardware dispatch time — that asynchrony is the paper's first design
+principle.
+
+The queue is deliberately shallow (default depth 1): keeping ordering
+decisions in software until the last possible moment is what lets the
+transaction scheduler reorder under contention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bus.channel import Channel
+from repro.core.transaction import Transaction
+from repro.sim import Simulator, Timeout
+from repro.sim.sync import Condition, Trigger
+
+
+class Executor:
+    """Drains prepared transactions onto the channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: Channel,
+        dispatch_latency_ns: int = 50,
+        queue_depth: int = 1,
+    ):
+        if queue_depth < 1:
+            raise ValueError("executor queue depth must be >= 1")
+        self.sim = sim
+        self.channel = channel
+        self.dispatch_latency_ns = dispatch_latency_ns
+        self.queue_depth = queue_depth
+        self._queue: list[Transaction] = []
+        self._cond = Condition(sim)
+        self.slot_freed = Trigger(sim)  # software listens: room to dispatch
+        self.txn_done = Trigger(sim)    # software listens: completions
+        self.executed = 0
+        self.busy_ns = 0
+        self._process = sim.spawn(self._run(), name="executor")
+
+    # -- software-facing interface ------------------------------------
+
+    @property
+    def has_room(self) -> bool:
+        return len(self._queue) < self.queue_depth
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def push(self, txn: Transaction) -> None:
+        """Hand a prepared transaction to the hardware (must have room)."""
+        if not self.has_room:
+            raise RuntimeError("executor queue overflow — respect has_room")
+        if not txn.segments:
+            raise ValueError(f"empty transaction {txn.describe()}")
+        txn.dispatched_at = self.sim.now
+        self._queue.append(txn)
+        self._cond.notify()
+
+    # -- the hardware pipeline -----------------------------------------
+
+    def _run(self):
+        while True:
+            yield from self._cond.wait_for(lambda: bool(self._queue))
+            txn = self._queue.pop(0)
+            self.slot_freed.fire(self)
+            # Fixed hardware dispatch: descriptor decode + channel request.
+            if self.dispatch_latency_ns:
+                yield Timeout(self.dispatch_latency_ns)
+            yield from self.channel.acquire(owner=txn)
+            txn.started_at = self.sim.now
+            for segment in txn.segments:
+                yield from self.channel.transmit(segment)
+            txn.finished_at = self.sim.now
+            self.busy_ns += txn.finished_at - txn.started_at
+            self.channel.release()
+            self.executed += 1
+            txn.completed.fire(txn)
+            self.txn_done.fire(txn)
+
+    def describe(self) -> str:
+        return (
+            f"Executor depth={self.queue_depth} executed={self.executed} "
+            f"busy={self.busy_ns}ns"
+        )

@@ -1,0 +1,62 @@
+"""READ RETRY: sweep read-voltage levels until the data decodes.
+
+The optimization of Park et al. [48] / Liu et al. [34]: when ECC cannot
+correct a page at the default read voltage, re-read it at shifted
+voltages (a vendor SET FEATURES register) until a level decodes.  The
+operation takes a ``validate`` callback — in a real controller that is
+the ECC engine; in this reproduction it is usually a
+:class:`~repro.ecc.BchEngine` closure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.core.ops.features import set_features_op
+from repro.core.ops.read import read_page_op
+from repro.core.softenv.base import OperationContext
+from repro.dram import DmaHandle
+from repro.onfi.features import FeatureAddress
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+
+
+def read_with_retry_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    validate: Callable[[DmaHandle], bool],
+    max_levels: int = 8,
+    feat_busy_ns: int = 1_000,
+) -> Generator:
+    """Read with an escalating retry sweep.
+
+    Returns ``(level, handle)`` for the first level whose data
+    validates, or ``(None, handle)`` if every level failed (the caller
+    escalates to RAID/rebuild).  The retry register is restored to the
+    default level before returning.
+    """
+    level_used: Optional[int] = None
+    handle: Optional[DmaHandle] = None
+    for level in range(max_levels):
+        if level > 0:
+            yield from set_features_op(
+                ctx,
+                FeatureAddress.VENDOR_READ_RETRY,
+                (level, 0, 0, 0),
+                feat_busy_ns=feat_busy_ns,
+            )
+        _, handle = yield from read_page_op(ctx, codec, address, dram_address)
+        if validate(handle):
+            level_used = level
+            break
+    if level_used != 0:
+        # A non-default level was programmed (or the sweep exhausted);
+        # restore the factory default so later reads start clean.
+        yield from set_features_op(
+            ctx,
+            FeatureAddress.VENDOR_READ_RETRY,
+            (0, 0, 0, 0),
+            feat_busy_ns=feat_busy_ns,
+        )
+    return level_used, handle

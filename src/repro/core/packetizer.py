@@ -1,0 +1,62 @@
+"""The Packetizer: the specialized DMA unit paired with the data µFSMs.
+
+"The Data Writer works closely with the Packetizer, a specialized DMA
+unit that can read data from the DRAM area of the SSD and deliver it in
+packets of the same width as a package's DQ bus" (Section IV-A).  The
+Data Writer takes the byte count; the Packetizer takes the DRAM address
+— this class implements that contract by minting :class:`DmaHandle`
+descriptors and keeping the transfer accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram import DmaHandle, DramBuffer, InlineDmaHandle
+
+
+class Packetizer:
+    """Mints DMA descriptors binding data bursts to DRAM windows."""
+
+    def __init__(self, dram: Optional[DramBuffer] = None):
+        self.dram = dram
+        self.handles_minted = 0
+        self.bytes_to_flash = 0
+        self.bytes_from_flash = 0
+
+    def to_flash(self, dram_address: int, nbytes: int) -> DmaHandle:
+        """Descriptor sourcing a Data Writer burst from DRAM."""
+        self._check(dram_address, nbytes)
+        self.handles_minted += 1
+        self.bytes_to_flash += nbytes
+        return DmaHandle(self.dram, dram_address, nbytes)
+
+    def from_flash(self, dram_address: int, nbytes: int) -> DmaHandle:
+        """Descriptor sinking a Data Reader burst into DRAM."""
+        self._check(dram_address, nbytes)
+        self.handles_minted += 1
+        self.bytes_from_flash += nbytes
+        return DmaHandle(self.dram, dram_address, nbytes)
+
+    def capture(self, nbytes: int) -> DmaHandle:
+        """Descriptor for small control reads (status, IDs, features).
+
+        These land in controller-internal registers, not DRAM, so the
+        handle carries no DRAM binding — the caller inspects
+        ``handle.delivered``.
+        """
+        self.handles_minted += 1
+        return DmaHandle(None, 0, nbytes)
+
+    def inline(self, data) -> InlineDmaHandle:
+        """Descriptor carrying immediate bytes (feature parameters)."""
+        self.handles_minted += 1
+        return InlineDmaHandle(data)
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("transfer size must be positive")
+        if self.dram is not None and address + nbytes > self.dram.size:
+            raise ValueError(
+                f"DMA window [{address}, {address + nbytes}) beyond DRAM"
+            )

@@ -1,0 +1,218 @@
+"""Preemptive reads over long erases/programs (suspend/resume policy).
+
+The literature the paper cites ([23] Kim et al., [54] Wu & He) shows
+that suspending a multi-millisecond ERASE for a latency-critical READ
+slashes read tail latency.  BABOL makes the mechanism a two-latch
+vendor operation; this module supplies the *policy*: a per-LUN manager
+that tracks long-running background operations and, when a preemptible
+read arrives, composes suspend → read → resume into one scheduled
+operation (one task owns the LUN throughout, so ONFI sequencing stays
+legal).
+
+This is exactly the kind of feature that motivates a software-defined
+controller: on a hard-wired design it is a respin; here it is a policy
+class over existing operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.controller import BabolController
+from repro.core.ops import (
+    erase_block_op,
+    poll_until_ready,
+    program_page_op,
+    read_page_op,
+    resume_op,
+    suspend_op,
+)
+from repro.core.ops.base import single_latch_txn
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.sim.sync import Queue, Trigger
+
+
+@dataclass
+class _ReadRequest:
+    block: int
+    page: int
+    dram_address: int
+    done: Trigger
+    result: object = None
+
+
+@dataclass
+class PreemptStats:
+    erases: int = 0
+    programs: int = 0
+    reads: int = 0
+    preemptions: int = 0
+
+
+class PreemptiveLunManager:
+    """Suspend/resume policy for one LUN.
+
+    Background erases/programs run through :meth:`erase` / :meth:`program`;
+    reads submitted with :meth:`read` preempt an in-flight background
+    operation instead of queueing behind its multi-millisecond busy
+    time.  All media work for the LUN funnels through this manager so
+    the composed suspend→read→resume sequences own the LUN exclusively.
+    """
+
+    def __init__(self, controller: BabolController, lun: int,
+                 min_remaining_ns: int = 100_000):
+        self.controller = controller
+        self.lun = lun
+        self.codec: AddressCodec = controller.codec
+        self.min_remaining_ns = min_remaining_ns
+        self.stats = PreemptStats()
+        self._pending_reads: Queue = Queue(controller.sim)
+        self._background_active = False
+
+    # -- host-facing API (simulation-process generators) ---------------------
+
+    def read(self, block: int, page: int, dram_address: int) -> Generator:
+        """Latency-critical read; preempts a background op if one runs."""
+        if self._background_active:
+            request = _ReadRequest(block, page, dram_address,
+                                   Trigger(self.controller.sim))
+            self._pending_reads.put(request)
+            result = yield from request.done.wait()
+            return result
+        task = self.controller.submit(
+            read_page_op, self.lun, priority=0, codec=self.codec,
+            address=PhysicalAddress(block=block, page=page),
+            dram_address=dram_address,
+        )
+        result = yield from self.controller.wait(task)
+        self.stats.reads += 1
+        return result
+
+    def erase(self, block: int) -> Generator:
+        """Background erase; yields to preempting reads at suspensions."""
+        self._background_active = True
+        try:
+            task = self.controller.submit(
+                self._preemptible_op, self.lun, priority=2,
+                kind="erase", block=block, page=0, dram_address=0,
+            )
+            ok = yield from self.controller.wait(task)
+            self.stats.erases += 1
+        finally:
+            self._background_active = False
+        yield from self._drain_leftovers()
+        return ok
+
+    def program(self, block: int, page: int, dram_address: int) -> Generator:
+        """Background program with the same preemption window."""
+        self._background_active = True
+        try:
+            task = self.controller.submit(
+                self._preemptible_op, self.lun, priority=2,
+                kind="program", block=block, page=page,
+                dram_address=dram_address,
+            )
+            ok = yield from self.controller.wait(task)
+            self.stats.programs += 1
+        finally:
+            self._background_active = False
+        yield from self._drain_leftovers()
+        return ok
+
+    def _drain_leftovers(self) -> Generator:
+        """Serve reads that arrived after the last preemption window."""
+        while True:
+            request = self._pending_reads.try_get()
+            if request is None:
+                return
+            task = self.controller.submit(
+                read_page_op, self.lun, priority=0, codec=self.codec,
+                address=PhysicalAddress(block=request.block, page=request.page),
+                dram_address=request.dram_address,
+            )
+            result = yield from self.controller.wait(task)
+            self.stats.reads += 1
+            request.result = result
+            request.done.fire(result)
+
+    # -- the composed operation ------------------------------------------------
+
+    def _preemptible_op(self, ctx: OperationContext, kind: str, block: int,
+                        page: int, dram_address: int) -> Generator:
+        """Start the background op, then poll; any queued read triggers
+        suspend → read(s) → resume until the background op finishes."""
+        bank = ctx.ufsm
+        if kind == "erase":
+            row = self.codec.row_address(PhysicalAddress(block=block, page=0))
+            start = ctx.transaction(TxnKind.CMD_ADDR, label="preempt-erase")
+            start.add_segment(bank.ca_writer.emit(
+                [cmd(CMD.ERASE_1ST), addr(self.codec.encode_row(row)),
+                 cmd(CMD.ERASE_2ND)],
+                chip_mask=ctx.chip_mask,
+            ))
+            yield from ctx.add_transaction(start)
+        else:
+            handle = ctx.packetizer.to_flash(
+                dram_address, self.codec.geometry.full_page_size
+            )
+            load = ctx.transaction(TxnKind.DATA_IN, label="preempt-program")
+            load.add_segment(bank.ca_writer.emit(
+                [cmd(CMD.PROGRAM_1ST),
+                 addr(self.codec.encode(PhysicalAddress(block=block, page=page)))],
+                chip_mask=ctx.chip_mask,
+            ))
+            load.add_segment(bank.data_writer.emit(
+                self.codec.geometry.full_page_size, handle,
+                chip_mask=ctx.chip_mask, after_address=True,
+            ))
+            yield from ctx.add_transaction(load)
+            confirm = single_latch_txn(ctx, [cmd(CMD.PROGRAM_2ND)],
+                                       label="preempt-program-confirm")
+            yield from ctx.add_transaction(confirm)
+
+        # Poll loop with preemption windows.
+        from repro.core.ops.status import read_status_op
+
+        while True:
+            request = self._pending_reads.try_get()
+            if request is not None:
+                self.stats.preemptions += 1
+                yield from suspend_op(ctx)
+                while request is not None:
+                    result = yield from read_page_op(
+                        ctx, self.codec,
+                        PhysicalAddress(block=request.block, page=request.page),
+                        request.dram_address,
+                    )
+                    self.stats.reads += 1
+                    request.result = result
+                    request.done.fire(result)
+                    request = self._pending_reads.try_get()
+                yield from resume_op(ctx)
+            status = yield from read_status_op(ctx)
+            if StatusRegister.is_ready(status) and not StatusRegister.is_array_ready(
+                status
+            ):
+                continue
+            if StatusRegister.is_ready(status) and not self._is_suspended(status):
+                return not StatusRegister.is_failed(status)
+
+    @staticmethod
+    def _is_suspended(status: int) -> bool:
+        from repro.onfi.status import StatusBits
+
+        return bool(status & StatusBits.CSP)
+
+    def describe(self) -> str:
+        s = self.stats
+        return (
+            f"PreemptiveLunManager[lun{self.lun}]: {s.reads} reads, "
+            f"{s.erases} erases, {s.programs} programs, "
+            f"{s.preemptions} preemption(s)"
+        )

@@ -1,0 +1,64 @@
+"""BABOL's software half: CPU model, schedulers, and runtimes.
+
+Operations are Python generators (standing in for the paper's C++20
+coroutines / FreeRTOS tasks).  The :class:`SoftwareEnvironment` resumes
+them on a modeled CPU, charging runtime-specific cycle costs for context
+switches, transaction enqueues, scheduler iterations, and dispatches —
+the costs whose frequency-scaling Fig. 10 and Fig. 11 measure.
+"""
+
+from repro.core.softenv.cpu import Cpu, MHZ, GHZ
+from repro.core.softenv.base import (
+    EnvAwait,
+    EnvPost,
+    EnvSleep,
+    EnvWaitTxn,
+    EnvYield,
+    OperationContext,
+    RuntimeCosts,
+    SoftwareEnvironment,
+    Task,
+    TaskState,
+)
+from repro.core.softenv.task_scheduler import (
+    FifoTaskScheduler,
+    PriorityTaskScheduler,
+    RoundRobinTaskScheduler,
+    TaskScheduler,
+)
+from repro.core.softenv.txn_scheduler import (
+    FifoTxnScheduler,
+    PriorityTxnScheduler,
+    RoundRobinTxnScheduler,
+    TxnScheduler,
+)
+from repro.core.softenv.coroutine_env import CORO_COSTS, CoroutineEnvironment
+from repro.core.softenv.rtos_env import RTOS_COSTS, RtosEnvironment
+
+__all__ = [
+    "Cpu",
+    "MHZ",
+    "GHZ",
+    "EnvAwait",
+    "EnvPost",
+    "EnvSleep",
+    "EnvWaitTxn",
+    "EnvYield",
+    "OperationContext",
+    "RuntimeCosts",
+    "SoftwareEnvironment",
+    "Task",
+    "TaskState",
+    "TaskScheduler",
+    "FifoTaskScheduler",
+    "PriorityTaskScheduler",
+    "RoundRobinTaskScheduler",
+    "TxnScheduler",
+    "FifoTxnScheduler",
+    "PriorityTxnScheduler",
+    "RoundRobinTxnScheduler",
+    "CORO_COSTS",
+    "CoroutineEnvironment",
+    "RTOS_COSTS",
+    "RtosEnvironment",
+]

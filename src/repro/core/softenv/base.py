@@ -1,0 +1,452 @@
+"""The software environment runtime.
+
+This module is the "Operation Scheduling" half of Fig. 5.  An operation
+is a Python generator that yields *environment commands*:
+
+``EnvAwait(txn)``
+    The paper's ``co_await add_transaction(...)``: enqueue the
+    transaction and suspend until the executor has transmitted it.
+
+``EnvPost(txn)``
+    Enqueue without suspending (multi-transaction pipelining).
+
+``EnvWaitTxn(txn)``
+    Suspend until a previously posted transaction completes.
+
+``EnvSleep(ns)``
+    Suspend for a fixed simulated time (used by the timed-wait
+    ablation instead of status polling).
+
+``EnvYield()``
+    Cooperative yield: go to the back of the ready queue.
+
+Operations compose with plain ``yield from`` (Algorithm 2 invoking
+Algorithm 1).  The environment's main loop runs on the modeled CPU and
+charges the runtime's cycle costs for every scheduler iteration,
+context switch, enqueue, and dispatch — so a 150 MHz soft-core really
+does schedule ~7× slower than the 1 GHz ARM, which is the effect
+Fig. 10 sweeps.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.core.executor import Executor
+from repro.core.packetizer import Packetizer
+from repro.core.softenv.cpu import Cpu
+from repro.core.softenv.task_scheduler import RoundRobinTaskScheduler, TaskScheduler
+from repro.core.softenv.txn_scheduler import FifoTxnScheduler, TxnScheduler
+from repro.core.transaction import Transaction, TxnKind
+from repro.core.ufsm.base import UfsmBank
+from repro.sim import Simulator
+from repro.sim.sync import Condition, Trigger
+
+_task_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Cycle costs of one software runtime's primitives.
+
+    ``context_switch`` / ``scheduler_iteration`` / ``enqueue`` /
+    ``dispatch`` are *serializing*: they occupy the CPU and bound how
+    many transactions per second the runtime can push.  ``wakeup`` is a
+    *latency*: the delay between a hardware completion and the runtime
+    noticing it (event-loop granularity, completion-queue batching).
+    It stretches idle-channel round trips — the Fig. 11 polling period
+    — without consuming CPU, which is why a heavyweight runtime can
+    still saturate a busy channel (Fig. 10 at 8 LUNs).
+    """
+
+    context_switch: int
+    scheduler_iteration: int
+    enqueue: int
+    dispatch: int
+    wakeup: int
+
+    def poll_cycle_estimate(self) -> int:
+        """Cycles of one status-poll round trip (Fig. 11's quantity)."""
+        return (
+            self.context_switch
+            + self.scheduler_iteration
+            + self.enqueue
+            + self.dispatch
+            + self.wakeup
+        )
+
+    def serialized_txn_cycles(self) -> int:
+        """CPU cycles consumed per transaction (the throughput bound)."""
+        return (
+            self.context_switch
+            + self.scheduler_iteration
+            + self.enqueue
+            + self.dispatch
+        )
+
+
+# -- environment commands ---------------------------------------------------
+
+
+@dataclass
+class EnvAwait:
+    txn: Transaction
+
+
+@dataclass
+class EnvPost:
+    txn: Transaction
+
+
+@dataclass
+class EnvWaitTxn:
+    txn: Transaction
+
+
+@dataclass
+class EnvSleep:
+    ns: int
+
+
+@dataclass
+class EnvYield:
+    pass
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+class Task:
+    """One admitted operation instance."""
+
+    __slots__ = (
+        "id", "gen", "lun_position", "priority", "state", "result",
+        "completed", "submitted_at", "admitted_at", "finished_at",
+        "last_resumed_at", "ready_since", "send_value", "label",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gen: Generator,
+        lun_position: int,
+        priority: int = 1,
+        label: str = "",
+    ):
+        self.id = next(_task_ids)
+        self.gen = gen
+        self.lun_position = lun_position
+        self.priority = priority
+        self.state = TaskState.READY
+        self.result: Any = None
+        self.completed = Trigger(sim)
+        self.submitted_at = sim.now
+        self.admitted_at: Optional[int] = None
+        self.finished_at: Optional[int] = None
+        self.last_resumed_at = -1
+        self.ready_since = sim.now
+        self.send_value: Any = None
+        self.label = label or getattr(gen, "__name__", "op")
+
+    def describe(self) -> str:
+        return f"task#{self.id} {self.label} lun{self.lun_position} {self.state.value}"
+
+
+class OperationContext:
+    """What an operation sees: the µFSM bank, Packetizer, and its target.
+
+    This is the abstraction boundary Section III discusses — everything
+    below it (pin timing, DMA pacing, channel arbitration) is hidden;
+    everything above it (operation structure, category-3 waits,
+    polling-vs-timer decisions) belongs to the SSD Architect.
+    """
+
+    def __init__(
+        self,
+        env: "SoftwareEnvironment",
+        lun_position: int,
+        chip_mask: Optional[int] = None,
+    ):
+        self.env = env
+        self.sim = env.sim
+        self.lun_position = lun_position
+        self.chip_mask = chip_mask if chip_mask is not None else (1 << lun_position)
+        self.ufsm: UfsmBank = env.ufsm
+        self.packetizer: Packetizer = env.packetizer
+
+    # -- transaction building ------------------------------------------
+
+    def transaction(self, kind: TxnKind = TxnKind.CMD_ADDR, priority: Optional[int] = None,
+                    label: str = "") -> Transaction:
+        return Transaction(
+            self.sim, self.lun_position, kind=kind, priority=priority, label=label
+        )
+
+    # -- the co_await-style verbs (generators; use with ``yield from``) --
+
+    def add_transaction(self, txn: Transaction) -> Generator:
+        """Enqueue and suspend until executed (Algorithm 1, line 8)."""
+        result = yield EnvAwait(txn)
+        return result
+
+    def post_transaction(self, txn: Transaction) -> Generator:
+        """Enqueue without suspending (pipelined multi-txn operations)."""
+        yield EnvPost(txn)
+        return txn
+
+    def wait_transaction(self, txn: Transaction) -> Generator:
+        yield EnvWaitTxn(txn)
+
+    def sleep(self, ns: int) -> Generator:
+        yield EnvSleep(ns)
+
+    def yield_control(self) -> Generator:
+        yield EnvYield()
+
+
+class SoftwareEnvironment:
+    """The runtime: admission, task scheduling, transaction dispatch."""
+
+    runtime_name = "generic"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        executor: Executor,
+        ufsm: UfsmBank,
+        packetizer: Packetizer,
+        cpu: Cpu,
+        costs: RuntimeCosts,
+        task_scheduler: Optional[TaskScheduler] = None,
+        txn_scheduler: Optional[TxnScheduler] = None,
+        max_tasks_per_lun: int = 1,
+    ):
+        self.sim = sim
+        self.executor = executor
+        self.ufsm = ufsm
+        self.packetizer = packetizer
+        self.cpu = cpu
+        self.costs = costs
+        self.task_scheduler = task_scheduler or RoundRobinTaskScheduler()
+        self.txn_scheduler = txn_scheduler or FifoTxnScheduler()
+        self.max_tasks_per_lun = max_tasks_per_lun
+
+        self._ready: list[Task] = []
+        self._pending_txns: list[Transaction] = []
+        self._admission_queue: list[Task] = []
+        self._running_per_lun: dict[int, int] = {}
+        self._work = Condition(sim)
+        self._stopped = False
+        self._tick_batch: list[Task] = []
+        self._tick_event = None
+
+        self.tasks_submitted = 0
+        self.tasks_completed = 0
+        self.txns_enqueued = 0
+        self.txns_dispatched = 0
+
+        # The executor tells us when a queue slot frees so the dispatcher
+        # half of the loop can run again.
+        self._slot_listener = sim.spawn(self._watch_slots(), name=f"{self.runtime_name}-slots")
+        self._loop = sim.spawn(self._run(), name=f"{self.runtime_name}-env")
+
+    # ------------------------------------------------------------------
+    # FTL-facing API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        op_factory: Callable[[OperationContext], Generator],
+        lun_position: int,
+        priority: int = 1,
+        chip_mask: Optional[int] = None,
+        label: str = "",
+    ) -> Task:
+        """Request an operation; admission may defer it (busy LUN)."""
+        ctx = OperationContext(self, lun_position, chip_mask=chip_mask)
+        gen = op_factory(ctx)
+        task = Task(self.sim, gen, lun_position, priority=priority,
+                    label=label or getattr(op_factory, "__name__", "op"))
+        self.tasks_submitted += 1
+        self._admission_queue.append(task)
+        self._admit_eligible()
+        self._work.notify()
+        return task
+
+    @staticmethod
+    def wait_task(task: Task) -> Generator:
+        """Process helper: ``result = yield from env.wait_task(task)``."""
+        if task.state is TaskState.DONE:
+            return task.result
+        result = yield from task.completed.wait()
+        return result
+
+    # ------------------------------------------------------------------
+    # Admission (the Task Scheduler's gate)
+    # ------------------------------------------------------------------
+
+    def _admit_eligible(self) -> None:
+        admitted: list[Task] = []
+        for task in self._admission_queue:
+            running = self._running_per_lun.get(task.lun_position, 0)
+            if running < self.max_tasks_per_lun:
+                self._running_per_lun[task.lun_position] = running + 1
+                task.admitted_at = self.sim.now
+                task.ready_since = self.sim.now
+                self._ready.append(task)
+                admitted.append(task)
+        for task in admitted:
+            self._admission_queue.remove(task)
+
+    # ------------------------------------------------------------------
+    # Main loop (runs on the modeled CPU)
+    # ------------------------------------------------------------------
+
+    def _has_work(self) -> bool:
+        return bool(self._ready) or bool(
+            self._pending_txns and self.executor.has_room
+        )
+
+    def _watch_slots(self) -> Generator:
+        while True:
+            yield from self.executor.slot_freed.wait()
+            self._work.notify()
+
+    def _run(self) -> Generator:
+        while not self._stopped:
+            if self._pending_txns and self.executor.has_room:
+                # Dispatcher half: choose the next transaction and hand
+                # it to the hardware.
+                yield from self.cpu.execute(self.costs.dispatch)
+                if not (self._pending_txns and self.executor.has_room):
+                    continue  # world changed while we were computing
+                txn = self.txn_scheduler.select(self._pending_txns)
+                self._pending_txns.remove(txn)
+                self.executor.push(txn)
+                self.txns_dispatched += 1
+                continue
+            if self._ready:
+                # Task half: pick, context-switch, resume one step.
+                yield from self.cpu.execute(self.costs.scheduler_iteration)
+                if not self._ready:
+                    continue
+                task = self.task_scheduler.select(self._ready)
+                self._ready.remove(task)
+                yield from self.cpu.execute(self.costs.context_switch)
+                yield from self._step_task(task)
+                continue
+            yield from self._work.wait_for(self._has_work)
+
+    def _step_task(self, task: Task) -> Generator:
+        """Resume one task until it suspends or finishes."""
+        task.state = TaskState.RUNNING
+        task.last_resumed_at = self.sim.now
+        send, task.send_value = task.send_value, None
+        while True:
+            try:
+                command = task.gen.send(send)
+            except StopIteration as stop:
+                self._finish_task(task, stop.value)
+                return
+            send = None
+            if isinstance(command, EnvAwait):
+                yield from self.cpu.execute(self.costs.enqueue)
+                self._enqueue_txn(command.txn)
+                self._block_on_txn(task, command.txn)
+                return
+            if isinstance(command, EnvPost):
+                yield from self.cpu.execute(self.costs.enqueue)
+                self._enqueue_txn(command.txn)
+                send = command.txn
+                continue  # posting does not suspend the task
+            if isinstance(command, EnvWaitTxn):
+                self._block_on_txn(task, command.txn)
+                return
+            if isinstance(command, EnvSleep):
+                task.state = TaskState.BLOCKED
+                self.sim.schedule(command.ns, lambda t=task: self._make_ready(t))
+                return
+            if isinstance(command, EnvYield):
+                task.state = TaskState.READY
+                task.ready_since = self.sim.now
+                self._ready.append(task)
+                return
+            raise TypeError(
+                f"operation {task.label!r} yielded unsupported command {command!r}"
+            )
+
+    # -- transitions -----------------------------------------------------
+
+    def _enqueue_txn(self, txn: Transaction) -> None:
+        txn.enqueued_at = self.sim.now
+        self._pending_txns.append(txn)
+        self.txns_enqueued += 1
+        self._work.notify()
+
+    def _block_on_txn(self, task: Task, txn: Transaction) -> None:
+        if txn.finished_at is not None:  # already executed
+            task.send_value = txn
+            task.state = TaskState.READY
+            task.ready_since = self.sim.now
+            self._ready.append(task)
+            self._work.notify()
+            return
+        task.state = TaskState.BLOCKED
+        txn.completed._add_waiter(lambda value, t=task: self._txn_woke(t, value))
+
+    def _txn_woke(self, task: Task, txn: Transaction) -> None:
+        task.send_value = txn
+        delay = self.cpu.cycles_to_ns(self.costs.wakeup)
+        if not delay:
+            self._make_ready(task)
+            return
+        # Completion-notice latency: the runtime observes hardware
+        # completions at its event-loop granularity.  Completions landing
+        # within one window share the same tick (the loop drains its
+        # completion queue in a batch), so the latency amortizes across
+        # LUNs instead of serializing per event.  The CPU is not held.
+        self._tick_batch.append(task)
+        if self._tick_event is None or not self._tick_event.pending:
+            self._tick_event = self.sim.schedule(delay, self._on_tick)
+
+    def _on_tick(self) -> None:
+        batch, self._tick_batch = self._tick_batch, []
+        self._tick_event = None
+        for task in batch:
+            self._make_ready(task)
+
+    def _make_ready(self, task: Task) -> None:
+        if task.state is TaskState.DONE:  # pragma: no cover - guard
+            return
+        task.state = TaskState.READY
+        task.ready_since = self.sim.now
+        self._ready.append(task)
+        self._work.notify()
+
+    def _finish_task(self, task: Task, result: Any) -> None:
+        task.state = TaskState.DONE
+        task.result = result
+        task.finished_at = self.sim.now
+        self.tasks_completed += 1
+        running = self._running_per_lun.get(task.lun_position, 1)
+        self._running_per_lun[task.lun_position] = running - 1
+        self._admit_eligible()
+        task.completed.fire(result)
+        self._work.notify()
+
+    # -- reporting ----------------------------------------------------------
+
+    def describe(self) -> str:
+        return (
+            f"{self.runtime_name} env on {self.cpu.describe()}: "
+            f"{self.tasks_completed}/{self.tasks_submitted} tasks, "
+            f"{self.txns_dispatched} txns dispatched "
+            f"(task={self.task_scheduler.name}, txn={self.txn_scheduler.name})"
+        )

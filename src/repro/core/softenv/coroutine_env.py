@@ -1,0 +1,64 @@
+"""The Coroutine runtime (the paper's C++20-coroutine flavor).
+
+"C++ is easier to program but requires a processor with enough speed to
+sustain its heavy runtime" (Section V).  The cost table below models
+that heavy runtime: coroutine frame resume/suspend, the promise-based
+scheduler walk, and allocation-touching enqueues.  The numbers are
+calibrated so one status-poll round trip costs ~29 k cycles — about
+30 µs at 1 GHz, which is the polling period the logic analyzer measures
+in Fig. 11.
+
+The Coroutine environment pairs with the *priority* transaction
+scheduler by default: the ease of writing sophisticated scheduling
+logic is exactly the flexibility argument the paper makes, and it is
+what lets this flavor edge out hardware on saturated channels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.executor import Executor
+from repro.core.packetizer import Packetizer
+from repro.core.softenv.base import RuntimeCosts, SoftwareEnvironment
+from repro.core.softenv.cpu import Cpu
+from repro.core.softenv.task_scheduler import RoundRobinTaskScheduler, TaskScheduler
+from repro.core.softenv.txn_scheduler import PriorityTxnScheduler, TxnScheduler
+from repro.core.ufsm.base import UfsmBank
+from repro.sim import Simulator
+
+CORO_COSTS = RuntimeCosts(
+    context_switch=1_500,
+    scheduler_iteration=1_000,
+    enqueue=500,
+    dispatch=500,
+    wakeup=26_000,
+)
+
+
+class CoroutineEnvironment(SoftwareEnvironment):
+    """Easy to program, heavy runtime."""
+
+    runtime_name = "coroutine"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        executor: Executor,
+        ufsm: UfsmBank,
+        packetizer: Packetizer,
+        cpu: Cpu,
+        task_scheduler: Optional[TaskScheduler] = None,
+        txn_scheduler: Optional[TxnScheduler] = None,
+        costs: RuntimeCosts = CORO_COSTS,
+    ):
+        super().__init__(
+            sim=sim,
+            executor=executor,
+            ufsm=ufsm,
+            packetizer=packetizer,
+            cpu=cpu,
+            costs=costs,
+            task_scheduler=task_scheduler or RoundRobinTaskScheduler(),
+            txn_scheduler=txn_scheduler or PriorityTxnScheduler(),
+        )

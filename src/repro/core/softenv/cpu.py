@@ -1,0 +1,73 @@
+"""Modeled controller CPU.
+
+The paper runs BABOL's software on Xilinx MicroBlaze soft-cores
+(150 MHz) and Zynq-7000 ARM Cortex-A9 cores clocked from 200 MHz to
+1 GHz.  The model is a frequency: software work is expressed in cycles
+and converted to simulated nanoseconds here.  ``cpi`` (cycles per
+instruction scale) lets soft-cores be penalized relative to the ARM's
+stronger pipeline when an experiment wants that distinction.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim import Simulator, Timeout
+from repro.sim.sync import Mutex
+
+MHZ = 1_000_000
+GHZ = 1_000_000_000
+
+
+class Cpu:
+    """A single in-order controller core.
+
+    With ``exclusive=True`` the core serializes its users: several
+    software environments (one per channel of a multi-channel storage
+    controller) can share one physical core, and their scheduling work
+    genuinely contends — the Cosmos+ situation, where two ARM cores
+    drive the whole SSD.
+    """
+
+    def __init__(self, sim: Simulator, freq_hz: int, cpi: float = 1.0,
+                 name: str = "cpu", exclusive: bool = False):
+        if freq_hz <= 0:
+            raise ValueError("CPU frequency must be positive")
+        if cpi <= 0:
+            raise ValueError("CPI must be positive")
+        self.sim = sim
+        self.freq_hz = freq_hz
+        self.cpi = cpi
+        self.name = name
+        self.exclusive = exclusive
+        self._mutex = Mutex(sim) if exclusive else None
+        self.cycles_charged = 0
+        self.contention_waits = 0
+
+    def cycles_to_ns(self, cycles: int) -> int:
+        return max(int(round(cycles * self.cpi * 1e9 / self.freq_hz)), 0)
+
+    def execute(self, cycles: int) -> Generator:
+        """Process command: occupy the core for ``cycles``."""
+        self.cycles_charged += cycles
+        ns = self.cycles_to_ns(cycles)
+        if not ns:
+            return
+        if self._mutex is None:
+            yield Timeout(ns)
+            return
+        if self._mutex.locked:
+            self.contention_waits += 1
+        yield from self._mutex.acquire()
+        try:
+            yield Timeout(ns)
+        finally:
+            self._mutex.release()
+
+    @property
+    def busy_ns(self) -> int:
+        return self.cycles_to_ns(self.cycles_charged)
+
+    def describe(self) -> str:
+        mhz = self.freq_hz / MHZ
+        return f"{self.name}@{mhz:.0f}MHz (cpi={self.cpi})"

@@ -1,0 +1,62 @@
+"""The RTOS runtime (the paper's FreeRTOS flavor).
+
+"FreeRTOS is designed to require a much lighter weight processor to
+run, but it demands more expertise from the programmer" (Section V).
+The cost table models hand-tuned task switches and ISR-driven wakeups —
+roughly an order of magnitude cheaper per primitive than the coroutine
+runtime, so one status-poll round trip costs ~2.3 k cycles (a few µs at
+1 GHz, versus ~30 µs for coroutines: the Fig. 11 gap).
+
+The price of that leanness is simpler scheduling logic: the default
+transaction scheduler is plain FIFO, mirroring the paper's observation
+that RTOS-level code is harder to make sophisticated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.executor import Executor
+from repro.core.packetizer import Packetizer
+from repro.core.softenv.base import RuntimeCosts, SoftwareEnvironment
+from repro.core.softenv.cpu import Cpu
+from repro.core.softenv.task_scheduler import FifoTaskScheduler, TaskScheduler
+from repro.core.softenv.txn_scheduler import FifoTxnScheduler, TxnScheduler
+from repro.core.ufsm.base import UfsmBank
+from repro.sim import Simulator
+
+RTOS_COSTS = RuntimeCosts(
+    context_switch=800,
+    scheduler_iteration=400,
+    enqueue=250,
+    dispatch=350,
+    wakeup=800,
+)
+
+
+class RtosEnvironment(SoftwareEnvironment):
+    """Lean runtime, more programmer effort."""
+
+    runtime_name = "rtos"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        executor: Executor,
+        ufsm: UfsmBank,
+        packetizer: Packetizer,
+        cpu: Cpu,
+        task_scheduler: Optional[TaskScheduler] = None,
+        txn_scheduler: Optional[TxnScheduler] = None,
+        costs: RuntimeCosts = RTOS_COSTS,
+    ):
+        super().__init__(
+            sim=sim,
+            executor=executor,
+            ufsm=ufsm,
+            packetizer=packetizer,
+            cpu=cpu,
+            costs=costs,
+            task_scheduler=task_scheduler or FifoTaskScheduler(),
+            txn_scheduler=txn_scheduler or FifoTxnScheduler(),
+        )

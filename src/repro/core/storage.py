@@ -1,0 +1,160 @@
+"""The multi-channel Storage Controller (Fig. 1, center).
+
+"A conventional Storage Controller exports a continuous Flash memory
+address range to the FTL.  Internally, however, it bundles relatively
+small and slow Flash packages into a structure called *channel*."
+
+This class bundles several BABOL channel controllers behind a flat LUN
+address space, so the FTL (and anything else speaking the shared
+request surface) can stripe across channels transparently.  Channels
+can share one controller CPU (``shared_cpu=True`` — the Cosmos+
+situation, two cores driving the whole device) or get a core each;
+the difference is measurable and is one of the ablations an SSD
+Architect would actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Generator, Optional
+
+from repro.core.controller import BabolController, ControllerConfig
+from repro.core.softenv import Cpu
+from repro.core.softenv.base import Task
+from repro.flash.vendors import HYNIX_V7, VendorProfile
+from repro.onfi.datamodes import DataInterface, NVDDR2_200
+from repro.onfi.geometry import AddressCodec
+from repro.sim import Simulator
+
+
+@dataclass
+class StorageConfig:
+    """Sizing of the multi-channel controller."""
+
+    channel_count: int = 4
+    channel: ControllerConfig = field(default_factory=ControllerConfig)
+    shared_cpu: bool = True
+
+    def validate(self) -> None:
+        if self.channel_count <= 0:
+            raise ValueError("channel_count must be positive")
+        self.channel.validate()
+
+
+class StorageController:
+    """Flat-addressed bundle of BABOL channel controllers."""
+
+    def __init__(self, sim: Simulator, config: Optional[StorageConfig] = None):
+        self.sim = sim
+        self.config = config or StorageConfig()
+        self.config.validate()
+        cfg = self.config
+
+        shared_cpu: Optional[Cpu] = None
+        if cfg.shared_cpu:
+            shared_cpu = Cpu(
+                sim, cfg.channel.cpu_freq_hz, cpi=cfg.channel.cpu_cpi,
+                name=f"{cfg.channel.runtime}-shared", exclusive=True,
+            )
+
+        self.channels: list[BabolController] = []
+        for index in range(cfg.channel_count):
+            channel_cfg = replace(cfg.channel, seed=cfg.channel.seed + 1000 * index)
+            controller = BabolController(sim, channel_cfg)
+            if shared_cpu is not None:
+                # Rebind the channel's environment onto the shared core.
+                controller.cpu = shared_cpu
+                controller.env.cpu = shared_cpu
+            self.channels.append(controller)
+        self.cpu = shared_cpu or self.channels[0].cpu
+        self.luns_per_channel = cfg.channel.lun_count
+
+        # Flat LUN view: the FTL's striping works unchanged.
+        self.luns = [lun for channel in self.channels for lun in channel.luns]
+        self.codec: AddressCodec = self.channels[0].codec
+
+        # One device-level DRAM staging buffer shared by every channel's
+        # Packetizer (the Fig. 1 data buffer is global to the SSD).
+        from repro.dram import DramBuffer
+
+        self._dram = DramBuffer(cfg.channel.dram_size)
+        for channel in self.channels:
+            channel.dram = self._dram
+            channel.packetizer.dram = self._dram
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, lun: int) -> tuple[BabolController, int]:
+        if not 0 <= lun < len(self.luns):
+            raise ValueError(f"LUN {lun} out of range (have {len(self.luns)})")
+        return (
+            self.channels[lun // self.luns_per_channel],
+            lun % self.luns_per_channel,
+        )
+
+    # -- shared request surface (mirrors BabolController) -------------------
+
+    def read_page(self, lun: int, block: int, page: int, dram_address: int,
+                  column: int = 0, length: Optional[int] = None,
+                  priority: int = 1) -> Task:
+        channel, local = self.route(lun)
+        return channel.read_page(local, block, page, dram_address,
+                                 column=column, length=length, priority=priority)
+
+    def program_page(self, lun: int, block: int, page: int,
+                     dram_address: int, priority: int = 1) -> Task:
+        channel, local = self.route(lun)
+        return channel.program_page(local, block, page, dram_address,
+                                    priority=priority)
+
+    def erase_block(self, lun: int, block: int, priority: int = 1) -> Task:
+        channel, local = self.route(lun)
+        return channel.erase_block(local, block, priority=priority)
+
+    @staticmethod
+    def wait(task: Task) -> Generator:
+        from repro.core.softenv.base import SoftwareEnvironment
+
+        result = yield from SoftwareEnvironment.wait_task(task)
+        return result
+
+    def run_to_completion(self, task: Task):
+        return self.sim.run_process(self.wait(task))
+
+    @property
+    def dram(self):
+        """The device-level DRAM staging buffer (shared by all channels)."""
+        return self._dram
+
+    def describe(self) -> str:
+        cfg = self.config
+        cpu = "shared" if cfg.shared_cpu else "per-channel"
+        return (
+            f"StorageController: {cfg.channel_count} channels x "
+            f"{self.luns_per_channel} LUNs ({cfg.channel.runtime}, {cpu} CPU)"
+        )
+
+
+def build_storage(
+    sim: Simulator,
+    channel_count: int = 4,
+    lun_count: int = 8,
+    vendor: VendorProfile = HYNIX_V7,
+    interface: DataInterface = NVDDR2_200,
+    runtime: str = "rtos",
+    cpu_freq_hz: int = 1_000_000_000,
+    shared_cpu: bool = True,
+    track_data: bool = True,
+) -> StorageController:
+    """Convenience constructor for the common case."""
+    return StorageController(
+        sim,
+        StorageConfig(
+            channel_count=channel_count,
+            shared_cpu=shared_cpu,
+            channel=ControllerConfig(
+                vendor=vendor, lun_count=lun_count, interface=interface,
+                runtime=runtime, cpu_freq_hz=cpu_freq_hz, track_data=track_data,
+            ),
+        ),
+    )

@@ -1,0 +1,26 @@
+"""The µFSM instruction set (Fig. 6).
+
+Each µFSM is a parameterized waveform-segment emitter.  Re-targeting a
+µFSM to a different data-interface mode re-binds its timing set, but its
+*interface* (the parameters it takes) is identical across modes — which
+is the property that makes operations written against µFSMs portable
+across packages and speeds.
+"""
+
+from repro.core.ufsm.base import MicroFsm, UfsmBank
+from repro.core.ufsm.ca_writer import CAWriter, Latch
+from repro.core.ufsm.data_reader import DataReader
+from repro.core.ufsm.data_writer import DataWriter
+from repro.core.ufsm.chip_control import ChipControl
+from repro.core.ufsm.timer import TimerFsm
+
+__all__ = [
+    "MicroFsm",
+    "UfsmBank",
+    "CAWriter",
+    "Latch",
+    "DataReader",
+    "DataWriter",
+    "ChipControl",
+    "TimerFsm",
+]

@@ -1,0 +1,116 @@
+"""Command/Address Writer µFSM.
+
+Parameterized exactly as Fig. 6 describes: the number of latches, a
+vector of latch types, and a vector of latch values.  The emitter
+computes all intra-segment timing (latch cycle times from the current
+mode's timing set) and appends the mandatory category-2 waits: tWB
+after a confirm-class command (the wait before R/B# drops) and tWHR
+after a command that will be followed by a data-out (status reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.ufsm.base import HardwareInventory, MicroFsm
+from repro.onfi.commands import CMD, CommandClass, classify_opcode
+from repro.onfi.signals import (
+    AddressLatch,
+    CommandLatch,
+    SegmentKind,
+    WaveformSegment,
+)
+
+# Confirm opcodes after which the package drops R/B#: the C/A Writer
+# owns the tWB wait that follows them (Section IV-B, category 2).
+_CONFIRM_CLASSES = {
+    CommandClass.READ_CONFIRM,
+    CommandClass.CACHE_READ_CONFIRM,
+    CommandClass.CACHE_READ_END,
+    CommandClass.PROGRAM_CONFIRM,
+    CommandClass.CACHE_PROGRAM_CONFIRM,
+    CommandClass.ERASE_CONFIRM,
+    CommandClass.RESET,
+}
+
+# Commands that are immediately followed by a data-out burst: the C/A
+# Writer owns the tWHR turnaround after them.
+_DATA_TURNAROUND = {CMD.READ_STATUS, CMD.READ_STATUS_ENHANCED, CMD.READ_ID}
+
+
+@dataclass(frozen=True)
+class Latch:
+    """One latch descriptor: ``kind`` is 'cmd' or 'addr'."""
+
+    kind: str
+    value: Union[int, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cmd", "addr"):
+            raise ValueError(f"latch kind must be 'cmd' or 'addr', got {self.kind!r}")
+        if self.kind == "cmd" and not isinstance(self.value, int):
+            raise ValueError("command latch value must be an opcode byte")
+        if self.kind == "addr" and isinstance(self.value, int):
+            raise ValueError("address latch value must be a byte tuple")
+
+
+def cmd(opcode: int) -> Latch:
+    return Latch("cmd", opcode)
+
+
+def addr(address_bytes: Iterable[int]) -> Latch:
+    return Latch("addr", tuple(address_bytes))
+
+
+class CAWriter(MicroFsm):
+    """Emits command/address preamble segments."""
+
+    name = "ca_writer"
+
+    def emit(self, latches: list[Latch], chip_mask: int = 0b1, label: str = "") -> WaveformSegment:
+        """Build one CMD_ADDR segment from a latch vector."""
+        if not latches:
+            raise ValueError("a C/A segment needs at least one latch")
+        self._count()
+        cycle = self.timing.latch_cycle_ns()
+        actions = []
+        t = self.timing.tCS  # CE# setup before the first latch
+        last_opcode = None
+        for latch in latches:
+            if latch.kind == "cmd":
+                actions.append((t, CommandLatch(int(latch.value))))
+                t += cycle
+                last_opcode = int(latch.value)
+            else:
+                address_bytes = tuple(latch.value)
+                actions.append((t, AddressLatch(address_bytes)))
+                t += cycle * len(address_bytes)
+                last_opcode = None
+        t += self.timing.tCH  # CE# hold
+
+        # Category-2 mandatory waits owned by this µFSM.
+        if last_opcode is not None:
+            if classify_opcode(last_opcode) in _CONFIRM_CLASSES:
+                t += self.timing.tWB
+            elif last_opcode in _DATA_TURNAROUND:
+                t += self.timing.tWHR
+        return WaveformSegment(
+            kind=SegmentKind.CMD_ADDR,
+            duration_ns=t,
+            actions=tuple(actions),
+            chip_mask=chip_mask,
+            label=label or "c/a",
+        )
+
+    def inventory(self) -> HardwareInventory:
+        # Latch-cycle sequencing (setup/pulse/hold sub-states per mode),
+        # the latch-type/value vector registers, and per-mode timing
+        # counters.  NV-DDR2 support needs its own cycle sub-FSM, hence
+        # the state count.
+        return HardwareInventory(
+            fsm_states=36,
+            registers_bits=450,
+            buffer_bits=128,
+            comment="latch sequencer + value FIFO + timing counters",
+        )

@@ -1,0 +1,50 @@
+"""Chip Control µFSM: the chip-enable modifier.
+
+"This µFSM changes how other µFSMs emit theirs" (Fig. 6d): it takes a
+bitmap with one bit per package position and redirects any segment to
+that set of chips — including more than one at a time, which is what
+enables gang-scheduled operations (the RAIL use case of Section IV-A).
+"""
+
+from __future__ import annotations
+
+from repro.core.ufsm.base import HardwareInventory, MicroFsm
+from repro.onfi.signals import WaveformSegment
+
+
+class ChipControl(MicroFsm):
+    """Applies a chip-enable bitmap to segments."""
+
+    name = "chip_control"
+
+    def apply(self, segment: WaveformSegment, chip_mask: int) -> WaveformSegment:
+        """Redirect ``segment`` to the chips selected by ``chip_mask``."""
+        if chip_mask <= 0:
+            raise ValueError("chip mask must select at least one position")
+        self._count()
+        segment.chip_mask = chip_mask
+        return segment
+
+    @staticmethod
+    def mask_for(position: int) -> int:
+        """Single-chip mask for a LUN position."""
+        if position < 0:
+            raise ValueError("position must be non-negative")
+        return 1 << position
+
+    @staticmethod
+    def gang_mask(positions: list[int]) -> int:
+        """Multi-chip mask for gang-scheduled segments."""
+        if not positions:
+            raise ValueError("gang mask needs at least one position")
+        mask = 0
+        for position in positions:
+            mask |= 1 << position
+        return mask
+
+    def inventory(self) -> HardwareInventory:
+        return HardwareInventory(
+            fsm_states=4,
+            registers_bits=64,
+            comment="CE# fan-out register + setup/hold pacing",
+        )

@@ -1,0 +1,49 @@
+"""Data Reader µFSM: transfers data out of the LUN's register.
+
+Functionally the inverse of the Data Writer; also owns DQS/RE# timing
+and the tRHW turnaround when a command will follow the burst.
+"""
+
+from __future__ import annotations
+
+from repro.core.ufsm.base import HardwareInventory, MicroFsm
+from repro.dram import DmaHandle
+from repro.onfi.signals import DataOutAction, SegmentKind, WaveformSegment
+
+
+class DataReader(MicroFsm):
+    """Emits DATA_OUT burst segments."""
+
+    name = "data_reader"
+
+    def emit(
+        self,
+        nbytes: int,
+        handle: DmaHandle,
+        chip_mask: int = 0b1,
+        label: str = "",
+    ) -> WaveformSegment:
+        """One read burst of ``nbytes`` sinking into ``handle``."""
+        if nbytes <= 0:
+            raise ValueError("data burst must be positive")
+        self._count()
+        lead = self.timing.tRR  # ready-to-RE# low (category 2)
+        burst = self.interface.transfer_ns(nbytes)
+        return WaveformSegment(
+            kind=SegmentKind.DATA_OUT,
+            duration_ns=lead + burst + self.timing.tRHW,
+            actions=((lead, DataOutAction(nbytes, dma_handle=handle)),),
+            chip_mask=chip_mask,
+            label=label or f"dout{nbytes}",
+        )
+
+    def inventory(self) -> HardwareInventory:
+        # RE# pacing, DQS capture with alignment/deskew registers, and
+        # staging toward the Packetizer (the capture path needs more
+        # phase logic than the drive path, but the same order).
+        return HardwareInventory(
+            fsm_states=40,
+            registers_bits=650,
+            buffer_bits=512,
+            comment="RE#/DQS capture + deskew + packet staging",
+        )

@@ -1,0 +1,57 @@
+"""Data Writer µFSM: transfers data into the LUN's page register.
+
+Programmed in tandem with the Packetizer: this µFSM takes the byte
+count, the Packetizer handle carries the DRAM source.  The emitter owns
+the strobe (DQS) timing — the operation code never sees it — and the
+tADL wait that must separate an address phase from data loading.
+"""
+
+from __future__ import annotations
+
+from repro.core.ufsm.base import HardwareInventory, MicroFsm
+from repro.dram import DmaHandle
+from repro.onfi.signals import DataInAction, SegmentKind, WaveformSegment
+
+
+class DataWriter(MicroFsm):
+    """Emits DATA_IN burst segments."""
+
+    name = "data_writer"
+
+    def emit(
+        self,
+        nbytes: int,
+        handle: DmaHandle,
+        column: int = 0,
+        chip_mask: int = 0b1,
+        after_address: bool = False,
+        label: str = "",
+    ) -> WaveformSegment:
+        """One write burst of ``nbytes`` sourced from ``handle``.
+
+        ``after_address=True`` prepends the tADL wait (the burst follows
+        an address phase in the same transaction, e.g. SET FEATURES).
+        """
+        if nbytes <= 0:
+            raise ValueError("data burst must be positive")
+        self._count()
+        lead = self.timing.tADL if after_address else 0
+        burst = self.interface.transfer_ns(nbytes)
+        return WaveformSegment(
+            kind=SegmentKind.DATA_IN,
+            duration_ns=lead + burst,
+            actions=((lead, DataInAction(nbytes, column=column, dma_handle=handle)),),
+            chip_mask=chip_mask,
+            label=label or f"din{nbytes}",
+        )
+
+    def inventory(self) -> HardwareInventory:
+        # Byte counters, the DQS generator with per-mode phase logic
+        # (serializer, preamble/postamble sequencing), and staging
+        # registers toward the Packetizer.
+        return HardwareInventory(
+            fsm_states=40,
+            registers_bits=650,
+            buffer_bits=512,
+            comment="DQS driver + serializer + packet staging",
+        )

@@ -1,0 +1,36 @@
+"""Timer µFSM: the punctuation of the instruction set.
+
+Produces a pause of at least ``duration`` nanoseconds in the waveform —
+the mechanism operations use for the category-3 waits they own (tR when
+not polling, the tADL of a SET FEATURES, vendor-mandated gaps).
+"""
+
+from __future__ import annotations
+
+from repro.core.ufsm.base import HardwareInventory, MicroFsm
+from repro.onfi.signals import IdleWait, SegmentKind, WaveformSegment
+
+
+class TimerFsm(MicroFsm):
+    """Emits pure-wait segments."""
+
+    name = "timer"
+
+    def emit(self, duration_ns: int, chip_mask: int = 0b1, label: str = "") -> WaveformSegment:
+        if duration_ns < 0:
+            raise ValueError("timer duration must be >= 0")
+        self._count()
+        return WaveformSegment(
+            kind=SegmentKind.TIMER,
+            duration_ns=duration_ns,
+            actions=((0, IdleWait(duration_ns)),),
+            chip_mask=chip_mask,
+            label=label or f"wait{duration_ns}",
+        )
+
+    def inventory(self) -> HardwareInventory:
+        return HardwareInventory(
+            fsm_states=3,
+            registers_bits=48,
+            comment="down-counter + reload register",
+        )

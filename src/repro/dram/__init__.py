@@ -1,0 +1,17 @@
+"""Controller-side DRAM staging buffer and DMA plumbing.
+
+The SSD's DRAM stages all data moving between the host and the flash
+channel (Fig. 1).  The Packetizer µFSM-companion reads/writes it through
+:class:`DmaHandle` endpoints.
+"""
+
+from repro.dram.buffer import AllocationError, DramBuffer
+from repro.dram.dma import DmaHandle, InlineDmaHandle, ScatterGatherList
+
+__all__ = [
+    "AllocationError",
+    "DramBuffer",
+    "DmaHandle",
+    "InlineDmaHandle",
+    "ScatterGatherList",
+]

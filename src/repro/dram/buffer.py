@@ -1,0 +1,73 @@
+"""DRAM staging buffer with a bump-pointer region allocator.
+
+Storage is a flat ``numpy`` byte array.  Access time is charged by the
+Packetizer (which knows the burst sizes), not here — DRAM bandwidth in
+the Cosmos+ class of devices comfortably exceeds one channel's needs,
+so the channel model treats DRAM as never the bottleneck, matching the
+paper's single-channel experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AllocationError(RuntimeError):
+    """DRAM region allocator exhaustion or bad free."""
+
+
+class DramBuffer:
+    """A fixed-size byte buffer with region allocation."""
+
+    def __init__(self, size: int = 64 * 1024 * 1024):
+        if size <= 0:
+            raise ValueError("DRAM size must be positive")
+        self.size = size
+        self.data = np.zeros(size, dtype=np.uint8)
+        self._next = 0
+        self._free_list: list[tuple[int, int]] = []
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate a region; returns its base address."""
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        for i, (base, length) in enumerate(self._free_list):
+            if length >= nbytes:
+                if length == nbytes:
+                    self._free_list.pop(i)
+                else:
+                    self._free_list[i] = (base + nbytes, length - nbytes)
+                return base
+        if self._next + nbytes > self.size:
+            raise AllocationError(
+                f"DRAM exhausted: need {nbytes}, have {self.size - self._next}"
+            )
+        base = self._next
+        self._next += nbytes
+        return base
+
+    def free(self, base: int, nbytes: int) -> None:
+        """Return a region to the allocator (no coalescing; bounded reuse)."""
+        if not 0 <= base <= self.size - nbytes:
+            raise AllocationError(f"bad free of [{base}, {base + nbytes})")
+        self._free_list.append((base, nbytes))
+
+    def write(self, address: int, data: np.ndarray) -> None:
+        data = np.asarray(data, dtype=np.uint8)
+        self._check(address, len(data))
+        self.data[address:address + len(data)] = data
+
+    def read(self, address: int, nbytes: int) -> np.ndarray:
+        self._check(address, nbytes)
+        return self.data[address:address + nbytes].copy()
+
+    def view(self, address: int, nbytes: int) -> np.ndarray:
+        """Zero-copy window (mutations are visible; used by the DMA path)."""
+        self._check(address, nbytes)
+        return self.data[address:address + nbytes]
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or address + nbytes > self.size:
+            raise AllocationError(
+                f"DRAM access [{address}, {address + nbytes}) out of bounds"
+            )

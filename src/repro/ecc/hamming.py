@@ -1,0 +1,147 @@
+"""Hamming(72,64) SEC-DED codec, vectorized over numpy bit arrays.
+
+Each 64-bit data word gets 7 Hamming parity bits (single-error
+correction) plus one overall parity bit (double-error detection).
+Encoding and decoding operate on whole buffers at once: unpack to bits,
+reshape to words, and multiply by the parity-check matrix over GF(2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_DATA_BITS = 64
+_HAMMING_BITS = 7  # positions 1..127 cover 64 data + 7 parity
+_CODE_BITS = _DATA_BITS + _HAMMING_BITS + 1  # +1 overall parity = 72
+
+
+def _build_position_maps() -> tuple[np.ndarray, np.ndarray]:
+    """Hamming positions 1..71: powers of two are parity, rest data."""
+    positions = np.arange(1, _DATA_BITS + _HAMMING_BITS + 1)
+    is_parity = (positions & (positions - 1)) == 0
+    data_positions = positions[~is_parity]
+    parity_positions = positions[is_parity]
+    return data_positions, parity_positions
+
+
+_DATA_POS, _PARITY_POS = _build_position_maps()
+# Parity matrix: bit i of a position says whether parity i covers it.
+_COVERAGE = np.array(
+    [[(int(pos) >> i) & 1 for pos in _DATA_POS] for i in range(_HAMMING_BITS)],
+    dtype=np.uint8,
+)
+
+
+@dataclass
+class HammingStats:
+    words: int = 0
+    corrected: int = 0
+    detected_double: int = 0
+
+
+class HammingCodec:
+    """SEC-DED codec over 64-bit words.
+
+    ``encode`` produces one parity byte per data word (7 Hamming bits +
+    1 overall).  ``decode`` fixes single-bit errors in place and reports
+    uncorrectable double-bit detections.
+    """
+
+    def __init__(self) -> None:
+        self.stats = HammingStats()
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _to_words(data: np.ndarray) -> np.ndarray:
+        data = np.asarray(data, dtype=np.uint8)
+        if len(data) % 8:
+            raise ValueError("data length must be a multiple of 8 bytes")
+        bits = np.unpackbits(data)
+        return bits.reshape(-1, _DATA_BITS)
+
+    def _parities(self, words: np.ndarray) -> np.ndarray:
+        """(n, 7) Hamming parity bits per word."""
+        return (words @ _COVERAGE.T) & 1
+
+    # -- API ---------------------------------------------------------------
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Parity bytes (one per 8 data bytes)."""
+        words = self._to_words(data)
+        parities = self._parities(words).astype(np.uint8)
+        overall = (words.sum(axis=1) + parities.sum(axis=1)) & 1
+        packed = np.concatenate(
+            [parities, overall[:, None].astype(np.uint8)], axis=1
+        )
+        return np.packbits(packed, axis=1).reshape(-1)
+
+    def decode(self, data: np.ndarray, parity: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Correct ``data`` against ``parity``.
+
+        Returns ``(corrected_data, corrected_count, uncorrectable_count)``.
+        """
+        words = self._to_words(data)
+        n = len(words)
+        self.stats.words += n
+        stored = np.unpackbits(np.asarray(parity, dtype=np.uint8)).reshape(n, 8)
+        stored_hamming = stored[:, :_HAMMING_BITS]
+        stored_overall = stored[:, _HAMMING_BITS]
+
+        recomputed = self._parities(words)
+        syndrome_bits = (recomputed ^ stored_hamming) & 1
+        syndrome = np.zeros(n, dtype=np.int64)
+        for i in range(_HAMMING_BITS):
+            syndrome |= syndrome_bits[:, i].astype(np.int64) << i
+        # The overall parity covers the codeword as *stored*: received data
+        # bits plus the stored Hamming bits.  (Recomputed parities would
+        # cancel a data flip covered by an odd number of groups.)
+        overall_now = (words.sum(axis=1) + stored_hamming.sum(axis=1)) & 1
+        overall_mismatch = (overall_now ^ stored_overall) & 1
+
+        corrected = 0
+        uncorrectable = 0
+        pos_to_index = {int(p): i for i, p in enumerate(_DATA_POS)}
+        for w in np.nonzero(syndrome != 0)[0]:
+            s = int(syndrome[w])
+            if overall_mismatch[w]:
+                index = pos_to_index.get(s)
+                if index is not None:
+                    words[w, index] ^= 1  # single data-bit error: fix it
+                # else: the flipped bit was a parity bit; data is intact.
+                corrected += 1
+            else:
+                uncorrectable += 1  # even error count with nonzero syndrome
+        self.stats.corrected += corrected
+        self.stats.detected_double += uncorrectable
+        fixed = np.packbits(words.reshape(-1))
+        return fixed, corrected, uncorrectable
+
+
+class SectorCodec:
+    """Page-level convenience: Hamming-protect a sector of any 8-aligned size.
+
+    Storage overhead is 1 parity byte per 8 data bytes (12.5 %), in the
+    same ballpark as a strong BCH on modern parts.  Because errors are
+    corrected per 64-bit word, uniformly-spread multi-bit errors are
+    usually all correctable; clustered double errors within a word are
+    detected and reported uncorrectable — which is exactly the event the
+    read-retry operation exists to resolve.
+    """
+
+    def __init__(self) -> None:
+        self.codec = HammingCodec()
+
+    def parity_size(self, data_size: int) -> int:
+        if data_size % 8:
+            raise ValueError("sector size must be a multiple of 8")
+        return data_size // 8
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        return self.codec.encode(data)
+
+    def decode(self, data: np.ndarray, parity: np.ndarray) -> tuple[np.ndarray, bool, int]:
+        fixed, corrected, uncorrectable = self.codec.decode(data, parity)
+        return fixed, uncorrectable == 0, corrected

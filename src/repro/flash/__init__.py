@@ -1,0 +1,44 @@
+"""Behavioural NAND flash device models.
+
+This subpackage replaces the commercial Flash packages of the paper's
+testbed: LUN state machines that decode the waveform segments emitted by
+a controller, move data between arrays and page registers on Table I
+timings, expose ONFI status/features, and inject bit errors according
+to a wear/retention/read-offset model.
+"""
+
+from repro.flash.cell import CellMode, CELL_MODE_PROFILES
+from repro.flash.errors import ErrorModel, ErrorModelConfig
+from repro.flash.array import Block, FlashArray
+from repro.flash.lun import Lun, LunProtocolError, LunState
+from repro.flash.package import Package
+from repro.flash.param_page import build_parameter_page, parse_parameter_page
+from repro.flash.vendors import (
+    HYNIX_V7,
+    MICRON_B47R,
+    TOSHIBA_BICS5,
+    VENDOR_PROFILES,
+    VendorProfile,
+    profile_by_name,
+)
+
+__all__ = [
+    "CellMode",
+    "CELL_MODE_PROFILES",
+    "ErrorModel",
+    "ErrorModelConfig",
+    "Block",
+    "FlashArray",
+    "Lun",
+    "LunProtocolError",
+    "LunState",
+    "Package",
+    "build_parameter_page",
+    "parse_parameter_page",
+    "HYNIX_V7",
+    "MICRON_B47R",
+    "TOSHIBA_BICS5",
+    "VENDOR_PROFILES",
+    "VendorProfile",
+    "profile_by_name",
+]

@@ -1,0 +1,229 @@
+"""Flash array storage: blocks, pages, wear state, and page I/O.
+
+The array is the persistent core of a LUN.  Pages are stored lazily
+(only programmed pages allocate memory), wear is tracked per block, and
+every page load runs through the error model so the ECC / read-retry
+machinery upstream sees realistic corruption.
+
+For throughput experiments where payload content is irrelevant, the
+array can run with ``track_data=False``: reads then return a
+deterministic synthetic pattern without per-page allocation, making
+long Fig. 10/12 sweeps cheap while exercising the identical timing
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.cell import CellMode, profile_for
+from repro.flash.errors import ErrorModel
+from repro.onfi.geometry import Geometry, PhysicalAddress
+
+ERASED_BYTE = 0xFF
+
+
+class ProgramEraseError(RuntimeError):
+    """Raised on illegal array usage (reprogram without erase, etc.)."""
+
+
+@dataclass
+class Block:
+    """Erase-block state."""
+
+    index: int
+    erase_count: int = 0
+    cell_mode: CellMode = CellMode.TLC
+    optimal_retry_level: int = 0
+    pages: dict[int, np.ndarray] = field(default_factory=dict)
+    programmed: set[int] = field(default_factory=set)
+    programmed_at_ns: dict[int, int] = field(default_factory=dict)
+    worn_out: bool = False
+
+    def is_programmed(self, page: int) -> bool:
+        return page in self.programmed
+
+
+class FlashArray:
+    """All blocks of one LUN plus the wear/error bookkeeping."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        native_mode: CellMode = CellMode.TLC,
+        error_model: Optional[ErrorModel] = None,
+        endurance_cycles: int = 3000,
+        track_data: bool = True,
+        seed: int = 0,
+        factory_bad_rate: float = 0.0,
+    ):
+        geometry.validate()
+        if not 0.0 <= factory_bad_rate < 1.0:
+            raise ValueError("factory_bad_rate must be in [0, 1)")
+        self.geometry = geometry
+        self.native_mode = native_mode
+        self.error_model = error_model or ErrorModel(seed=seed)
+        self.endurance_cycles = endurance_cycles
+        self.track_data = track_data
+        self._blocks: dict[int, Block] = {}
+        self._pattern_cache: Optional[np.ndarray] = None
+        # Factory bad blocks: shipped-defective erase blocks that the
+        # manufacturer marks in the spare area.  Deterministic per seed.
+        bad_count = int(geometry.blocks_per_lun * factory_bad_rate)
+        if bad_count:
+            rng = np.random.default_rng(seed ^ 0xBAD)
+            chosen = rng.choice(geometry.blocks_per_lun, size=bad_count,
+                                replace=False)
+            self.factory_bad_blocks = {int(b) for b in chosen}
+        else:
+            self.factory_bad_blocks = set()
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    # -- block access -----------------------------------------------------
+
+    def block(self, index: int) -> Block:
+        if not 0 <= index < self.geometry.blocks_per_lun:
+            raise ProgramEraseError(f"block {index} out of range")
+        existing = self._blocks.get(index)
+        if existing is None:
+            existing = Block(
+                index=index,
+                cell_mode=self.native_mode,
+                optimal_retry_level=self.error_model.sample_optimal_retry_level(),
+                worn_out=index in self.factory_bad_blocks,
+            )
+            self._blocks[index] = existing
+        return existing
+
+    def is_bad(self, index: int) -> bool:
+        """Factory-marked or grown-bad (worn out) block."""
+        return self.block(index).worn_out
+
+    # -- operations ------------------------------------------------------
+
+    def erase(self, block_index: int, cell_mode: Optional[CellMode] = None) -> bool:
+        """Erase a block, optionally re-dedicating it to ``cell_mode``.
+
+        Returns True on success, False when the block is worn out (the
+        LUN reports this as a status FAIL).
+        """
+        block = self.block(block_index)
+        if block.worn_out:
+            return False
+        block.pages.clear()
+        block.programmed.clear()
+        block.programmed_at_ns.clear()
+        block.erase_count += 1
+        if cell_mode is not None:
+            block.cell_mode = cell_mode
+        budget = self.endurance_cycles * profile_for(block.cell_mode).endurance_scale
+        if block.erase_count >= budget:
+            block.worn_out = True
+        self.erases += 1
+        return True
+
+    def program(
+        self,
+        addr: PhysicalAddress,
+        data: np.ndarray,
+        now_ns: int = 0,
+        cell_mode: Optional[CellMode] = None,
+    ) -> bool:
+        """Program one full page.  NAND forbids in-place rewrites."""
+        block = self.block(addr.block)
+        if block.is_programmed(addr.page):
+            raise ProgramEraseError(
+                f"page {addr.describe()} already programmed (erase first)"
+            )
+        if block.worn_out:
+            return False
+        if cell_mode is not None:
+            block.cell_mode = cell_mode
+        full = self.geometry.full_page_size
+        if self.track_data:
+            page = np.full(full, ERASED_BYTE, dtype=np.uint8)
+            n = min(len(data), full)
+            page[:n] = np.asarray(data[:n], dtype=np.uint8)
+            block.pages[addr.page] = page
+        block.programmed.add(addr.page)
+        block.programmed_at_ns[addr.page] = now_ns
+        self.programs += 1
+        return True
+
+    def load_page(
+        self,
+        addr: PhysicalAddress,
+        now_ns: int = 0,
+        read_retry_level: int = 0,
+        cell_mode_override: Optional[CellMode] = None,
+    ) -> np.ndarray:
+        """Read a raw page with injected bit errors.
+
+        ``read_retry_level`` is the controller-selected voltage step;
+        error injection is minimized when it matches the block's
+        sampled optimum.
+        """
+        block = self.block(addr.block)
+        mode = cell_mode_override or block.cell_mode
+        self.reads += 1
+        if not block.is_programmed(addr.page):
+            return self._erased_page()
+        retention_ns = max(now_ns - block.programmed_at_ns.get(addr.page, 0), 0)
+        rate = self.error_model.rber(
+            mode=mode,
+            pe_cycles=block.erase_count,
+            retention_hours=retention_ns / 3.6e12,
+            read_offset_distance=read_retry_level - block.optimal_retry_level,
+        )
+        data = self._page_bytes(block, addr.page).copy()
+        self.error_model.inject(data, rate)
+        return data
+
+    def pristine_page(self, addr: PhysicalAddress) -> np.ndarray:
+        """Oracle accessor: the stored bytes without error injection.
+
+        The behavioural ECC engine (see :mod:`repro.ecc.bch`) compares
+        received data against this to count true bit errors — the
+        simulation stand-in for algebraic decoding.
+        """
+        block = self.block(addr.block)
+        if not block.is_programmed(addr.page):
+            return self._erased_page()
+        return self._page_bytes(block, addr.page).copy()
+
+    # -- capacity & wear reporting -----------------------------------------
+
+    def usable_pages(self, block_index: int) -> int:
+        """Pages usable in the block's current cell mode (pSLC shrinks)."""
+        block = self.block(block_index)
+        scale = profile_for(block.cell_mode).capacity_scale
+        return max(int(self.geometry.pages_per_block * scale), 1)
+
+    def wear_summary(self) -> dict[str, float]:
+        counts = [b.erase_count for b in self._blocks.values()] or [0]
+        return {
+            "touched_blocks": float(len(self._blocks)),
+            "max_erase": float(max(counts)),
+            "mean_erase": float(sum(counts)) / len(counts),
+        }
+
+    # -- internals ---------------------------------------------------------
+
+    def _page_bytes(self, block: Block, page: int) -> np.ndarray:
+        if self.track_data:
+            return block.pages[page]
+        return self._pattern()
+
+    def _erased_page(self) -> np.ndarray:
+        return np.full(self.geometry.full_page_size, ERASED_BYTE, dtype=np.uint8)
+
+    def _pattern(self) -> np.ndarray:
+        if self._pattern_cache is None:
+            size = self.geometry.full_page_size
+            self._pattern_cache = (np.arange(size) % 251).astype(np.uint8)
+        return self._pattern_cache

@@ -1,0 +1,72 @@
+"""Cell modes and their timing/reliability scalars.
+
+A physical block can be operated in its native mode (TLC for the paper's
+parts) or in pseudo-SLC mode, which programs only the fast page of every
+cell.  pSLC trades capacity for speed and endurance (the Fig. 8
+Algorithm 3 use case); the scalars below express those trades relative
+to the native mode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class CellMode(enum.Enum):
+    SLC = "slc"
+    MLC = "mlc"
+    TLC = "tlc"
+    QLC = "qlc"
+    PSLC = "pslc"  # native multi-level cells operated one-bit-per-cell
+
+
+@dataclass(frozen=True)
+class CellModeProfile:
+    """Relative behaviour of one cell mode.
+
+    Attributes:
+        bits_per_cell: information density.
+        read_time_scale: tR multiplier relative to the native mode.
+        program_time_scale: tPROG multiplier.
+        rber_scale: raw bit-error-rate multiplier.
+        endurance_scale: P/E cycle budget multiplier.
+        capacity_scale: usable fraction of the native block capacity.
+    """
+
+    bits_per_cell: int
+    read_time_scale: float
+    program_time_scale: float
+    rber_scale: float
+    endurance_scale: float
+    capacity_scale: float
+
+
+CELL_MODE_PROFILES: dict[CellMode, CellModeProfile] = {
+    CellMode.SLC: CellModeProfile(
+        bits_per_cell=1, read_time_scale=0.30, program_time_scale=0.25,
+        rber_scale=0.01, endurance_scale=20.0, capacity_scale=1.0,
+    ),
+    CellMode.MLC: CellModeProfile(
+        bits_per_cell=2, read_time_scale=0.60, program_time_scale=0.55,
+        rber_scale=0.20, endurance_scale=3.0, capacity_scale=1.0,
+    ),
+    CellMode.TLC: CellModeProfile(
+        bits_per_cell=3, read_time_scale=1.0, program_time_scale=1.0,
+        rber_scale=1.0, endurance_scale=1.0, capacity_scale=1.0,
+    ),
+    CellMode.QLC: CellModeProfile(
+        bits_per_cell=4, read_time_scale=1.8, program_time_scale=2.2,
+        rber_scale=4.0, endurance_scale=0.3, capacity_scale=1.0,
+    ),
+    # pSLC on a TLC part: one bit per cell => 1/3 of the capacity, with
+    # SLC-like speed and reliability (HyperStone [14], Fig. 8 Alg. 3).
+    CellMode.PSLC: CellModeProfile(
+        bits_per_cell=1, read_time_scale=0.35, program_time_scale=0.30,
+        rber_scale=0.02, endurance_scale=10.0, capacity_scale=1.0 / 3.0,
+    ),
+}
+
+
+def profile_for(mode: CellMode) -> CellModeProfile:
+    return CELL_MODE_PROFILES[mode]

@@ -1,0 +1,665 @@
+"""LUN (Logical Unit) behavioural state machine.
+
+A LUN consumes the decoded actions of waveform segments addressed to it
+(chip-enable selected) and reacts the way an ONFI-compliant die does:
+latching commands and addresses, going busy for the array times of its
+vendor profile, exposing a status register, and moving data between the
+flash array, its page/cache registers, and the controller's DMA handles.
+
+The model enforces protocol legality: a command latched while the LUN is
+array-busy (other than status/reset/suspend) raises
+:class:`LunProtocolError`, which is how tests prove the controllers
+never violate ONFI sequencing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.flash.array import FlashArray
+from repro.flash.cell import CellMode, profile_for
+from repro.flash.vendors import VendorProfile
+from repro.onfi.commands import CMD, CommandClass, classify_opcode, opcode_name
+from repro.onfi.features import FeatureAddress, FeatureStore
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.signals import (
+    Action,
+    AddressLatch,
+    CommandLatch,
+    DataInAction,
+    DataOutAction,
+    IdleWait,
+    WaveformSegment,
+)
+from repro.onfi.status import StatusRegister
+from repro.sim import Simulator
+from repro.sim.sync import Trigger
+
+
+class LunProtocolError(RuntimeError):
+    """An ONFI sequencing violation by the controller under test."""
+
+
+class LunState(enum.Enum):
+    IDLE = "idle"
+    AWAIT_ADDRESS = "await_address"
+    AWAIT_CONFIRM = "await_confirm"
+    ARRAY_BUSY = "array_busy"
+    CACHE_BUSY = "cache_busy"
+    SUSPENDED = "suspended"
+
+
+class _DataSource(enum.Enum):
+    NONE = "none"
+    STATUS = "status"
+    REGISTER = "register"
+    FEATURE = "feature"
+    ID = "id"
+    PARAM_PAGE = "param_page"
+
+
+class _BusyKind(enum.Enum):
+    READ = "read"
+    PROGRAM = "program"
+    ERASE = "erase"
+    FEATURE = "feature"
+    RESET = "reset"
+    PARAM = "param"
+    DUMMY = "dummy"
+
+
+_SUSPENDABLE = {_BusyKind.PROGRAM, _BusyKind.ERASE}
+
+
+class Lun:
+    """One logical unit of a flash package."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: VendorProfile,
+        position: int = 0,
+        seed: int = 0,
+        track_data: bool = True,
+    ):
+        self.sim = sim
+        self.profile = profile
+        self.position = position
+        self.geometry = profile.geometry
+        self.codec = AddressCodec(self.geometry)
+        self.array = FlashArray(
+            self.geometry,
+            native_mode=profile.native_cell_mode,
+            endurance_cycles=profile.endurance_cycles,
+            track_data=track_data,
+            seed=seed,
+            factory_bad_rate=profile.factory_bad_rate,
+        )
+        self.status = StatusRegister()
+        self.features = FeatureStore()
+        self.rb_trigger = Trigger(sim)  # fires on busy->ready transitions
+        self._rng = np.random.default_rng(seed ^ 0x5A5A)
+
+        self.state = LunState.IDLE
+        self._pending_opcode: Optional[int] = None
+        self._addr_format = "full"
+        self._data_source = _DataSource.NONE
+        self._column = 0
+        self._row_addr: Optional[PhysicalAddress] = None
+        self._feature_addr = 0
+        self._id_area = 0
+        self._status_addr_pending = False
+        self._cache_program_active = False
+
+        planes = self.geometry.planes
+        self._page_register: list[Optional[np.ndarray]] = [None] * planes
+        self._cache_register: list[Optional[np.ndarray]] = [None] * planes
+        self._active_plane = 0
+        self._mp_queue: list[PhysicalAddress] = []
+        self._cache_next_row: Optional[PhysicalAddress] = None
+
+        self._pslc_override = False
+        self._busy_kind: Optional[_BusyKind] = None
+        self._busy_event = None
+        self._busy_until = 0
+        self._busy_finish = None
+        self._suspend_remaining = 0
+        self._suspend_pending = False
+        self._suspended_kind: Optional[_BusyKind] = None
+        self._suspended_finish = None
+        self._sets_status = True
+
+        # Statistics exposed to the analysis layer.
+        self.op_counts: dict[str, int] = {}
+        self.busy_ns_total = 0
+        self.reads_completed = 0
+        self.programs_completed = 0
+        self.erases_completed = 0
+
+    # ------------------------------------------------------------------
+    # Segment delivery (called by the channel model)
+    # ------------------------------------------------------------------
+
+    def deliver_segment(self, segment: WaveformSegment) -> None:
+        """Schedule processing of each decoded action at its offset."""
+        for offset, action in segment.actions:
+            self.sim.schedule(offset, lambda a=action: self._process(a))
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def is_busy(self) -> bool:
+        """R/B# pin view: low (busy) while an array op is in flight."""
+        return self.state in (LunState.ARRAY_BUSY,)
+
+    @property
+    def pslc_active(self) -> bool:
+        return self._pslc_override or self.features.pslc_enabled
+
+    def page_register_view(self, plane: int = 0) -> Optional[np.ndarray]:
+        return self._page_register[plane]
+
+    # ------------------------------------------------------------------
+    # Action dispatch
+    # ------------------------------------------------------------------
+
+    def _process(self, action: Action) -> None:
+        if isinstance(action, CommandLatch):
+            self._on_command(action.opcode)
+        elif isinstance(action, AddressLatch):
+            self._on_address(action.address_bytes)
+        elif isinstance(action, DataOutAction):
+            self._on_data_out(action)
+        elif isinstance(action, DataInAction):
+            self._on_data_in(action)
+        elif isinstance(action, IdleWait):
+            pass  # pure time; nothing latched
+        else:  # pragma: no cover - guarded by the Action union
+            raise LunProtocolError(f"unknown action {action!r}")
+
+    def _on_command(self, opcode: int) -> None:
+        self.op_counts[opcode_name(opcode)] = self.op_counts.get(opcode_name(opcode), 0) + 1
+        cls = classify_opcode(opcode)
+
+        if self.state is LunState.ARRAY_BUSY and cls not in (
+            CommandClass.STATUS,
+            CommandClass.RESET,
+        ) and opcode != CMD.VENDOR_SUSPEND:
+            raise LunProtocolError(
+                f"opcode {opcode_name(opcode)} latched while LUN {self.position} is busy"
+            )
+
+        if cls is CommandClass.STATUS:
+            self._data_source = _DataSource.STATUS
+            # READ STATUS ENHANCED carries a row address (die select on
+            # multi-LUN packages); it is legal while the array is busy,
+            # so it must not disturb the busy state machine.
+            self._status_addr_pending = opcode == CMD.READ_STATUS_ENHANCED
+            return
+        if cls is CommandClass.RESET:
+            self._do_reset()
+            return
+        if opcode == CMD.VENDOR_SUSPEND:
+            self._do_suspend()
+            return
+        if opcode == CMD.VENDOR_RESUME:
+            self._do_resume()
+            return
+        if opcode == CMD.VENDOR_PSLC_ENTER:
+            if not self.profile.supports_pslc:
+                raise LunProtocolError(f"{self.profile.name} has no pSLC opcode")
+            self._pslc_override = True
+            return
+        if opcode == CMD.VENDOR_PSLC_EXIT:
+            self._pslc_override = False
+            return
+
+        if cls is CommandClass.READ:
+            self._pending_opcode = opcode
+            self._addr_format = "full"
+            self.state = LunState.AWAIT_ADDRESS
+        elif cls is CommandClass.READ_CONFIRM:
+            self._confirm_read(queue_more=(opcode == CMD.MP_READ_2ND))
+        elif cls is CommandClass.CACHE_READ_CONFIRM:
+            self._confirm_cache_read(final=False)
+        elif cls is CommandClass.CACHE_READ_END:
+            self._confirm_cache_read(final=True)
+        elif cls is CommandClass.CHANGE_READ_COLUMN:
+            if opcode == CMD.CHANGE_READ_COL_1ST:
+                self._pending_opcode = opcode
+                self._addr_format = "col"
+                self.state = LunState.AWAIT_ADDRESS
+            elif opcode == CMD.CHANGE_READ_COL_ENH_1ST:
+                # Enhanced variant carries a full address (selects the
+                # plane whose register subsequent bursts read from).
+                self._pending_opcode = opcode
+                self._addr_format = "full"
+                self.state = LunState.AWAIT_ADDRESS
+            else:  # 0xE0 confirm: register data now readable
+                self._data_source = _DataSource.REGISTER
+                self.state = LunState.IDLE
+        elif cls is CommandClass.PROGRAM:
+            self._pending_opcode = opcode
+            self._addr_format = "full"
+            self.state = LunState.AWAIT_ADDRESS
+        elif cls is CommandClass.PROGRAM_CONFIRM:
+            self._confirm_program(cache=False, queue_more=(opcode == CMD.MP_PROGRAM_2ND))
+        elif cls is CommandClass.CACHE_PROGRAM_CONFIRM:
+            self._confirm_program(cache=True)
+        elif cls is CommandClass.CHANGE_WRITE_COLUMN:
+            self._pending_opcode = opcode
+            self._addr_format = "col"
+            self.state = LunState.AWAIT_ADDRESS
+        elif cls is CommandClass.ERASE:
+            self._pending_opcode = opcode
+            self._addr_format = "row"
+            self.state = LunState.AWAIT_ADDRESS
+        elif cls is CommandClass.ERASE_CONFIRM:
+            self._confirm_erase(queue_more=(opcode == CMD.MP_ERASE_2ND))
+        elif cls is CommandClass.IDENT:
+            self._pending_opcode = opcode
+            self._addr_format = "one"
+            self.state = LunState.AWAIT_ADDRESS
+        elif cls is CommandClass.FEATURES:
+            self._pending_opcode = opcode
+            self._addr_format = "one"
+            self.state = LunState.AWAIT_ADDRESS
+        else:
+            raise LunProtocolError(f"unsupported opcode 0x{opcode:02X}")
+
+    # ------------------------------------------------------------------
+    # Address handling
+    # ------------------------------------------------------------------
+
+    def _on_address(self, address_bytes: tuple[int, ...]) -> None:
+        if getattr(self, "_status_addr_pending", False):
+            # Enhanced-status die select; single-die positions ignore it.
+            self._status_addr_pending = False
+            return
+        if self.state is not LunState.AWAIT_ADDRESS or self._pending_opcode is None:
+            raise LunProtocolError("address latched without a preceding command")
+        opcode = self._pending_opcode
+
+        if self._addr_format == "full":
+            addr = self.codec.decode(address_bytes)
+            self._row_addr = addr
+            self._column = addr.column
+            self._active_plane = self.codec.plane_of(addr)
+        elif self._addr_format == "row":
+            row = self.codec.decode_row(address_bytes)
+            block, page = divmod(row, self.geometry.pages_per_block)
+            self._row_addr = PhysicalAddress(block=block, page=page)
+            self._active_plane = self.codec.plane_of(self._row_addr)
+        elif self._addr_format == "col":
+            self._column = self.codec.decode_column(address_bytes)
+        elif self._addr_format == "one":
+            value = address_bytes[0]
+            if classify_opcode(opcode) is CommandClass.FEATURES:
+                self._feature_addr = value
+            else:
+                self._id_area = value
+        else:  # pragma: no cover
+            raise LunProtocolError(f"bad address format {self._addr_format}")
+
+        self.state = LunState.AWAIT_CONFIRM
+        # Commands whose effect happens right after the address phase.
+        if opcode == CMD.GET_FEATURES:
+            self._begin_busy(
+                _BusyKind.FEATURE,
+                self.profile.timing.t_feat_ns,
+                finish=lambda: self._arm(_DataSource.FEATURE),
+            )
+        elif opcode == CMD.READ_ID:
+            self._data_source = _DataSource.ID
+            self.state = LunState.IDLE
+        elif opcode == CMD.READ_PARAMETER_PAGE:
+            self._begin_busy(
+                _BusyKind.PARAM,
+                self.profile.timing.t_param_read_ns,
+                finish=lambda: self._arm(_DataSource.PARAM_PAGE),
+            )
+        elif opcode == CMD.CHANGE_WRITE_COL:
+            # Mid-program column move: stay armed for the confirm cycle.
+            self.state = (
+                LunState.AWAIT_CONFIRM if self._row_addr is not None else LunState.IDLE
+            )
+
+    def _arm(self, source: _DataSource) -> None:
+        self._data_source = source
+
+    # ------------------------------------------------------------------
+    # Data movement
+    # ------------------------------------------------------------------
+
+    def _on_data_out(self, action: DataOutAction) -> None:
+        data = self._produce_data(action.nbytes)
+        if action.dma_handle is not None:
+            action.dma_handle.deliver(data)
+
+    def _produce_data(self, nbytes: int) -> np.ndarray:
+        source = self._data_source
+        if source is _DataSource.STATUS:
+            return np.full(nbytes, self.status.value(), dtype=np.uint8)
+        if source is _DataSource.REGISTER:
+            register = self._page_register[self._active_plane]
+            if register is None:
+                raise LunProtocolError("data out with an empty page register")
+            end = min(self._column + nbytes, len(register))
+            chunk = register[self._column:end]
+            if len(chunk) < nbytes:
+                pad = np.full(nbytes - len(chunk), 0xFF, dtype=np.uint8)
+                chunk = np.concatenate([chunk, pad])
+            self._column = end
+            return chunk.copy()
+        if source is _DataSource.FEATURE:
+            params = self.features.get(self._feature_addr)
+            return np.array(list(params)[:nbytes], dtype=np.uint8)
+        if source is _DataSource.ID:
+            return np.array(self.profile.id_bytes(self._id_area)[:nbytes], dtype=np.uint8)
+        if source is _DataSource.PARAM_PAGE:
+            page = self.profile.parameter_page()
+            reps = -(-nbytes // len(page))  # parameter page repeats per ONFI
+            return np.tile(page, reps)[:nbytes]
+        raise LunProtocolError("data out requested with no data source armed")
+
+    def _on_data_in(self, action: DataInAction) -> None:
+        if self._pending_opcode == CMD.SET_FEATURES:
+            data = self._fetch(action, 4)
+            params = tuple(int(b) for b in data[:4])
+            self._begin_busy(
+                _BusyKind.FEATURE,
+                self.profile.timing.t_feat_ns,
+                finish=lambda: self.features.set(self._feature_addr, params),
+            )
+            return
+        # Program path: fill the page register at the given column.
+        register = self._ensure_register(self._active_plane)
+        data = self._fetch(action, action.nbytes)
+        start = action.column or self._column
+        end = min(start + len(data), len(register))
+        register[start:end] = data[: end - start]
+        self._column = end
+
+    def _fetch(self, action: DataInAction, nbytes: int) -> np.ndarray:
+        if action.dma_handle is None:
+            raise LunProtocolError("data-in burst without a DMA source")
+        data = action.dma_handle.fetch(nbytes)
+        return np.asarray(data, dtype=np.uint8)
+
+    def _ensure_register(self, plane: int) -> np.ndarray:
+        if self._page_register[plane] is None:
+            self._page_register[plane] = np.full(
+                self.geometry.full_page_size, 0xFF, dtype=np.uint8
+            )
+        return self._page_register[plane]
+
+    # ------------------------------------------------------------------
+    # Array operations (confirm commands)
+    # ------------------------------------------------------------------
+
+    def _effective_mode(self) -> Optional[CellMode]:
+        return CellMode.PSLC if self.pslc_active else None
+
+    def _sample(self, mean_ns: int, scale: float = 1.0) -> int:
+        """Array time with bounded uniform jitter (tR is 'highly variable')."""
+        jitter = self.profile.timing.jitter
+        low = mean_ns * scale * (1.0 - jitter)
+        high = mean_ns * scale * (1.0 + jitter)
+        return max(int(self._rng.uniform(low, high)), 1)
+
+    def _read_time_ns(self) -> int:
+        mode = self._effective_mode()
+        scale = profile_for(mode).read_time_scale if mode else 1.0
+        return self._sample(self.profile.timing.t_read_ns, scale)
+
+    def _program_time_ns(self) -> int:
+        mode = self._effective_mode()
+        scale = profile_for(mode).program_time_scale if mode else 1.0
+        return self._sample(self.profile.timing.t_prog_ns, scale)
+
+    def _confirm_read(self, queue_more: bool) -> None:
+        addr = self._require_row()
+        if queue_more:
+            # Multi-plane queue cycle: short inter-plane busy, then ready
+            # for the next plane's 0x00/address.
+            self._mp_queue.append(addr)
+            self._begin_busy(_BusyKind.DUMMY, self.profile.timing.t_dbsy_ns)
+            return
+        targets = self._mp_queue + [addr]
+        self._mp_queue = []
+        duration = self._read_time_ns()
+
+        def finish() -> None:
+            for target in targets:
+                plane = self.codec.plane_of(target)
+                self._page_register[plane] = self.array.load_page(
+                    target,
+                    now_ns=self.sim.now,
+                    read_retry_level=self.features.read_retry_level,
+                    cell_mode_override=self._effective_mode(),
+                )
+            self._active_plane = self.codec.plane_of(targets[-1])
+            self._column = targets[-1].column
+            self._data_source = _DataSource.REGISTER
+            self.reads_completed += len(targets)
+
+        self._begin_busy(_BusyKind.READ, duration, finish=finish)
+
+    def _confirm_cache_read(self, final: bool) -> None:
+        """READ CACHE SEQUENTIAL / END (interleaves tR with transfers)."""
+        if self._row_addr is None:
+            raise LunProtocolError("cache read without a prior page read")
+        plane = self._active_plane
+        register = self._page_register[plane]
+        if register is None:
+            raise LunProtocolError("cache read before the first tR completed")
+        # Move current page data to the cache register; it is immediately
+        # readable while the array fetches the next sequential page.
+        self._cache_register[plane] = register
+        next_row = self._next_sequential(self._row_addr)
+        if final or next_row is None:
+            self._data_source = _DataSource.REGISTER
+            self._page_register[plane] = self._cache_register[plane]
+            self._column = 0
+            return
+        self._row_addr = next_row
+        duration = self._read_time_ns()
+        self.status.begin_cache_phase()
+        self.state = LunState.CACHE_BUSY
+
+        def finish() -> None:
+            self._page_register[plane] = self.array.load_page(
+                next_row,
+                now_ns=self.sim.now,
+                read_retry_level=self.features.read_retry_level,
+                cell_mode_override=self._effective_mode(),
+            )
+            self.reads_completed += 1
+
+        # Cache-busy does not hold RDY low; serve data from the cache reg.
+        self._data_source = _DataSource.REGISTER
+        swap = self._cache_register[plane]
+        self._page_register[plane], self._cache_register[plane] = swap, None
+        self._column = 0
+        self.sim.schedule(duration, lambda: self._cache_finish(finish))
+
+    def _cache_finish(self, finish) -> None:
+        finish()
+        if self.state is LunState.CACHE_BUSY:
+            self.state = LunState.IDLE
+            self.status.finish_operation()
+            self.rb_trigger.fire(self)
+
+    def _next_sequential(self, addr: PhysicalAddress) -> Optional[PhysicalAddress]:
+        if addr.page + 1 < self.geometry.pages_per_block:
+            return PhysicalAddress(block=addr.block, page=addr.page + 1)
+        return None
+
+    def _confirm_program(self, cache: bool, queue_more: bool = False) -> None:
+        addr = self._require_row()
+        if queue_more:
+            self._mp_queue.append(addr)
+            self._begin_busy(_BusyKind.DUMMY, self.profile.timing.t_dbsy_ns)
+            return
+        if self._cache_program_active:
+            raise LunProtocolError(
+                "program confirm while a cache program is still in the array"
+                " (poll ARDY first)"
+            )
+        targets = self._mp_queue + [addr]
+        self._mp_queue = []
+        duration = self._program_time_ns()
+        mode = self._effective_mode()
+        registers = {
+            self.codec.plane_of(t): self._ensure_register(self.codec.plane_of(t)).copy()
+            for t in targets
+        }
+
+        def finish() -> None:
+            failed = False
+            for target in targets:
+                plane = self.codec.plane_of(target)
+                ok = self.array.program(
+                    target, registers[plane], now_ns=self.sim.now, cell_mode=mode
+                )
+                failed = failed or not ok
+            self.programs_completed += len(targets)
+            self.status.finish_operation(failed=failed)
+
+        if cache:
+            # Cache program: the array works in the background while the
+            # interface stays usable (RDY without ARDY), so the next
+            # page's data can stream in during tPROG.
+            self._cache_program_active = True
+            self.status.begin_operation()
+            self.status.begin_cache_phase()
+            self.state = LunState.IDLE
+            self.busy_ns_total += duration
+
+            def cache_done() -> None:
+                self._cache_program_active = False
+                finish()
+                self.rb_trigger.fire(self)
+
+            self.sim.schedule(duration, cache_done)
+        else:
+            self._begin_busy(
+                _BusyKind.PROGRAM, duration, finish=finish, sets_status=False
+            )
+
+    def _confirm_erase(self, queue_more: bool) -> None:
+        addr = self._require_row()
+        if queue_more:
+            self._mp_queue.append(addr)
+            self._begin_busy(_BusyKind.DUMMY, self.profile.timing.t_dbsy_ns)
+            return
+        targets = self._mp_queue + [addr]
+        self._mp_queue = []
+        duration = self._sample(self.profile.timing.t_bers_ns)
+        mode = self._effective_mode()
+
+        def finish() -> None:
+            failed = False
+            for target in targets:
+                ok = self.array.erase(target.block, cell_mode=mode)
+                failed = failed or not ok
+            self.erases_completed += len(targets)
+            self.status.finish_operation(failed=failed)
+
+        self._begin_busy(_BusyKind.ERASE, duration, finish=finish, sets_status=False)
+
+    def _require_row(self) -> PhysicalAddress:
+        if self._row_addr is None or self.state is not LunState.AWAIT_CONFIRM:
+            raise LunProtocolError("confirm latched without a full address")
+        return self._row_addr
+
+    # ------------------------------------------------------------------
+    # Busy machinery, reset, suspend/resume
+    # ------------------------------------------------------------------
+
+    def _begin_busy(
+        self,
+        kind: _BusyKind,
+        duration: int,
+        finish=None,
+        sets_status: bool = True,
+    ) -> None:
+        self.status.begin_operation()
+        self.state = LunState.ARRAY_BUSY
+        self._busy_kind = kind
+        self._busy_finish = finish
+        self._busy_until = self.sim.now + duration
+        self.busy_ns_total += duration
+        self._sets_status = sets_status
+        self._busy_event = self.sim.schedule(duration, self._finish_busy)
+
+    def _finish_busy(self) -> None:
+        finish, self._busy_finish = self._busy_finish, None
+        self._busy_kind = None
+        self._busy_event = None
+        # A nested operation during a suspension returns the LUN to its
+        # suspended state, not to idle.
+        self.state = LunState.SUSPENDED if self._suspend_pending else LunState.IDLE
+        if finish is not None:
+            finish()
+        if self._sets_status:
+            self.status.finish_operation()
+        elif self.status.rdy is False:
+            # finish() forgot to settle status; settle it defensively.
+            self.status.finish_operation()
+        self.rb_trigger.fire(self)
+
+    def _do_reset(self) -> None:
+        if self._busy_event is not None and self._busy_event.pending:
+            self._busy_event.cancel()
+        self._busy_finish = None
+        self._mp_queue = []
+        self._pslc_override = False
+        self._data_source = _DataSource.NONE
+        self._suspend_remaining = 0
+        self._suspend_pending = False
+        self._cache_program_active = False
+        self.status.suspended = False
+        self._begin_busy(_BusyKind.RESET, self.profile.timing.t_reset_ns)
+
+    def _do_suspend(self) -> None:
+        if not self.profile.supports_suspend:
+            raise LunProtocolError(f"{self.profile.name} has no suspend opcode")
+        if self.state is not LunState.ARRAY_BUSY or self._busy_kind not in _SUSPENDABLE:
+            raise LunProtocolError("suspend latched with no suspendable operation")
+        assert self._busy_event is not None
+        self._busy_event.cancel()
+        self._suspend_remaining = max(self._busy_until - self.sim.now, 0)
+        self._suspended_kind = self._busy_kind
+        self._suspended_finish = self._busy_finish
+        self._suspend_pending = True
+        self._busy_kind = None
+        self._busy_finish = None
+        self.state = LunState.SUSPENDED
+        self.status.rdy = True
+        self.status.ardy = True
+        self.status.suspended = True
+        self.rb_trigger.fire(self)
+
+    def _do_resume(self) -> None:
+        if not self._suspend_pending or self.state is LunState.ARRAY_BUSY:
+            raise LunProtocolError("resume latched while not suspended")
+        self.status.suspended = False
+        self._suspend_pending = False
+        remaining = self._suspend_remaining + self.profile.timing.t_resume_ns
+        kind = self._suspended_kind
+        finish = self._suspended_finish
+        self._suspend_remaining = 0
+        self._begin_busy(kind, remaining, finish=finish, sets_status=False)
+
+    def describe(self) -> str:
+        return (
+            f"LUN{self.position} [{self.profile.name}] state={self.state.value} "
+            f"reads={self.reads_completed} programs={self.programs_completed} "
+            f"erases={self.erases_completed}"
+        )

@@ -1,0 +1,110 @@
+"""ONFI parameter page serialization.
+
+Every ONFI package carries a parameter page describing its geometry and
+capabilities, fetched with READ PARAMETER PAGE (0xEC).  The layout here
+follows the ONFI 5.1 field offsets for the subset of fields this
+reproduction consumes, including the trailing CRC-16 integrity check
+(polynomial 0x8005, initial value 0x4F4E, as the standard specifies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.onfi.geometry import Geometry
+
+PARAMETER_PAGE_SIZE = 256
+_CRC_POLY = 0x8005
+_CRC_INIT = 0x4F4E
+
+
+def crc16_onfi(data: bytes | np.ndarray) -> int:
+    """ONFI parameter-page CRC-16 (MSB-first, poly 0x8005, init 0x4F4E)."""
+    crc = _CRC_INIT
+    for byte in bytes(data):
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = (crc << 1) ^ _CRC_POLY
+            else:
+                crc <<= 1
+            crc &= 0xFFFF
+    return crc
+
+
+def build_parameter_page(
+    manufacturer: str,
+    model: str,
+    geometry: Geometry,
+    luns_per_package: int,
+    timing_mode_mask: int = 0x3F,
+) -> np.ndarray:
+    """Serialize a 256-byte parameter page."""
+    page = np.zeros(PARAMETER_PAGE_SIZE, dtype=np.uint8)
+    page[0:4] = [ord(c) for c in "ONFI"]
+    # Features/opt-commands words (bytes 4..9) left permissive.
+    page[4] = 0xFF
+    page[6] = 0xFF
+
+    def put_str(offset: int, length: int, text: str) -> None:
+        encoded = text.encode("ascii")[:length].ljust(length, b" ")
+        page[offset:offset + length] = list(encoded)
+
+    put_str(32, 12, manufacturer)
+    put_str(44, 20, model)
+
+    def put_u32(offset: int, value: int) -> None:
+        page[offset:offset + 4] = [(value >> (8 * i)) & 0xFF for i in range(4)]
+
+    def put_u16(offset: int, value: int) -> None:
+        page[offset:offset + 2] = [value & 0xFF, (value >> 8) & 0xFF]
+
+    put_u32(80, geometry.page_size)            # data bytes per page
+    put_u16(84, geometry.spare_size)           # spare bytes per page
+    put_u32(92, geometry.pages_per_block)      # pages per block
+    put_u32(96, geometry.blocks_per_lun)       # blocks per LUN
+    page[100] = luns_per_package               # LUNs per package
+    page[101] = (geometry.row_cycles << 4) | geometry.col_cycles
+    page[110] = geometry.planes
+    put_u16(129, timing_mode_mask)             # supported timing modes
+
+    crc = crc16_onfi(page[:254])
+    page[254] = crc & 0xFF
+    page[255] = (crc >> 8) & 0xFF
+    return page
+
+
+def parse_parameter_page(page: np.ndarray) -> dict:
+    """Decode the fields written by :func:`build_parameter_page`.
+
+    Raises ``ValueError`` on a bad signature or CRC mismatch, which is
+    how the boot sequence detects an unreliable SDR link.
+    """
+    page = np.asarray(page, dtype=np.uint8)
+    if len(page) < PARAMETER_PAGE_SIZE:
+        raise ValueError("parameter page truncated")
+    if bytes(page[0:4]) != b"ONFI":
+        raise ValueError("bad parameter-page signature")
+    stored_crc = int(page[254]) | (int(page[255]) << 8)
+    if crc16_onfi(page[:254]) != stored_crc:
+        raise ValueError("parameter-page CRC mismatch")
+
+    def get_u32(offset: int) -> int:
+        return sum(int(page[offset + i]) << (8 * i) for i in range(4))
+
+    def get_u16(offset: int) -> int:
+        return int(page[offset]) | (int(page[offset + 1]) << 8)
+
+    return {
+        "manufacturer": bytes(page[32:44]).decode("ascii").rstrip(),
+        "model": bytes(page[44:64]).decode("ascii").rstrip(),
+        "page_size": get_u32(80),
+        "spare_size": get_u16(84),
+        "pages_per_block": get_u32(92),
+        "blocks_per_lun": get_u32(96),
+        "luns_per_package": int(page[100]),
+        "row_cycles": int(page[101]) >> 4,
+        "col_cycles": int(page[101]) & 0x0F,
+        "planes": int(page[110]),
+        "timing_mode_mask": get_u16(129),
+    }

@@ -1,0 +1,23 @@
+"""Flash Translation Layer substrate.
+
+A page-mapped FTL (map table, per-LUN block allocation with channel
+striping, greedy garbage collection, wear accounting) so the Fig. 12
+end-to-end experiment runs against a full SSD stack rather than bare
+channel injection.
+"""
+
+from repro.ftl.mapping import MapEntry, PageMapTable
+from repro.ftl.gc import CostBenefitPolicy, GreedyPolicy, VictimPolicy
+from repro.ftl.ftl import FtlConfig, PageMappedFtl
+from repro.ftl.wear import WearTracker
+
+__all__ = [
+    "MapEntry",
+    "PageMapTable",
+    "CostBenefitPolicy",
+    "GreedyPolicy",
+    "VictimPolicy",
+    "FtlConfig",
+    "PageMappedFtl",
+    "WearTracker",
+]

@@ -1,0 +1,394 @@
+"""Page-mapped FTL with striping, foreground GC, and wear accounting.
+
+The FTL drives any controller exposing the shared request surface
+(``read_page`` / ``program_page`` / ``erase_block`` / ``wait``) — the
+BABOL controller and both hardware baselines qualify — so the Fig. 12
+comparison swaps storage controllers under an identical FTL, exactly as
+the paper swaps them inside the Cosmos+.
+
+Design choices (conventional, per the FTL surveys the paper cites):
+
+* **Page mapping**: a flat LPN→PPN table (:class:`PageMapTable`).
+* **Striping**: consecutive writes rotate across LUNs so sequential
+  reads later fan out over the whole channel.
+* **Foreground GC**: when a LUN's free-block pool dips below the
+  threshold, the write path reclaims a victim (policy-pluggable)
+  before continuing — deterministic and easy to reason about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.ftl.gc import GreedyPolicy, VictimPolicy
+from repro.ftl.mapping import MapEntry, PageMapTable
+from repro.ftl.wear import WearTracker
+from repro.onfi.geometry import PhysicalAddress
+from repro.sim import Simulator
+from repro.sim.sync import Condition
+
+
+@dataclass
+class FtlConfig:
+    """FTL sizing and thresholds."""
+
+    blocks_per_lun: int = 32          # physical blocks the FTL manages per LUN
+    gc_free_threshold: int = 2        # reclaim when a pool dips below this
+    overprovision_blocks: int = 4     # per LUN, withheld from logical capacity
+    gc_staging_base: int = 48 * 1024 * 1024  # DRAM region for GC moves
+
+    def validate(self) -> None:
+        if self.blocks_per_lun <= self.overprovision_blocks:
+            raise ValueError("need more blocks than overprovisioning")
+        if self.gc_free_threshold < 1:
+            raise ValueError("gc threshold must be >= 1")
+
+
+@dataclass
+class BlockInfo:
+    """FTL-side state of one physical block."""
+
+    lun: int
+    block: int
+    capacity: int
+    write_ptr: int = 0
+    valid: set = field(default_factory=set)
+    closed_at_ns: int = 0
+    inflight: int = 0  # pages allocated but not yet committed/validated
+
+    @property
+    def valid_count(self) -> int:
+        return len(self.valid)
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_ptr >= self.capacity
+
+
+class FtlError(RuntimeError):
+    """Raised on capacity exhaustion or misuse."""
+
+
+class PageMappedFtl:
+    """The translation layer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controller,
+        config: Optional[FtlConfig] = None,
+        victim_policy: Optional[VictimPolicy] = None,
+    ):
+        self.sim = sim
+        self.controller = controller
+        self.config = config or FtlConfig()
+        self.config.validate()
+        self.victim_policy = victim_policy or GreedyPolicy()
+
+        geometry = controller.codec.geometry
+        self.pages_per_block = geometry.pages_per_block
+        self.page_size = geometry.page_size
+        self.lun_count = len(controller.luns)
+
+        usable_blocks = self.config.blocks_per_lun - self.config.overprovision_blocks
+        self.logical_pages = self.lun_count * usable_blocks * self.pages_per_block
+        self.map = PageMapTable(self.logical_pages)
+        self.wear = WearTracker()
+
+        self._free: list[deque[int]] = []
+        self._active: list[Optional[BlockInfo]] = [None] * self.lun_count
+        self._closed: list[list[BlockInfo]] = [[] for _ in range(self.lun_count)]
+        self._info: dict[tuple[int, int], BlockInfo] = {}
+        self.retired_blocks: list[tuple[int, int]] = []
+        for lun in range(self.lun_count):
+            # Factory bad-block scan: defective blocks never enter the
+            # rotation; the overprovisioning budget absorbs them.
+            bad = {
+                b for b in range(self.config.blocks_per_lun)
+                if controller.luns[lun].array.is_bad(b)
+            }
+            usable = [b for b in range(self.config.blocks_per_lun) if b not in bad]
+            if len(usable) * self.pages_per_block < (
+                usable_blocks * self.pages_per_block
+            ):
+                raise FtlError(
+                    f"LUN {lun}: only {len(usable)} good blocks for "
+                    f"{usable_blocks} logical blocks"
+                )
+            self.retired_blocks.extend((lun, b) for b in sorted(bad))
+            self._free.append(deque(usable))
+
+        self._write_rotor = 0
+        self._gc_inflight: dict[int, int] = {}
+        self._gc_done = Condition(sim)
+        self.host_reads = 0
+        self.host_writes = 0
+        self.gc_runs = 0
+        self.gc_page_moves = 0
+
+    # ------------------------------------------------------------------
+    # Host-facing I/O (generators: drive from a simulation process)
+    # ------------------------------------------------------------------
+
+    def read(self, lpn: int, dram_address: int) -> Generator:
+        """Read one logical page into DRAM; returns the map entry used."""
+        entry = self.map.lookup(lpn)
+        if entry is None:
+            raise FtlError(f"read of unmapped LPN {lpn}")
+        self.host_reads += 1
+        task = self.controller.read_page(
+            entry.lun, entry.block, entry.page, dram_address
+        )
+        yield from self.controller.wait(task)
+        return entry
+
+    def write(self, lpn: int, dram_address: int) -> Generator:
+        """Write one logical page from DRAM; returns the new map entry."""
+        self.map._check_lpn(lpn)
+        lun = self._write_rotor % self.lun_count
+        self._write_rotor += 1
+        yield from self._gc_if_needed(lun)
+        info = self._active_block(lun)
+        page = info.write_ptr
+        info.write_ptr += 1
+        info.inflight += 1
+        if info.is_full:
+            # Rotate at *allocation* time: concurrent writers (the HIC
+            # runs several workers) must never be handed page indexes
+            # beyond the block.
+            self._close_active(lun)
+        task = self.controller.program_page(lun, info.block, page, dram_address)
+        ok = yield from self.controller.wait(task)
+        if not ok:
+            # Grown bad block: retire it (relocating its survivors) and
+            # retry the host write on a fresh block.
+            info.inflight -= 1
+            yield from self._retire(info)
+            entry = yield from self.write(lpn, dram_address)
+            return entry
+        entry = MapEntry(lun=lun, block=info.block, page=page)
+        old = self.map.bind(lpn, entry)
+        info.valid.add(page)
+        info.inflight -= 1
+        if old is not None:
+            self._invalidate(old)
+        self.host_writes += 1
+        return entry
+
+    def trim(self, lpn: int) -> None:
+        """Discard a logical page (no media work until GC)."""
+        old = self.map.unbind(lpn)
+        if old is not None:
+            self._invalidate(old)
+
+    # ------------------------------------------------------------------
+    # Prefill (zero-simulated-time initialization for experiments)
+    # ------------------------------------------------------------------
+
+    def prefill(self, logical_pages: int, fill_byte: int = 0x5A) -> None:
+        """Populate the first ``logical_pages`` LPNs directly in the
+        arrays (the paper 'initialized the SSDs with data' before the
+        fio runs; replaying that fill in simulated time would add
+        nothing)."""
+        import numpy as np
+
+        if logical_pages > self.logical_pages:
+            raise FtlError("prefill exceeds logical capacity")
+        payload = np.full(64, fill_byte, dtype=np.uint8)  # token content
+        for lpn in range(logical_pages):
+            lun = self._write_rotor % self.lun_count
+            self._write_rotor += 1
+            info = self._active_block(lun)
+            page = info.write_ptr
+            info.write_ptr += 1
+            self.controller.luns[lun].array.program(
+                PhysicalAddress(block=info.block, page=page),
+                payload,
+                now_ns=self.sim.now,
+            )
+            self.map.bind(lpn, MapEntry(lun=lun, block=info.block, page=page))
+            info.valid.add(page)
+            if info.is_full:
+                self._close_active(lun)
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+
+    def _active_block(self, lun: int) -> BlockInfo:
+        info = self._active[lun]
+        if info is None:
+            if not self._free[lun]:
+                raise FtlError(f"LUN {lun} out of free blocks (GC failed?)")
+            block = self._free[lun].popleft()
+            info = self._info.get((lun, block))
+            if info is None or info.write_ptr:
+                info = BlockInfo(lun=lun, block=block, capacity=self.pages_per_block)
+                self._info[(lun, block)] = info
+            self._active[lun] = info
+        return info
+
+    def _close_active(self, lun: int) -> None:
+        info = self._active[lun]
+        if info is not None:
+            info.closed_at_ns = self.sim.now
+            self._closed[lun].append(info)
+            self._active[lun] = None
+
+    def _invalidate(self, entry: MapEntry) -> None:
+        info = self._info.get((entry.lun, entry.block))
+        if info is not None:
+            info.valid.discard(entry.page)
+
+    def free_blocks(self, lun: int) -> int:
+        return len(self._free[lun])
+
+    # ------------------------------------------------------------------
+    # Garbage collection (foreground)
+    # ------------------------------------------------------------------
+
+    def _gc_if_needed(self, lun: int) -> Generator:
+        while len(self._free[lun]) < self.config.gc_free_threshold:
+            victim = self.victim_policy.select(self._closed[lun], self.sim.now)
+            if victim is None:
+                if self._free[lun]:
+                    return  # nothing reclaimable; live off the remainder
+                if self._gc_inflight.get(lun, 0):
+                    # Another worker is already reclaiming; let it finish.
+                    yield from self._gc_done.wait_for(
+                        lambda: not self._gc_inflight.get(lun, 0)
+                    )
+                    continue
+                raise FtlError(f"LUN {lun} has no reclaimable blocks")
+            # Claim the victim *before* yielding so concurrent writers
+            # (HIC workers share LUNs) cannot collect it twice.
+            self._closed[lun].remove(victim)
+            self._gc_inflight[lun] = self._gc_inflight.get(lun, 0) + 1
+            try:
+                yield from self._collect(victim)
+            finally:
+                self._gc_inflight[lun] -= 1
+                self._gc_done.notify()
+
+    def _collect(self, victim: BlockInfo) -> Generator:
+        """Move the victim's valid pages, then erase it."""
+        self.gc_runs += 1
+        lun = victim.lun
+        staging = self.config.gc_staging_base
+        for page in sorted(victim.valid):
+            lpn = self.map.owner_of(MapEntry(lun=lun, block=victim.block, page=page))
+            if lpn is None:  # raced with a trim; nothing to preserve
+                continue
+            task = self.controller.read_page(lun, victim.block, page, staging)
+            yield from self.controller.wait(task)
+            dest = self._active_block(lun)
+            dest_page = dest.write_ptr
+            dest.write_ptr += 1
+            dest.inflight += 1
+            if dest.is_full:
+                self._close_active(lun)
+            task = self.controller.program_page(lun, dest.block, dest_page, staging)
+            ok = yield from self.controller.wait(task)
+            if not ok:
+                raise FtlError("GC relocation program failed")
+            self.map.bind(lpn, MapEntry(lun=lun, block=dest.block, page=dest_page))
+            dest.valid.add(dest_page)
+            dest.inflight -= 1
+            self.gc_page_moves += 1
+        victim.valid.clear()
+        task = self.controller.erase_block(lun, victim.block)
+        ok = yield from self.controller.wait(task)
+        self._info.pop((lun, victim.block), None)
+        if not ok:
+            # The block wore out: retire it; the pool shrinks into the
+            # overprovisioning budget.
+            self.retired_blocks.append((lun, victim.block))
+            return
+        self.wear.record_erase(lun, victim.block)
+        self._free[lun].append(victim.block)
+
+    def _retire(self, victim: BlockInfo) -> Generator:
+        """Permanently remove a grown-bad block from the rotation,
+        relocating any pages it still validly holds."""
+        lun = victim.lun
+        if self._active[lun] is victim:
+            self._active[lun] = None
+        if victim in self._closed[lun]:
+            self._closed[lun].remove(victim)
+        staging = self.config.gc_staging_base
+        for page in sorted(victim.valid):
+            lpn = self.map.owner_of(MapEntry(lun=lun, block=victim.block, page=page))
+            if lpn is None:
+                continue
+            task = self.controller.read_page(lun, victim.block, page, staging)
+            yield from self.controller.wait(task)
+            dest = self._active_block(lun)
+            dest_page = dest.write_ptr
+            dest.write_ptr += 1
+            dest.inflight += 1
+            if dest.is_full:
+                self._close_active(lun)
+            task = self.controller.program_page(lun, dest.block, dest_page, staging)
+            ok = yield from self.controller.wait(task)
+            dest.inflight -= 1
+            if not ok:
+                raise FtlError("relocation during block retirement failed")
+            self.map.bind(lpn, MapEntry(lun=lun, block=dest.block, page=dest_page))
+            dest.valid.add(dest_page)
+            self.gc_page_moves += 1
+        victim.valid.clear()
+        self._info.pop((lun, victim.block), None)
+        self.retired_blocks.append((lun, victim.block))
+
+    # ------------------------------------------------------------------
+    # Static wear leveling
+    # ------------------------------------------------------------------
+
+    def level_wear(self, threshold: float = 2.0) -> Generator:
+        """Static wear leveling pass.
+
+        When the erase-count imbalance exceeds ``threshold``, the
+        coldest closed block (least-worn, holding the stalest data) is
+        forcibly relocated and erased so it rejoins the rotation —
+        otherwise cold data pins fresh blocks forever while hot blocks
+        cycle.  Returns the number of blocks leveled.
+        """
+        leveled = 0
+        if not self.wear.should_level(threshold):
+            return leveled
+            yield  # pragma: no cover - generator marker
+        coldest = self.wear.coldest_block()
+        if coldest is None:
+            return leveled
+        lun, block = coldest
+        victim = self._info.get((lun, block))
+        if victim is None or victim is self._active[lun]:
+            return leveled
+        if victim not in self._closed[lun] or victim.inflight:
+            return leveled
+        self._closed[lun].remove(victim)
+        self._gc_inflight[lun] = self._gc_inflight.get(lun, 0) + 1
+        try:
+            yield from self._collect(victim)
+            leveled = 1
+        finally:
+            self._gc_inflight[lun] -= 1
+            self._gc_done.notify()
+        return leveled
+
+    # ------------------------------------------------------------------
+
+    @property
+    def write_amplification(self) -> float:
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.gc_page_moves) / self.host_writes
+
+    def describe(self) -> str:
+        return (
+            f"FTL[{self.victim_policy.name}] {self.lun_count} LUNs, "
+            f"{self.map.mapped_count}/{self.logical_pages} mapped, "
+            f"WA={self.write_amplification:.2f}"
+        )

@@ -1,0 +1,54 @@
+"""Garbage-collection victim selection policies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+
+class VictimPolicy(ABC):
+    """Chooses which closed block to reclaim."""
+
+    name = "victim-policy"
+
+    @abstractmethod
+    def select(self, candidates: Sequence["BlockInfo"], now_ns: int) -> Optional["BlockInfo"]:
+        """Pick a victim from closed blocks; None if nothing is worth it."""
+
+
+class GreedyPolicy(VictimPolicy):
+    """Reclaim the block with the fewest valid pages."""
+
+    name = "greedy"
+
+    def select(self, candidates, now_ns):
+        eligible = [
+            b for b in candidates
+            if b.valid_count < b.capacity and getattr(b, "inflight", 0) == 0
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda b: (b.valid_count, b.closed_at_ns))
+
+
+class CostBenefitPolicy(VictimPolicy):
+    """Classic cost-benefit: age * (1 - u) / (2u); better under skew."""
+
+    name = "cost-benefit"
+
+    def select(self, candidates, now_ns):
+        eligible = [
+            b for b in candidates
+            if b.valid_count < b.capacity and getattr(b, "inflight", 0) == 0
+        ]
+        if not eligible:
+            return None
+
+        def score(block) -> float:
+            utilization = block.valid_count / block.capacity
+            age = max(now_ns - block.closed_at_ns, 1)
+            if utilization == 0.0:
+                return float("inf")
+            return age * (1.0 - utilization) / (2.0 * utilization)
+
+        return max(eligible, key=score)

@@ -1,0 +1,77 @@
+"""Logical-to-physical page mapping.
+
+A flat page map (LPN → LUN/block/page) plus the reverse map GC needs to
+identify the LPN a physical page holds.  Invariants (pinned by property
+tests): the forward and reverse maps agree, and a physical page is
+mapped by at most one LPN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MapEntry:
+    """Physical location of one logical page."""
+
+    lun: int
+    block: int
+    page: int
+
+
+class PageMapTable:
+    """Bidirectional LPN ↔ physical-page map."""
+
+    def __init__(self, logical_pages: int):
+        if logical_pages <= 0:
+            raise ValueError("logical_pages must be positive")
+        self.logical_pages = logical_pages
+        self._forward: dict[int, MapEntry] = {}
+        self._reverse: dict[MapEntry, int] = {}
+
+    def lookup(self, lpn: int) -> Optional[MapEntry]:
+        self._check_lpn(lpn)
+        return self._forward.get(lpn)
+
+    def owner_of(self, entry: MapEntry) -> Optional[int]:
+        return self._reverse.get(entry)
+
+    def bind(self, lpn: int, entry: MapEntry) -> Optional[MapEntry]:
+        """Map ``lpn`` to ``entry``; returns the superseded location."""
+        self._check_lpn(lpn)
+        if entry in self._reverse:
+            if self._reverse[entry] == lpn:
+                return entry  # idempotent rebind
+            raise ValueError(f"{entry} already holds LPN {self._reverse[entry]}")
+        old = self._forward.get(lpn)
+        if old is not None:
+            del self._reverse[old]
+        self._forward[lpn] = entry
+        self._reverse[entry] = lpn
+        return old
+
+    def unbind(self, lpn: int) -> Optional[MapEntry]:
+        """Drop the mapping for ``lpn`` (trim); returns the old location."""
+        self._check_lpn(lpn)
+        old = self._forward.pop(lpn, None)
+        if old is not None:
+            del self._reverse[old]
+        return old
+
+    @property
+    def mapped_count(self) -> int:
+        return len(self._forward)
+
+    def check_invariants(self) -> None:
+        """Property-test hook: forward and reverse maps must agree."""
+        if len(self._forward) != len(self._reverse):
+            raise AssertionError("forward/reverse size mismatch")
+        for lpn, entry in self._forward.items():
+            if self._reverse.get(entry) != lpn:
+                raise AssertionError(f"reverse map disagrees for LPN {lpn}")
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(f"LPN {lpn} out of range [0, {self.logical_pages})")

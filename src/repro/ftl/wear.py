@@ -1,0 +1,46 @@
+"""Wear accounting and static wear-leveling advice."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WearTracker:
+    """Per-(lun, block) erase counters with imbalance reporting."""
+
+    counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def record_erase(self, lun: int, block: int) -> None:
+        key = (lun, block)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def erase_count(self, lun: int, block: int) -> int:
+        return self.counts.get((lun, block), 0)
+
+    @property
+    def max_erase(self) -> int:
+        return max(self.counts.values(), default=0)
+
+    @property
+    def mean_erase(self) -> float:
+        if not self.counts:
+            return 0.0
+        return sum(self.counts.values()) / len(self.counts)
+
+    def imbalance(self) -> float:
+        """max/mean ratio; 1.0 is perfectly level."""
+        mean = self.mean_erase
+        if mean == 0.0:
+            return 1.0
+        return self.max_erase / mean
+
+    def should_level(self, threshold: float = 2.0) -> bool:
+        """Advise static wear leveling when imbalance exceeds threshold."""
+        return len(self.counts) > 1 and self.imbalance() > threshold
+
+    def coldest_block(self):
+        """The least-worn tracked block — the wear-leveling swap target."""
+        if not self.counts:
+            return None
+        return min(self.counts, key=lambda key: self.counts[key])

@@ -1,0 +1,27 @@
+"""Host-side substrate: command queue, workload generators, fio-like driver."""
+
+from repro.host.hic import HostCommand, HostInterface
+from repro.host.workload import ReadWorkloadResult, measure_read_throughput
+from repro.host.fio import FioJob, FioResult, run_fio
+from repro.host.trace import (
+    ReplayResult,
+    Trace,
+    TraceRecord,
+    replay_trace,
+    synthesize_trace,
+)
+
+__all__ = [
+    "HostCommand",
+    "HostInterface",
+    "ReadWorkloadResult",
+    "measure_read_throughput",
+    "FioJob",
+    "FioResult",
+    "run_fio",
+    "ReplayResult",
+    "Trace",
+    "TraceRecord",
+    "replay_trace",
+    "synthesize_trace",
+]

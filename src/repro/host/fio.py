@@ -1,0 +1,108 @@
+"""fio-like workload driver for the end-to-end experiment (Fig. 12).
+
+Generates page-granular sequential or random READ (or WRITE) streams
+against a :class:`~repro.host.hic.HostInterface`, mirroring the paper's
+``fio`` runs against the modified Cosmos+: fixed iodepth, a bounded
+number of I/Os, bandwidth = payload over elapsed simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.host.hic import HostCommand, HostInterface, HostOpcode
+from repro.sim import Simulator
+from repro.sim.kernel import NS_PER_S
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """One fio-style job description."""
+
+    pattern: str = "sequential"   # "sequential" | "random"
+    opcode: HostOpcode = HostOpcode.READ
+    io_count: int = 64
+    iodepth: int = 8
+    working_set_pages: int = 0    # 0 = whole mapped range
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.pattern not in ("sequential", "random"):
+            raise ValueError("pattern must be 'sequential' or 'random'")
+        if self.io_count <= 0 or self.iodepth <= 0:
+            raise ValueError("io_count and iodepth must be positive")
+
+
+@dataclass
+class FioResult:
+    """Bandwidth/latency summary of one job."""
+
+    ios: int
+    payload_bytes: int
+    elapsed_ns: int
+    mean_latency_ns: float
+    p99_latency_ns: float
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.payload_bytes / (self.elapsed_ns / NS_PER_S) / 1e6
+
+    @property
+    def iops(self) -> float:
+        if self.elapsed_ns == 0:
+            return 0.0
+        return self.ios / (self.elapsed_ns / NS_PER_S)
+
+
+def run_fio(
+    sim: Simulator,
+    hic: HostInterface,
+    job: FioJob,
+    dram_stride: int = 32 * 1024,
+    dram_base: int = 0,
+    prefill: Optional[int] = None,
+) -> FioResult:
+    """Run one job to completion and summarize it."""
+    job.validate()
+    ftl = hic.ftl
+    working_set = job.working_set_pages or ftl.map.mapped_count
+    if prefill is not None and ftl.map.mapped_count < prefill:
+        ftl.prefill(prefill - ftl.map.mapped_count)
+        working_set = job.working_set_pages or ftl.map.mapped_count
+    if working_set == 0 and job.opcode is HostOpcode.READ:
+        raise ValueError("read job against an empty FTL — prefill first")
+
+    rng = np.random.default_rng(job.seed)
+    if job.pattern == "sequential":
+        lpns = [i % max(working_set, 1) for i in range(job.io_count)]
+    else:
+        lpns = rng.integers(0, max(working_set, 1), size=job.io_count).tolist()
+
+    start = sim.now
+    before = len(hic.completed)
+    for index, lpn in enumerate(lpns):
+        hic.submit(
+            HostCommand(
+                opcode=job.opcode,
+                lpn=int(lpn),
+                dram_address=dram_base + (index % (4 * job.iodepth)) * dram_stride,
+            )
+        )
+    sim.run_process(hic.drain(), name="fio-drain")
+
+    window = hic.completed[before:]
+    latencies = sorted(c.latency_ns for c in window)
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    p99 = float(latencies[min(int(len(latencies) * 0.99), len(latencies) - 1)]) if latencies else 0.0
+    return FioResult(
+        ios=len(window),
+        payload_bytes=len(window) * ftl.page_size,
+        elapsed_ns=sim.now - start,
+        mean_latency_ns=mean,
+        p99_latency_ns=p99,
+    )

@@ -1,0 +1,78 @@
+"""SET FEATURES / GET FEATURES address map and storage.
+
+Features are 4-byte parameter records addressed by a one-byte feature
+address.  The controller's SET FEATURES operation (and the boot
+sequences in :mod:`repro.calibration.boot`) manipulate these; the LUN
+model interprets a handful of them (timing mode, pSLC enable, read
+voltage offset for read-retry).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class FeatureAddress(enum.IntEnum):
+    """Feature addresses used in this reproduction.
+
+    ``TIMING_MODE`` is ONFI-standard (0x01); the vendor range models
+    read-retry voltage registers and pSLC configuration the way
+    commercial parts expose them.
+    """
+
+    TIMING_MODE = 0x01
+    IO_DRIVE_STRENGTH = 0x10
+    VENDOR_READ_RETRY = 0x89
+    VENDOR_PSLC_MODE = 0x91
+    VENDOR_OUTPUT_PHASE = 0x92
+
+
+class FeatureStore:
+    """Per-LUN feature parameter storage with change callbacks."""
+
+    def __init__(self) -> None:
+        self._params: dict[int, tuple[int, int, int, int]] = {
+            int(FeatureAddress.TIMING_MODE): (0, 0, 0, 0),
+            int(FeatureAddress.IO_DRIVE_STRENGTH): (2, 0, 0, 0),
+            int(FeatureAddress.VENDOR_READ_RETRY): (0, 0, 0, 0),
+            int(FeatureAddress.VENDOR_PSLC_MODE): (0, 0, 0, 0),
+            int(FeatureAddress.VENDOR_OUTPUT_PHASE): (0, 0, 0, 0),
+        }
+        self._on_change: Optional[Callable[[int, tuple[int, int, int, int]], None]] = None
+
+    def on_change(self, callback: Callable[[int, tuple[int, int, int, int]], None]) -> None:
+        """Register the LUN's reaction to feature writes."""
+        self._on_change = callback
+
+    def set(self, address: int, params: tuple[int, int, int, int]) -> None:
+        if len(params) != 4:
+            raise ValueError("feature parameters are exactly 4 bytes")
+        if any(not 0 <= p <= 0xFF for p in params):
+            raise ValueError("feature parameter bytes must be in [0, 255]")
+        self._params[int(address)] = tuple(params)
+        if self._on_change is not None:
+            self._on_change(int(address), tuple(params))
+
+    def get(self, address: int) -> tuple[int, int, int, int]:
+        return self._params.get(int(address), (0, 0, 0, 0))
+
+    # Convenience accessors the LUN model uses -------------------------
+
+    @property
+    def timing_mode(self) -> int:
+        return self.get(FeatureAddress.TIMING_MODE)[0]
+
+    @property
+    def pslc_enabled(self) -> bool:
+        return self.get(FeatureAddress.VENDOR_PSLC_MODE)[0] != 0
+
+    @property
+    def read_retry_level(self) -> int:
+        return self.get(FeatureAddress.VENDOR_READ_RETRY)[0]
+
+    @property
+    def output_phase(self) -> int:
+        """Signed output-phase trim in timer ticks (two's complement byte)."""
+        raw = self.get(FeatureAddress.VENDOR_OUTPUT_PHASE)[0]
+        return raw - 256 if raw >= 128 else raw

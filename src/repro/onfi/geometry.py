@@ -1,0 +1,140 @@
+"""Flash address geometry and the ONFI row/column address codec.
+
+ONFI addresses are transmitted as column cycles (byte offset within a
+page, LSB first) followed by row cycles (page, block, plane, and LUN
+select bits packed into one integer, LSB first).  The codec here is the
+single source of truth both for the controller side (building address
+latches) and the package side (decoding them), so a round-trip property
+test pins the two together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Physical geometry of one LUN.
+
+    Attributes:
+        page_size: user-data bytes per page.
+        spare_size: out-of-band bytes per page (ECC parity, metadata).
+        pages_per_block: pages in one erase block.
+        blocks_per_plane: erase blocks per plane.
+        planes: planes per LUN (multi-plane ops address these).
+        col_cycles / row_cycles: address cycle counts on the wire.
+    """
+
+    page_size: int = 16384
+    spare_size: int = 2048
+    pages_per_block: int = 256
+    blocks_per_plane: int = 1024
+    planes: int = 2
+    col_cycles: int = 2
+    row_cycles: int = 3
+
+    @property
+    def full_page_size(self) -> int:
+        return self.page_size + self.spare_size
+
+    @property
+    def blocks_per_lun(self) -> int:
+        return self.blocks_per_plane * self.planes
+
+    @property
+    def pages_per_lun(self) -> int:
+        return self.blocks_per_lun * self.pages_per_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.pages_per_lun * self.page_size
+
+    def validate(self) -> None:
+        if self.page_size <= 0 or self.pages_per_block <= 0:
+            raise ValueError("geometry dimensions must be positive")
+        if self.full_page_size >= 1 << (8 * self.col_cycles):
+            raise ValueError("col_cycles too small for the page size")
+        if self.pages_per_lun >= 1 << (8 * self.row_cycles):
+            raise ValueError("row_cycles too small for the LUN page count")
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalAddress:
+    """A (plane, block, page, column) address within one LUN."""
+
+    block: int
+    page: int
+    column: int = 0
+
+    def describe(self) -> str:
+        return f"blk{self.block}/pg{self.page}+{self.column}"
+
+
+class AddressCodec:
+    """Encode/decode ONFI address cycles for a given geometry."""
+
+    def __init__(self, geometry: Geometry):
+        geometry.validate()
+        self.geometry = geometry
+
+    # -- row/column packing --------------------------------------------
+
+    def row_address(self, addr: PhysicalAddress) -> int:
+        """Pack block+page into the ONFI row address integer."""
+        self._check(addr)
+        return addr.block * self.geometry.pages_per_block + addr.page
+
+    def column_address(self, addr: PhysicalAddress) -> int:
+        return addr.column
+
+    # -- wire encoding ---------------------------------------------------
+
+    def encode(self, addr: PhysicalAddress, include_column: bool = True) -> tuple[int, ...]:
+        """Full address cycles: column bytes then row bytes, LSB first."""
+        cycles: list[int] = []
+        if include_column:
+            cycles.extend(self.encode_column(addr.column))
+        cycles.extend(self.encode_row(self.row_address(addr)))
+        return tuple(cycles)
+
+    def encode_column(self, column: int) -> tuple[int, ...]:
+        if not 0 <= column < self.geometry.full_page_size:
+            raise ValueError(f"column {column} out of range")
+        return tuple(column >> (8 * i) & 0xFF for i in range(self.geometry.col_cycles))
+
+    def encode_row(self, row: int) -> tuple[int, ...]:
+        if not 0 <= row < self.geometry.pages_per_lun:
+            raise ValueError(f"row {row} out of range")
+        return tuple(row >> (8 * i) & 0xFF for i in range(self.geometry.row_cycles))
+
+    # -- wire decoding ---------------------------------------------------
+
+    def decode(self, cycles: tuple[int, ...]) -> PhysicalAddress:
+        """Inverse of :meth:`encode` (column + row cycle layout)."""
+        expected = self.geometry.col_cycles + self.geometry.row_cycles
+        if len(cycles) != expected:
+            raise ValueError(f"expected {expected} address cycles, got {len(cycles)}")
+        column = self.decode_column(cycles[: self.geometry.col_cycles])
+        row = self.decode_row(cycles[self.geometry.col_cycles:])
+        block, page = divmod(row, self.geometry.pages_per_block)
+        return PhysicalAddress(block=block, page=page, column=column)
+
+    def decode_column(self, cycles: tuple[int, ...]) -> int:
+        return sum(byte << (8 * i) for i, byte in enumerate(cycles))
+
+    def decode_row(self, cycles: tuple[int, ...]) -> int:
+        return sum(byte << (8 * i) for i, byte in enumerate(cycles))
+
+    def plane_of(self, addr: PhysicalAddress) -> int:
+        """Plane index (interleaved block-to-plane mapping, ONFI style)."""
+        return addr.block % self.geometry.planes
+
+    def _check(self, addr: PhysicalAddress) -> None:
+        geometry = self.geometry
+        if not 0 <= addr.block < geometry.blocks_per_lun:
+            raise ValueError(f"block {addr.block} out of range")
+        if not 0 <= addr.page < geometry.pages_per_block:
+            raise ValueError(f"page {addr.page} out of range")
+        if not 0 <= addr.column < geometry.full_page_size:
+            raise ValueError(f"column {addr.column} out of range")

@@ -1,0 +1,82 @@
+"""ONFI status register.
+
+Bit assignments follow the ONFI 5.1 status field definition.  The paper's
+Algorithm 2 polls for ``0x40`` (RDY), and failure bits feed the ECC /
+read-retry path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class StatusBits(enum.IntFlag):
+    """Status byte bit assignments (ONFI 5.1 §5.8)."""
+
+    FAIL = 0x01    # last operation failed
+    FAILC = 0x02   # operation before last failed (cache ops)
+    CSP = 0x08     # command-specific (suspend state in our vendor ops)
+    VSP = 0x10     # vendor-specific
+    ARDY = 0x20    # array ready (cache ops: true inner readiness)
+    RDY = 0x40     # LUN ready for another command
+    WP = 0x80      # write-protect (1 = not protected)
+
+
+class StatusRegister:
+    """Mutable status state owned by one LUN."""
+
+    __slots__ = ("rdy", "ardy", "fail", "failc", "suspended", "write_protected")
+
+    def __init__(self) -> None:
+        self.rdy = True
+        self.ardy = True
+        self.fail = False
+        self.failc = False
+        self.suspended = False
+        self.write_protected = False
+
+    def value(self) -> int:
+        """Compose the status byte as a READ STATUS would return it."""
+        byte = 0
+        if self.fail:
+            byte |= StatusBits.FAIL
+        if self.failc:
+            byte |= StatusBits.FAILC
+        if self.suspended:
+            byte |= StatusBits.CSP
+        if self.ardy:
+            byte |= StatusBits.ARDY
+        if self.rdy:
+            byte |= StatusBits.RDY
+        if not self.write_protected:
+            byte |= StatusBits.WP
+        return int(byte)
+
+    def begin_operation(self) -> None:
+        """Mark the LUN busy; shifts FAIL into FAILC per ONFI cache rules."""
+        self.failc = self.fail
+        self.fail = False
+        self.rdy = False
+        self.ardy = False
+
+    def finish_operation(self, failed: bool = False) -> None:
+        self.rdy = True
+        self.ardy = True
+        self.fail = failed
+
+    def begin_cache_phase(self) -> None:
+        """Cache ops: register free (RDY) while the array works (not ARDY)."""
+        self.rdy = True
+        self.ardy = False
+
+    @staticmethod
+    def is_ready(byte: int) -> bool:
+        return bool(byte & StatusBits.RDY)
+
+    @staticmethod
+    def is_array_ready(byte: int) -> bool:
+        return bool(byte & StatusBits.ARDY)
+
+    @staticmethod
+    def is_failed(byte: int) -> bool:
+        return bool(byte & StatusBits.FAIL)

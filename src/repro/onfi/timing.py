@@ -1,0 +1,98 @@
+"""ONFI timing-parameter sets.
+
+Section IV-B of the paper splits waveform delays into three categories:
+
+1. intra-µFSM waits (tCS, tCH, tCALS, tCALH, tWP, tWH, ...) — owned by
+   the µFSM implementations;
+2. mandatory waits adjacent to a µFSM's segment (tWB, tWHR, tRR) —
+   also owned by the µFSMs;
+3. inter-segment waits (tR, tPROG, tBERS, tADL between an address and
+   data phase of SET FEATURES, tCCS for column changes) — owned by the
+   operation logic the SSD Architect writes.
+
+A :class:`TimingSet` carries category-1/2 values per data-interface
+mode.  Category-3 values are properties of the *flash array*, so they
+live with the vendor profiles in :mod:`repro.flash.vendors`.
+
+Values follow ONFI 5.1 timing mode tables (SDR mode 0 and NV-DDR2);
+they are nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class TimingSet:
+    """Category-1 and category-2 ONFI timing parameters (ns)."""
+
+    # Command/address latch cycle timings.
+    tCS: int    # CE# setup
+    tCH: int    # CE# hold
+    tCALS: int  # CLE/ALE setup
+    tCALH: int  # CLE/ALE hold
+    tWP: int    # WE# pulse width
+    tWH: int    # WE# high width
+    tWC: int    # write cycle time (tWP + tWH floor)
+    tDS: int    # data setup to WE# rising
+    tDH: int    # data hold after WE# rising
+
+    # Mandatory waits adjacent to segments (category 2).
+    tWB: int    # WE# high to busy (R/B# low)
+    tWHR: int   # WE# high to RE# low (command to data-out turnaround)
+    tRR: int    # ready (R/B# high) to RE# low
+    tRHW: int   # RE# high to WE# low (data-out to command turnaround)
+
+    # Category-3 values that are interface- (not array-) dependent.
+    tADL: int   # address-cycle-to-data-loading (SET FEATURES et al.)
+    tCCS: int   # change-column setup
+    tFEAT: int  # feature-operation busy time
+
+    def latch_cycle_ns(self) -> int:
+        """Wire time of one command or address latch cycle."""
+        return max(self.tWC, self.tWP + self.tWH)
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises ``ValueError``."""
+        for field_info in fields(self):
+            value = getattr(self, field_info.name)
+            if value < 0:
+                raise ValueError(f"{field_info.name} must be >= 0, got {value}")
+        if self.tWC < self.tWP + self.tWH:
+            raise ValueError("tWC must cover tWP + tWH")
+
+
+# SDR timing mode 0 — the conservative boot mode (ONFI Table: mode 0).
+SDR_TIMINGS = TimingSet(
+    tCS=70, tCH=20, tCALS=50, tCALH=20,
+    tWP=50, tWH=30, tWC=100, tDS=40, tDH=20,
+    tWB=200, tWHR=120, tRR=40, tRHW=200,
+    tADL=400, tCCS=500, tFEAT=1_000,
+)
+
+# NV-DDR2 — command/address cycles still use WE#-clocked latching but at
+# tighter timings; data bursts are DQS-clocked and costed separately by
+# the DataInterface.
+NVDDR2_TIMINGS = TimingSet(
+    tCS=20, tCH=5, tCALS=15, tCALH=5,
+    tWP=11, tWH=9, tWC=25, tDS=10, tDH=5,
+    tWB=100, tWHR=80, tRR=20, tRHW=100,
+    tADL=150, tCCS=300, tFEAT=1_000,
+)
+
+_TIMING_BY_MODE = {
+    "SDR-mode0": SDR_TIMINGS,
+    "NV-DDR2-100": NVDDR2_TIMINGS,
+    "NV-DDR2-200": NVDDR2_TIMINGS,
+}
+
+
+def timing_for_mode(mode_name: str) -> TimingSet:
+    """Timing set applying to a named data-interface mode."""
+    try:
+        return _TIMING_BY_MODE[mode_name]
+    except KeyError:
+        raise KeyError(
+            f"no timing set for mode {mode_name!r}; known: {sorted(_TIMING_BY_MODE)}"
+        ) from None

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every hardware element in this reproduction (flash LUNs, the channel bus,
+DMA engines, the modeled controller CPUs) is a process running on this
+kernel.  Time is an integer number of nanoseconds, which keeps event
+ordering exact and reproducible.
+
+The kernel is intentionally small: a time-ordered event heap, processes
+expressed as Python generators, and a handful of synchronization
+primitives (:class:`Trigger`, :class:`Mutex`, :class:`Queue`,
+:class:`Condition`).
+"""
+
+from repro.sim.kernel import (
+    NS_PER_US,
+    NS_PER_MS,
+    NS_PER_S,
+    Event,
+    Process,
+    SimError,
+    Simulator,
+    Timeout,
+    WaitProcess,
+    WaitTrigger,
+)
+from repro.sim.sync import Condition, Mutex, Queue, Trigger
+
+__all__ = [
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "Event",
+    "Process",
+    "SimError",
+    "Simulator",
+    "Timeout",
+    "WaitProcess",
+    "WaitTrigger",
+    "Condition",
+    "Mutex",
+    "Queue",
+    "Trigger",
+]

@@ -1,0 +1,244 @@
+"""Core event loop and process machinery.
+
+The simulator keeps a heap of ``(time, sequence, Event)`` entries.  The
+``sequence`` counter makes ordering of same-time events deterministic
+(FIFO by schedule order), which matters for reproducing waveform traces
+bit-exactly across runs.
+
+Processes are plain Python generators.  A process yields *commands* to
+the kernel:
+
+``Timeout(delay)``
+    Resume the process ``delay`` nanoseconds later.
+
+``WaitTrigger(trigger)``
+    Resume the process when the trigger fires; the fired value is sent
+    back into the generator.
+
+``WaitProcess(process)``
+    Resume when the given process terminates; the process's return value
+    is sent back.
+
+A generator may also delegate with ``yield from`` to compose processes
+synchronously, which is the idiom the operation library uses to nest
+ONFI operations (e.g. READ invoking READ STATUS).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+class SimError(RuntimeError):
+    """Raised for kernel misuse (negative delays, running a finished sim)."""
+
+
+@dataclass
+class Timeout:
+    """Process command: sleep for ``delay`` nanoseconds."""
+
+    delay: int
+
+
+@dataclass
+class WaitTrigger:
+    """Process command: block until a trigger fires."""
+
+    trigger: "Trigger"  # noqa: F821 - defined in repro.sim.sync
+
+
+@dataclass
+class WaitProcess:
+    """Process command: block until another process terminates."""
+
+    process: "Process"
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.  Cancellable until it has run."""
+
+    __slots__ = ("time", "callback", "cancelled", "_done")
+
+    def __init__(self, time: int, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self._done = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not self.cancelled and not self._done
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The kernel resumes the generator with the value produced by the
+    command it last yielded (a trigger's payload, a joined process's
+    return value, or ``None`` after a timeout).
+    """
+
+    __slots__ = ("sim", "gen", "name", "finished", "value", "_waiters", "error")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.finished = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+    def _step(self, send_value: Any = None) -> None:
+        if self.finished:
+            return
+        try:
+            command = self.gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # surface process crashes loudly
+            self.finished = True
+            self.error = exc
+            raise
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        sim = self.sim
+        if isinstance(command, Timeout):
+            sim.schedule(command.delay, lambda: self._step(None))
+        elif isinstance(command, WaitTrigger):
+            command.trigger._add_waiter(self._step)
+        elif isinstance(command, WaitProcess):
+            command.process._add_join_waiter(self._step)
+        elif isinstance(command, int):
+            # Bare integers are accepted as a shorthand for Timeout.
+            sim.schedule(command, lambda: self._step(None))
+        else:
+            raise SimError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, value: Any) -> None:
+        self.finished = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(value)
+
+    def _add_join_waiter(self, waiter: Callable[[Any], None]) -> None:
+        if self.finished:
+            # Resume on a fresh event to keep ordering causal.
+            self.sim.schedule(0, lambda: waiter(self.value))
+        else:
+            self._waiters.append(waiter)
+
+    def join(self) -> Generator:
+        """Process command helper: ``result = yield from other.join()``."""
+        result = yield WaitProcess(self)
+        return result
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def worker():
+    ...     yield Timeout(5)
+    ...     log.append(sim.now)
+    >>> _ = sim.spawn(worker())
+    >>> sim.run()
+    >>> log
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: list[_HeapEntry] = []
+        self._seq = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        event = Event(self.now + int(delay), callback)
+        self._seq += 1
+        heapq.heappush(self._heap, _HeapEntry(event.time, self._seq, event))
+        return event
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Create a process from a generator and start it immediately."""
+        process = Process(self, gen, name)
+        self.schedule(0, lambda: process._step(None))
+        return process
+
+    # -- running -------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run events until the heap drains or ``until`` (absolute ns)."""
+        self._running = True
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if until is not None and entry.time > until:
+                break
+            heapq.heappop(heap)
+            event = entry.event
+            if event.cancelled:
+                continue
+            if event.time < self.now:  # pragma: no cover - invariant guard
+                raise SimError("event heap time went backwards")
+            self.now = event.time
+            event._done = True
+            event.callback()
+        if until is not None and self.now < until:
+            self.now = until
+        self._running = False
+
+    def run_process(self, gen: Generator, name: str = "", until: Optional[int] = None):
+        """Spawn ``gen``, run the simulation, and return the process value."""
+        process = self.spawn(gen, name)
+        self.run(until=until)
+        if not process.finished:
+            raise SimError(f"process {process.name!r} did not finish by {self.now} ns")
+        return process.value
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._heap if entry.event.pending)
+
+
+def passthrough(iterable: Iterable) -> Generator:
+    """Wrap a finished iterable as a trivially complete process body."""
+    for item in iterable:  # pragma: no cover - convenience shim
+        yield item

@@ -1,0 +1,161 @@
+"""Synchronization primitives for simulated processes.
+
+These are the building blocks the controller models use for arbitration
+and hand-off:
+
+* :class:`Trigger` — a one-to-many pulse carrying a payload (R/B# edges,
+  transaction-completion notifications).
+* :class:`Mutex` — FIFO-fair exclusive ownership (the channel bus token).
+* :class:`Queue` — unbounded FIFO with blocking ``get`` (transaction
+  queues between the scheduling and execution halves of BABOL).
+* :class:`Condition` — level-triggered predicate wait (status changes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.kernel import Simulator, WaitTrigger
+
+
+class Trigger:
+    """A repeatable event that resumes all current waiters when fired."""
+
+    __slots__ = ("sim", "_waiters", "fire_count", "last_value")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: list[Callable[[Any], None]] = []
+        self.fire_count = 0
+        self.last_value: Any = None
+
+    def _add_waiter(self, waiter: Callable[[Any], None]) -> None:
+        self._waiters.append(waiter)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire now: every process currently waiting resumes with ``value``."""
+        self.fire_count += 1
+        self.last_value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Resume via the scheduler so firing is never re-entrant.
+            self.sim.schedule(0, lambda w=waiter: w(value))
+
+    def wait(self) -> Generator:
+        """Process command helper: ``value = yield from trigger.wait()``."""
+        value = yield WaitTrigger(self)
+        return value
+
+
+class Mutex:
+    """FIFO-fair mutual exclusion.
+
+    ``yield from mutex.acquire()`` blocks until ownership is granted;
+    ``mutex.release()`` hands the lock to the longest waiter.
+    """
+
+    __slots__ = ("sim", "locked", "owner", "_queue", "acquire_count")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.locked = False
+        self.owner: Any = None
+        self._queue: deque[Trigger] = deque()
+        self.acquire_count = 0
+
+    def acquire(self, owner: Any = None) -> Generator:
+        if not self.locked:
+            self.locked = True
+            self.owner = owner
+            self.acquire_count += 1
+            return
+            yield  # pragma: no cover - makes this a generator
+        gate = Trigger(self.sim)
+        self._queue.append(gate)
+        yield from gate.wait()
+        self.owner = owner
+        self.acquire_count += 1
+
+    def release(self) -> None:
+        if not self.locked:
+            raise RuntimeError("release of an unlocked Mutex")
+        self.owner = None
+        if self._queue:
+            gate = self._queue.popleft()
+            gate.fire()
+        else:
+            self.locked = False
+
+    @property
+    def waiters(self) -> int:
+        return len(self._queue)
+
+
+class Queue:
+    """Unbounded FIFO with blocking ``get`` and synchronous ``put``."""
+
+    __slots__ = ("sim", "_items", "_getters")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._items: deque = deque()
+        self._getters: deque[Trigger] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            gate = self._getters.popleft()
+            gate.fire(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Generator:
+        """``item = yield from queue.get()`` — blocks until available."""
+        if self._items:
+            return self._items.popleft()
+        gate = Trigger(self.sim)
+        self._getters.append(gate)
+        item = yield from gate.wait()
+        return item
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; ``None`` when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek_all(self) -> tuple:
+        """Snapshot of queued items (schedulers use this to reorder)."""
+        return tuple(self._items)
+
+    def remove(self, item: Any) -> bool:
+        """Remove a specific queued item (priority schedulers pluck)."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False
+
+
+class Condition:
+    """Level-triggered wait on an arbitrary predicate.
+
+    The owner of the state calls :meth:`notify` whenever the state may
+    have changed; waiters re-check their predicate.
+    """
+
+    __slots__ = ("sim", "_trigger")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._trigger = Trigger(sim)
+
+    def notify(self) -> None:
+        self._trigger.fire()
+
+    def wait_for(self, predicate: Callable[[], bool]) -> Generator:
+        while not predicate():
+            yield from self._trigger.wait()

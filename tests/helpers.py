@@ -1,0 +1,94 @@
+"""Shared test helpers: deterministic vendor profiles and raw segment
+builders for driving LUNs without a controller."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram import DmaHandle, DramBuffer
+from repro.flash.vendors import VendorProfile, VendorTiming
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, Geometry, PhysicalAddress
+from repro.onfi.signals import (
+    AddressLatch,
+    CommandLatch,
+    DataInAction,
+    DataOutAction,
+    SegmentKind,
+    WaveformSegment,
+)
+from repro.sim.kernel import NS_PER_US
+
+# Small geometry keeps tests fast while exercising every code path.
+TEST_GEOMETRY = Geometry(
+    page_size=2048,
+    spare_size=64,
+    pages_per_block=16,
+    blocks_per_plane=32,
+    planes=2,
+    col_cycles=2,
+    row_cycles=3,
+)
+
+TEST_PROFILE = VendorProfile(
+    name="TESTNAND",
+    manufacturer="REPRO",
+    timing=VendorTiming(
+        t_read_ns=50 * NS_PER_US,
+        t_prog_ns=200 * NS_PER_US,
+        t_bers_ns=1000 * NS_PER_US,
+        jitter=0.0,  # deterministic array times for exact assertions
+    ),
+    geometry=TEST_GEOMETRY,
+    luns_per_channel=8,
+    endurance_cycles=50,
+)
+
+
+def cmd_addr_segment(opcode, address_bytes=None, chip_mask=0b1, duration=200):
+    actions = [(0, CommandLatch(opcode))]
+    if address_bytes is not None:
+        actions.append((25, AddressLatch(tuple(address_bytes))))
+    return WaveformSegment(
+        kind=SegmentKind.CMD_ADDR,
+        duration_ns=duration,
+        actions=tuple(actions),
+        chip_mask=chip_mask,
+    )
+
+
+def data_out_segment(nbytes, handle, chip_mask=0b1, duration=500):
+    return WaveformSegment(
+        kind=SegmentKind.DATA_OUT,
+        duration_ns=duration,
+        actions=((0, DataOutAction(nbytes, dma_handle=handle)),),
+        chip_mask=chip_mask,
+    )
+
+
+def data_in_segment(nbytes, handle, column=0, chip_mask=0b1, duration=500):
+    return WaveformSegment(
+        kind=SegmentKind.DATA_IN,
+        duration_ns=duration,
+        actions=((0, DataInAction(nbytes, column=column, dma_handle=handle)),),
+        chip_mask=chip_mask,
+    )
+
+
+def full_address(addr: PhysicalAddress, geometry: Geometry = TEST_GEOMETRY):
+    return AddressCodec(geometry).encode(addr)
+
+
+def row_address(addr: PhysicalAddress, geometry: Geometry = TEST_GEOMETRY):
+    codec = AddressCodec(geometry)
+    return codec.encode_row(codec.row_address(addr))
+
+
+def make_handle(nbytes: int, dram: DramBuffer | None = None, address: int = 0):
+    return DmaHandle(dram, address, nbytes)
+
+
+def page_pattern(geometry: Geometry = TEST_GEOMETRY, fill: int = 0xA5):
+    data = np.full(geometry.full_page_size, fill, dtype=np.uint8)
+    data[: geometry.page_size] = (np.arange(geometry.page_size) % 253).astype(np.uint8)
+    return data

@@ -1,0 +1,108 @@
+"""Tests for the hardware baseline controllers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AsyncHwController, SyncHwController
+from repro.flash.errors import ErrorModelConfig
+from repro.host import measure_read_throughput
+from repro.sim import Simulator
+
+from tests.helpers import TEST_GEOMETRY, TEST_PROFILE, page_pattern
+
+PAGE = TEST_GEOMETRY.full_page_size
+
+
+@pytest.fixture(params=[SyncHwController, AsyncHwController])
+def rig(request):
+    sim = Simulator()
+    controller = request.param(sim, vendor=TEST_PROFILE, lun_count=4, seed=1)
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    return sim, controller
+
+
+def test_program_read_roundtrip(rig):
+    sim, c = rig
+    data = page_pattern()
+    c.dram.write(0, data)
+    assert c.run_to_completion(c.program_page(0, 1, 0, 0)) is True
+    status, handle = c.run_to_completion(c.read_page(0, 1, 0, PAGE))
+    np.testing.assert_array_equal(c.dram.read(PAGE, PAGE), data)
+    assert c.reads_completed == 1
+    assert c.programs_completed == 1
+
+
+def test_erase_clears_block(rig):
+    sim, c = rig
+    c.dram.write(0, page_pattern())
+    c.run_to_completion(c.program_page(0, 1, 0, 0))
+    assert c.run_to_completion(c.erase_block(0, 1)) is True
+    assert not c.luns[0].array.block(1).is_programmed(0)
+    assert c.erases_completed == 1
+
+
+def test_partial_read_respects_column(rig):
+    sim, c = rig
+    data = page_pattern()
+    c.dram.write(0, data)
+    c.run_to_completion(c.program_page(0, 2, 0, 0))
+    c.run_to_completion(c.read_page(0, 2, 0, PAGE, column=512, length=128))
+    np.testing.assert_array_equal(c.dram.read(PAGE, 128), data[512:640])
+
+
+def test_per_lun_requests_are_fifo(rig):
+    sim, c = rig
+    first = c.read_page(0, 1, 0, 0)
+    second = c.read_page(0, 1, 1, PAGE)
+    c.run_to_completion(second)
+    assert first.finished_at is not None
+    assert first.finished_at <= second.finished_at
+
+
+def test_multi_lun_interleaving(rig):
+    sim, c = rig
+    t0 = sim.now
+    c.run_to_completion(c.read_page(0, 1, 0, 0))
+    single = sim.now - t0
+    t0 = sim.now
+    requests = [c.read_page(lun, 1, 1, lun * PAGE) for lun in range(4)]
+    for request in requests:
+        c.run_to_completion(request)
+    quad = sim.now - t0
+    assert quad < 4 * single * 0.7
+
+
+def test_read_latency_near_ideal(rig):
+    """HW reaction is fixed and small: one read ≈ tR + transfer + polls."""
+    sim, c = rig
+    t0 = sim.now
+    c.run_to_completion(c.read_page(0, 1, 0, 0))
+    elapsed = sim.now - t0
+    t_read = TEST_PROFILE.timing.t_read_ns
+    transfer = c.channel.interface.transfer_ns(PAGE)
+    ideal = t_read + transfer
+    assert elapsed < ideal * 1.15  # within 15% of the physical floor
+
+
+def test_throughput_helper_runs_on_hw(rig):
+    sim, c = rig
+    result = measure_read_throughput(sim, c, lun_count=2, reads_per_lun=4,
+                                     warmup_per_lun=1)
+    assert result.pages_read == 8
+    assert result.throughput_mb_s > 0
+    assert 0 < result.channel_utilization <= 1.0
+
+
+def test_inventories_nonempty_and_scaled():
+    sim = Simulator()
+    small = SyncHwController(sim, vendor=TEST_PROFILE, lun_count=2)
+    big = SyncHwController(Simulator(), vendor=TEST_PROFILE, lun_count=8)
+    assert len(big.inventory()) > len(small.inventory())
+    asyn = AsyncHwController(Simulator(), vendor=TEST_PROFILE, lun_count=8)
+    assert len(asyn.inventory()) >= 8
+
+
+def test_describe_mentions_vendor(rig):
+    sim, c = rig
+    assert TEST_PROFILE.manufacturer in c.describe()

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table1_prints_vendors(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "hynix" in out and "toshiba" in out and "micron" in out
+    assert "100 us" in out
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--luns", "2", "--runtime", "rtos"]) == 0
+    out = capsys.readouterr().out
+    assert "roundtrip" in out
+
+
+def test_fig10_cell(capsys):
+    assert main(["fig10", "--vendor", "micron", "--luns", "2",
+                 "--interface", "200", "--freq-mhz", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "HW baseline" in out and "rtos" in out and "coroutine" in out
+
+
+def test_fig11_summary(capsys):
+    assert main(["fig11", "--reads", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "polls" in out and "period" in out
+
+
+def test_fig12_single_way(capsys):
+    assert main(["fig12", "--ways", "1", "--pattern", "random"]) == 0
+    out = capsys.readouterr().out
+    assert "Cosmos+" in out and "BABOL-RTOS" in out
+
+
+def test_table2_loc(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "READ" in out and "BABOL" in out
+
+
+def test_table3_area(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "BRAM" in out
+
+
+def test_unknown_vendor_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig11", "--vendor", "samsung"])

@@ -1,0 +1,155 @@
+"""Unit tests for the ECC engines (real Hamming + behavioural BCH)."""
+
+import numpy as np
+import pytest
+
+from repro.ecc import (
+    BchConfig,
+    BchEngine,
+    HammingCodec,
+    SectorCodec,
+    count_bit_errors,
+)
+
+
+def flip_bit(data: np.ndarray, bit: int) -> None:
+    data[bit // 8] ^= 1 << (bit % 8)
+
+
+# --- Hamming ---------------------------------------------------------------
+
+
+def test_hamming_clean_roundtrip():
+    codec = HammingCodec()
+    data = np.arange(64, dtype=np.uint8)
+    parity = codec.encode(data)
+    fixed, corrected, bad = codec.decode(data.copy(), parity)
+    np.testing.assert_array_equal(fixed, data)
+    assert corrected == 0 and bad == 0
+
+
+def test_hamming_corrects_single_bit_anywhere():
+    codec = HammingCodec()
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, 64, dtype=np.uint8)
+    parity = codec.encode(data)
+    for bit in [0, 7, 63, 64, 200, 511]:
+        corrupted = data.copy()
+        flip_bit(corrupted, bit)
+        fixed, corrected, bad = codec.decode(corrupted, parity)
+        np.testing.assert_array_equal(fixed, data)
+        assert corrected == 1 and bad == 0
+
+
+def test_hamming_detects_double_bit_in_one_word():
+    codec = HammingCodec()
+    data = np.zeros(8, dtype=np.uint8)  # single 64-bit word
+    parity = codec.encode(data)
+    corrupted = data.copy()
+    flip_bit(corrupted, 3)
+    flip_bit(corrupted, 17)
+    _, corrected, bad = codec.decode(corrupted, parity)
+    assert bad == 1 and corrected == 0
+
+
+def test_hamming_corrects_spread_multi_bit():
+    """One flip per 64-bit word: all correctable despite 8 total errors."""
+    codec = HammingCodec()
+    data = np.zeros(64, dtype=np.uint8)  # 8 words
+    parity = codec.encode(data)
+    corrupted = data.copy()
+    for word in range(8):
+        flip_bit(corrupted, word * 64 + word * 3)
+    fixed, corrected, bad = codec.decode(corrupted, parity)
+    np.testing.assert_array_equal(fixed, data)
+    assert corrected == 8 and bad == 0
+
+
+def test_hamming_rejects_unaligned_length():
+    with pytest.raises(ValueError):
+        HammingCodec().encode(np.zeros(7, dtype=np.uint8))
+
+
+def test_sector_codec_parity_overhead():
+    codec = SectorCodec()
+    assert codec.parity_size(512) == 64
+    with pytest.raises(ValueError):
+        codec.parity_size(513)
+
+
+def test_sector_codec_reports_ok_flag():
+    codec = SectorCodec()
+    data = np.arange(512, dtype=np.uint8)
+    parity = codec.encode(data)
+    corrupted = data.copy()
+    flip_bit(corrupted, 1000)
+    fixed, ok, corrected = codec.decode(corrupted, parity)
+    assert ok and corrected == 1
+    np.testing.assert_array_equal(fixed, data)
+
+
+# --- bit-error counting ----------------------------------------------------
+
+
+def test_count_bit_errors_exact():
+    a = np.zeros(16, dtype=np.uint8)
+    b = a.copy()
+    flip_bit(b, 5)
+    flip_bit(b, 77)
+    assert count_bit_errors(a, b) == 2
+    assert count_bit_errors(a, a) == 0
+
+
+def test_count_bit_errors_shape_mismatch():
+    with pytest.raises(ValueError):
+        count_bit_errors(np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8))
+
+
+# --- behavioural BCH ---------------------------------------------------------
+
+
+def test_bch_corrects_within_t():
+    engine = BchEngine(BchConfig(codeword_bytes=256, t=4))
+    pristine = np.arange(1024, dtype=np.uint8)
+    received = pristine.copy()
+    for bit in (10, 2100, 4500, 8000):  # spread over codewords
+        flip_bit(received, bit)
+    result = engine.decode(received, pristine)
+    assert result.ok
+    np.testing.assert_array_equal(result.data, pristine)
+    assert result.corrected_bits == 4
+
+
+def test_bch_fails_beyond_t_in_one_codeword():
+    engine = BchEngine(BchConfig(codeword_bytes=256, t=4))
+    pristine = np.zeros(512, dtype=np.uint8)
+    received = pristine.copy()
+    for bit in range(5):  # 5 errors in codeword 0 with t=4
+        flip_bit(received, bit * 8)
+    result = engine.decode(received, pristine)
+    assert not result.ok
+    assert result.worst_codeword_errors == 5
+    assert engine.pages_failed == 1
+
+
+def test_bch_codeword_count_rounds_up():
+    engine = BchEngine(BchConfig(codeword_bytes=1024, t=40))
+    assert engine.codeword_count(16384) == 16
+    assert engine.codeword_count(16385) == 17
+
+
+def test_bch_parity_budget_positive():
+    engine = BchEngine()
+    assert engine.parity_bytes(16384) > 0
+
+
+def test_bch_failure_probability_monotone_in_rber():
+    engine = BchEngine(BchConfig(codeword_bytes=1024, t=40))
+    low = engine.failure_probability_hint(1e-5)
+    high = engine.failure_probability_hint(5e-3)
+    assert 0.0 <= low <= high <= 1.0
+
+
+def test_bch_config_validation():
+    with pytest.raises(ValueError):
+        BchConfig(codeword_bytes=0).validate()

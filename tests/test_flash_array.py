@@ -1,0 +1,198 @@
+"""Unit tests for the flash array, cell modes, and error model."""
+
+import numpy as np
+import pytest
+
+from repro.flash.array import FlashArray, ProgramEraseError
+from repro.flash.cell import CELL_MODE_PROFILES, CellMode
+from repro.flash.errors import ErrorModel, ErrorModelConfig
+from repro.onfi.geometry import PhysicalAddress
+
+from tests.helpers import TEST_GEOMETRY, page_pattern
+
+
+def make_array(**kwargs) -> FlashArray:
+    defaults = dict(geometry=TEST_GEOMETRY, seed=3)
+    defaults.update(kwargs)
+    return FlashArray(**defaults)
+
+
+# --- program / read / erase lifecycle --------------------------------------
+
+
+def test_unprogrammed_page_reads_erased():
+    array = make_array()
+    page = array.load_page(PhysicalAddress(block=0, page=0))
+    assert (page == 0xFF).all()
+
+
+def test_program_then_read_roundtrip_with_clean_error_model():
+    array = make_array(error_model=ErrorModel(ErrorModelConfig.noiseless()))
+    data = page_pattern()
+    addr = PhysicalAddress(block=2, page=5)
+    assert array.program(addr, data)
+    out = array.load_page(addr)
+    np.testing.assert_array_equal(out, data)
+
+
+def test_reprogram_without_erase_rejected():
+    array = make_array()
+    addr = PhysicalAddress(block=1, page=1)
+    array.program(addr, page_pattern())
+    with pytest.raises(ProgramEraseError):
+        array.program(addr, page_pattern())
+
+
+def test_erase_clears_pages_and_counts():
+    array = make_array()
+    addr = PhysicalAddress(block=4, page=0)
+    array.program(addr, page_pattern())
+    assert array.erase(4)
+    assert not array.block(4).is_programmed(0)
+    assert array.block(4).erase_count == 1
+    page = array.load_page(addr)
+    assert (page == 0xFF).all()
+
+
+def test_program_after_erase_allowed():
+    array = make_array()
+    addr = PhysicalAddress(block=3, page=2)
+    array.program(addr, page_pattern())
+    array.erase(3)
+    assert array.program(addr, page_pattern(fill=0x11))
+
+
+def test_block_out_of_range_rejected():
+    array = make_array()
+    with pytest.raises(ProgramEraseError):
+        array.block(TEST_GEOMETRY.blocks_per_lun)
+
+
+def test_worn_out_block_fails_operations():
+    array = make_array(endurance_cycles=3)
+    for _ in range(3):
+        assert array.erase(0)
+    assert array.block(0).worn_out
+    assert not array.erase(0)
+    assert not array.program(PhysicalAddress(block=0, page=0), page_pattern())
+
+
+def test_pslc_erase_extends_endurance():
+    array = make_array(endurance_cycles=3)
+    for _ in range(5):  # beyond native budget but within pSLC's 10x
+        assert array.erase(1, cell_mode=CellMode.PSLC)
+    assert not array.block(1).worn_out
+
+
+def test_usable_pages_shrink_in_pslc():
+    array = make_array()
+    array.erase(2, cell_mode=CellMode.PSLC)
+    assert array.usable_pages(2) < TEST_GEOMETRY.pages_per_block
+    assert array.usable_pages(3) == TEST_GEOMETRY.pages_per_block
+
+
+def test_wear_summary_tracks_touched_blocks():
+    array = make_array()
+    array.erase(0)
+    array.erase(0)
+    array.erase(1)
+    summary = array.wear_summary()
+    assert summary["max_erase"] == 2.0
+    assert summary["touched_blocks"] >= 2.0
+
+
+def test_track_data_false_returns_pattern_without_storage():
+    array = make_array(track_data=False)
+    addr = PhysicalAddress(block=0, page=0)
+    array.program(addr, page_pattern())
+    assert not array.block(0).pages  # no bytes stored
+    page = array.load_page(addr)
+    assert len(page) == TEST_GEOMETRY.full_page_size
+
+
+# --- error model -----------------------------------------------------------
+
+
+def test_rber_grows_with_wear():
+    model = ErrorModel()
+    fresh = model.rber(CellMode.TLC, pe_cycles=0)
+    worn = model.rber(CellMode.TLC, pe_cycles=3000)
+    assert worn > fresh
+
+
+def test_rber_grows_with_retention():
+    model = ErrorModel()
+    assert model.rber(CellMode.TLC, 100, retention_hours=1000) > model.rber(
+        CellMode.TLC, 100, retention_hours=0
+    )
+
+
+def test_rber_minimized_at_optimal_read_offset():
+    model = ErrorModel()
+    at_optimum = model.rber(CellMode.TLC, 1000, read_offset_distance=0)
+    off_by_three = model.rber(CellMode.TLC, 1000, read_offset_distance=3)
+    assert off_by_three > at_optimum
+
+
+def test_pslc_rber_far_below_tlc():
+    model = ErrorModel()
+    assert model.rber(CellMode.PSLC, 1000) < model.rber(CellMode.TLC, 1000) / 10
+
+
+def test_injection_flips_expected_magnitude():
+    model = ErrorModel(seed=1)
+    data = np.zeros(4096, dtype=np.uint8)
+    flips = model.inject(data, rate=1e-3)
+    observed = int(np.unpackbits(data).sum())
+    # duplicates can re-flip; observed must be close to requested
+    assert flips > 0
+    assert abs(observed - flips) <= 4
+    expected = 4096 * 8 * 1e-3
+    assert 0.5 * expected < flips < 1.5 * expected
+
+
+def test_injection_zero_rate_noop():
+    model = ErrorModel()
+    data = np.full(128, 0xAB, dtype=np.uint8)
+    assert model.inject(data, rate=0.0) == 0
+    assert (data == 0xAB).all()
+
+
+def test_injection_deterministic_per_seed():
+    a, b = ErrorModel(seed=9), ErrorModel(seed=9)
+    da = np.zeros(1024, dtype=np.uint8)
+    db = np.zeros(1024, dtype=np.uint8)
+    a.inject(da, 1e-3)
+    b.inject(db, 1e-3)
+    np.testing.assert_array_equal(da, db)
+
+
+def test_error_config_validation():
+    with pytest.raises(ValueError):
+        ErrorModelConfig(base_rber=-1).validate()
+
+
+def test_cell_mode_profiles_are_consistent():
+    for mode, profile in CELL_MODE_PROFILES.items():
+        assert profile.bits_per_cell >= 1
+        assert profile.read_time_scale > 0
+        assert profile.rber_scale > 0
+    assert CELL_MODE_PROFILES[CellMode.PSLC].bits_per_cell == 1
+    assert (
+        CELL_MODE_PROFILES[CellMode.PSLC].read_time_scale
+        < CELL_MODE_PROFILES[CellMode.TLC].read_time_scale
+    )
+
+
+def test_retry_sweep_recovers_low_rber():
+    """A read-retry sweep across levels must hit the block's optimum."""
+    array = make_array(seed=12)
+    block = array.block(7)
+    rates = [
+        array.error_model.rber(
+            CellMode.TLC, 2000,
+            read_offset_distance=level - block.optimal_retry_level,
+        )
+        for level in range(6)
+    ]
+    assert min(rates) == rates[block.optimal_retry_level]

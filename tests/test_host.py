@@ -1,0 +1,147 @@
+"""Tests for the host substrate: HIC, workload injector, fio driver."""
+
+import pytest
+
+from repro.core import BabolController, ControllerConfig
+from repro.flash.errors import ErrorModelConfig
+from repro.ftl import FtlConfig, PageMappedFtl
+from repro.host import FioJob, HostCommand, HostInterface, run_fio
+from repro.host.hic import HostOpcode
+from repro.host.workload import measure_read_throughput
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+
+
+def make_stack(lun_count=2, iodepth=4, runtime="rtos"):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=lun_count,
+                         runtime=runtime, track_data=False, seed=7),
+    )
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    ftl = PageMappedFtl(
+        sim, controller,
+        FtlConfig(blocks_per_lun=8, overprovision_blocks=2,
+                  gc_staging_base=8 * 1024 * 1024),
+    )
+    hic = HostInterface(sim, ftl, iodepth=iodepth)
+    return sim, controller, ftl, hic
+
+
+# --- HIC -----------------------------------------------------------------
+
+
+def test_hic_completes_reads_and_records_latency():
+    sim, controller, ftl, hic = make_stack()
+    ftl.prefill(16)
+    for lpn in range(8):
+        hic.submit(HostCommand(opcode=HostOpcode.READ, lpn=lpn, dram_address=0))
+    sim.run_process(hic.drain())
+    assert len(hic.completed) == 8
+    assert hic.mean_latency_ns() > 0
+    assert hic.p99_latency_ns() >= hic.mean_latency_ns() * 0.5
+
+
+def test_hic_iodepth_bounds_concurrency():
+    sim, controller, ftl, hic = make_stack(iodepth=1)
+    ftl.prefill(8)
+    for lpn in range(4):
+        hic.submit(HostCommand(opcode=HostOpcode.READ, lpn=lpn))
+    sim.run_process(hic.drain())
+    # With iodepth 1 completions are strictly serialized.
+    ends = [c.finished_at for c in hic.completed]
+    assert ends == sorted(ends)
+    starts = [c.submitted_at for c in hic.completed]
+    assert all(s <= e for s, e in zip(starts, ends))
+
+
+def test_hic_write_then_read_path():
+    sim, controller, ftl, hic = make_stack()
+    hic.submit(HostCommand(opcode=HostOpcode.WRITE, lpn=3, dram_address=0))
+    sim.run_process(hic.drain())
+    hic.submit(HostCommand(opcode=HostOpcode.READ, lpn=3, dram_address=65536))
+    sim.run_process(hic.drain())
+    assert ftl.host_reads == 1 and ftl.host_writes == 1
+
+
+def test_hic_trim_path():
+    sim, controller, ftl, hic = make_stack()
+    ftl.prefill(4)
+    hic.submit(HostCommand(opcode=HostOpcode.TRIM, lpn=2))
+    sim.run_process(hic.drain())
+    assert ftl.map.lookup(2) is None
+
+
+def test_hic_validates_iodepth():
+    sim, controller, ftl, hic = make_stack()
+    with pytest.raises(ValueError):
+        HostInterface(sim, ftl, iodepth=0)
+
+
+# --- workload injector -------------------------------------------------------
+
+
+def test_throughput_increases_with_luns():
+    def bandwidth(lun_count):
+        sim = Simulator()
+        controller = BabolController(
+            sim,
+            ControllerConfig(vendor=TEST_PROFILE, lun_count=lun_count,
+                             runtime="rtos", track_data=False),
+        )
+        result = measure_read_throughput(sim, controller, lun_count,
+                                         reads_per_lun=6, warmup_per_lun=1)
+        return result.throughput_mb_s
+
+    assert bandwidth(4) > bandwidth(1) * 1.5
+
+
+def test_throughput_result_fields_consistent():
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2,
+                         runtime="rtos", track_data=False),
+    )
+    result = measure_read_throughput(sim, controller, 2, reads_per_lun=4,
+                                     warmup_per_lun=1)
+    assert result.pages_read == 8
+    assert result.payload_bytes == 8 * TEST_PROFILE.geometry.page_size
+    assert result.mean_page_latency_us > 0
+
+
+# --- fio -----------------------------------------------------------------
+
+
+def test_fio_sequential_and_random():
+    sim, controller, ftl, hic = make_stack(lun_count=2, iodepth=4)
+    ftl.prefill(64)
+    seq = run_fio(sim, hic, FioJob(pattern="sequential", io_count=32, iodepth=4))
+    rand = run_fio(sim, hic, FioJob(pattern="random", io_count=32, iodepth=4, seed=3))
+    assert seq.ios == 32 and rand.ios == 32
+    assert seq.bandwidth_mb_s > 0 and rand.bandwidth_mb_s > 0
+    assert seq.iops > 0
+    assert seq.p99_latency_ns >= seq.mean_latency_ns * 0.5
+
+
+def test_fio_validates_job():
+    with pytest.raises(ValueError):
+        FioJob(pattern="zigzag").validate()
+    with pytest.raises(ValueError):
+        FioJob(io_count=0).validate()
+
+
+def test_fio_read_on_empty_ftl_rejected():
+    sim, controller, ftl, hic = make_stack()
+    with pytest.raises(ValueError, match="prefill"):
+        run_fio(sim, hic, FioJob(io_count=4))
+
+
+def test_fio_prefill_parameter():
+    sim, controller, ftl, hic = make_stack()
+    result = run_fio(sim, hic, FioJob(io_count=8, iodepth=2), prefill=32)
+    assert ftl.map.mapped_count == 32
+    assert result.ios == 8

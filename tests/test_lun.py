@@ -1,0 +1,347 @@
+"""Unit tests for the LUN state machine, driven with hand-built segments
+(no controller involved) so ONFI semantics are pinned independently."""
+
+import numpy as np
+import pytest
+
+from repro.flash.lun import Lun, LunProtocolError, LunState
+from repro.dram import DramBuffer
+from repro.onfi.commands import CMD
+from repro.onfi.features import FeatureAddress
+from repro.onfi.geometry import PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.flash.param_page import parse_parameter_page
+from repro.sim import Simulator, Timeout
+from repro.sim.kernel import NS_PER_US
+
+from tests.helpers import (
+    TEST_GEOMETRY,
+    TEST_PROFILE,
+    cmd_addr_segment,
+    data_in_segment,
+    data_out_segment,
+    full_address,
+    make_handle,
+    page_pattern,
+    row_address,
+)
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    lun = Lun(sim, TEST_PROFILE, position=0, seed=5)
+    return sim, lun
+
+
+def deliver(sim, lun, segment):
+    lun.deliver_segment(segment)
+    sim.run()
+
+
+ADDR = PhysicalAddress(block=3, page=4)
+T_READ = TEST_PROFILE.timing.t_read_ns
+T_PROG = TEST_PROFILE.timing.t_prog_ns
+T_BERS = TEST_PROFILE.timing.t_bers_ns
+
+
+def start_read(sim, lun, addr=ADDR):
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(addr)))
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_2ND))
+
+
+def test_read_sequence_goes_busy_for_tr(rig):
+    sim, lun = rig
+    lun.array.program(ADDR, page_pattern())
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(ADDR)))
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_2ND))
+    sim.run(until=sim.now + 100)
+    assert lun.state is LunState.ARRAY_BUSY
+    assert not StatusRegister.is_ready(lun.status.value())
+    sim.run()
+    assert lun.state is LunState.IDLE
+    assert StatusRegister.is_ready(lun.status.value())
+    assert sim.now >= T_READ
+    assert lun.reads_completed == 1
+
+
+def test_read_data_out_returns_programmed_bytes(rig):
+    sim, lun = rig
+    data = page_pattern()
+    lun.array.program(ADDR, data)
+    # Keep the data path exact for this test.
+    lun.array.error_model.config = type(lun.array.error_model.config).noiseless()
+    start_read(sim, lun)
+    handle = make_handle(64)
+    deliver(sim, lun, data_out_segment(64, handle))
+    np.testing.assert_array_equal(handle.delivered, data[:64])
+
+
+def test_change_read_column_moves_window(rig):
+    sim, lun = rig
+    data = page_pattern()
+    lun.array.program(ADDR, data)
+    lun.array.error_model.config = type(lun.array.error_model.config).noiseless()
+    start_read(sim, lun)
+    codec_col = 512
+    col_bytes = (codec_col & 0xFF, codec_col >> 8)
+    deliver(sim, lun, cmd_addr_segment(CMD.CHANGE_READ_COL_1ST, col_bytes))
+    deliver(sim, lun, cmd_addr_segment(CMD.CHANGE_READ_COL_2ND))
+    handle = make_handle(32)
+    deliver(sim, lun, data_out_segment(32, handle))
+    np.testing.assert_array_equal(handle.delivered, data[512:544])
+
+
+def test_sequential_data_out_advances_column(rig):
+    sim, lun = rig
+    data = page_pattern()
+    lun.array.program(ADDR, data)
+    lun.array.error_model.config = type(lun.array.error_model.config).noiseless()
+    start_read(sim, lun)
+    h1, h2 = make_handle(16), make_handle(16)
+    deliver(sim, lun, data_out_segment(16, h1))
+    deliver(sim, lun, data_out_segment(16, h2))
+    np.testing.assert_array_equal(h1.delivered, data[:16])
+    np.testing.assert_array_equal(h2.delivered, data[16:32])
+
+
+def test_status_polling_tracks_busy_to_ready(rig):
+    sim, lun = rig
+    lun.array.program(ADDR, page_pattern())
+
+    statuses = []
+
+    def driver():
+        lun.deliver_segment(cmd_addr_segment(CMD.READ_1ST, full_address(ADDR)))
+        yield Timeout(200)
+        lun.deliver_segment(cmd_addr_segment(CMD.READ_2ND))
+        yield Timeout(200)
+        for _ in range(12):
+            handle = make_handle(1)
+            lun.deliver_segment(cmd_addr_segment(CMD.READ_STATUS))
+            lun.deliver_segment(data_out_segment(1, handle))
+            yield Timeout(10 * NS_PER_US)
+            statuses.append(int(handle.delivered[0]))
+
+    sim.run_process(driver())
+    ready_flags = [StatusRegister.is_ready(s) for s in statuses]
+    assert not ready_flags[0]          # busy right after confirm
+    assert ready_flags[-1]             # ready after tR
+    assert ready_flags == sorted(ready_flags)  # monotone busy->ready
+
+
+def test_program_via_waveform_commits_to_array(rig):
+    sim, lun = rig
+    dram = DramBuffer(1 << 20)
+    data = page_pattern()
+    dram.write(0, data)
+    handle = make_handle(len(data), dram, 0)
+    deliver(sim, lun, cmd_addr_segment(CMD.PROGRAM_1ST, full_address(ADDR)))
+    deliver(sim, lun, data_in_segment(len(data), handle))
+    lun.deliver_segment(cmd_addr_segment(CMD.PROGRAM_2ND))
+    sim.run(until=sim.now + 100)
+    assert not StatusRegister.is_ready(lun.status.value())
+    sim.run()
+    assert lun.programs_completed == 1
+    assert lun.array.block(ADDR.block).is_programmed(ADDR.page)
+
+
+def test_erase_via_waveform(rig):
+    sim, lun = rig
+    lun.array.program(ADDR, page_pattern())
+    deliver(sim, lun, cmd_addr_segment(CMD.ERASE_1ST, row_address(ADDR)))
+    before = sim.now
+    deliver(sim, lun, cmd_addr_segment(CMD.ERASE_2ND))
+    assert sim.now - before >= T_BERS
+    assert lun.erases_completed == 1
+    assert not lun.array.block(ADDR.block).is_programmed(ADDR.page)
+
+
+def test_command_while_busy_raises(rig):
+    sim, lun = rig
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(ADDR)))
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_2ND))
+    sim.run(until=sim.now + 100)
+    assert lun.is_busy
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_1ST, full_address(ADDR)))
+    with pytest.raises(LunProtocolError):
+        sim.run()
+
+
+def test_status_allowed_while_busy(rig):
+    sim, lun = rig
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(ADDR)))
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_2ND))
+    sim.run(until=sim.now + 100)
+    handle = make_handle(1)
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_STATUS))
+    lun.deliver_segment(data_out_segment(1, handle))
+    sim.run(until=sim.now + 2000)
+    assert handle.delivered is not None
+    assert not StatusRegister.is_ready(int(handle.delivered[0]))
+
+
+def test_address_without_command_raises(rig):
+    sim, lun = rig
+    lun.deliver_segment(cmd_addr_segment(CMD.READ_STATUS, full_address(ADDR)))
+    with pytest.raises(LunProtocolError):
+        sim.run()
+
+
+def test_set_features_applies_after_busy(rig):
+    sim, lun = rig
+    dram = DramBuffer(4096)
+    dram.write(0, np.array([2, 0, 0, 0], dtype=np.uint8))
+    handle = make_handle(4, dram, 0)
+    deliver(sim, lun, cmd_addr_segment(CMD.SET_FEATURES, (int(FeatureAddress.TIMING_MODE),)))
+    deliver(sim, lun, data_in_segment(4, handle))
+    assert lun.features.timing_mode == 2
+
+
+def test_get_features_returns_params(rig):
+    sim, lun = rig
+    lun.features.set(FeatureAddress.VENDOR_READ_RETRY, (5, 0, 0, 0))
+    deliver(sim, lun, cmd_addr_segment(CMD.GET_FEATURES, (int(FeatureAddress.VENDOR_READ_RETRY),)))
+    handle = make_handle(4)
+    deliver(sim, lun, data_out_segment(4, handle))
+    assert list(handle.delivered) == [5, 0, 0, 0]
+
+
+def test_read_id_onfi_signature(rig):
+    sim, lun = rig
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_ID, (0x20,)))
+    handle = make_handle(4)
+    deliver(sim, lun, data_out_segment(4, handle))
+    assert bytes(handle.delivered) == b"ONFI"
+
+
+def test_read_parameter_page_roundtrip(rig):
+    sim, lun = rig
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_PARAMETER_PAGE, (0x00,)))
+    handle = make_handle(256)
+    deliver(sim, lun, data_out_segment(256, handle))
+    fields = parse_parameter_page(handle.delivered)
+    assert fields["model"] == "TESTNAND"
+    assert fields["page_size"] == TEST_GEOMETRY.page_size
+
+
+def test_pslc_read_is_faster(rig):
+    sim, lun = rig
+    lun.array.program(ADDR, page_pattern())
+    start_read(sim, lun)
+    t_native = sim.now
+
+    sim2 = Simulator()
+    lun2 = Lun(sim2, TEST_PROFILE, position=0, seed=5)
+    lun2.array.program(ADDR, page_pattern())
+    deliver(sim2, lun2, cmd_addr_segment(CMD.VENDOR_PSLC_ENTER))
+    start_read(sim2, lun2)
+    assert sim2.now < t_native
+    assert lun2.pslc_active
+
+
+def test_pslc_exit_restores_native_timing(rig):
+    sim, lun = rig
+    deliver(sim, lun, cmd_addr_segment(CMD.VENDOR_PSLC_ENTER))
+    deliver(sim, lun, cmd_addr_segment(CMD.VENDOR_PSLC_EXIT))
+    assert not lun.pslc_active
+
+
+def test_suspend_resume_erase(rig):
+    sim, lun = rig
+
+    def driver():
+        lun.deliver_segment(cmd_addr_segment(CMD.ERASE_1ST, row_address(ADDR)))
+        yield Timeout(500)
+        lun.deliver_segment(cmd_addr_segment(CMD.ERASE_2ND))
+        yield Timeout(100 * NS_PER_US)  # much less than tBERS
+        lun.deliver_segment(cmd_addr_segment(CMD.VENDOR_SUSPEND))
+        yield Timeout(1000)
+        assert lun.state is LunState.SUSPENDED
+        assert StatusRegister.is_ready(lun.status.value())
+        # A read can run while the erase is suspended.
+        lun.deliver_segment(cmd_addr_segment(CMD.READ_1ST, full_address(PhysicalAddress(block=9, page=0))))
+        yield Timeout(500)
+        lun.deliver_segment(cmd_addr_segment(CMD.READ_2ND))
+        yield Timeout(T_READ + 10_000)
+        assert lun.reads_completed == 1
+        lun.deliver_segment(cmd_addr_segment(CMD.VENDOR_RESUME))
+
+    sim.run_process(driver())
+    sim.run()
+    assert lun.erases_completed == 1
+    assert not lun.status.suspended
+
+
+def test_suspend_without_eraseprogram_raises(rig):
+    sim, lun = rig
+    lun.deliver_segment(cmd_addr_segment(CMD.VENDOR_SUSPEND))
+    with pytest.raises(LunProtocolError):
+        sim.run()
+
+
+def test_reset_aborts_busy_operation(rig):
+    sim, lun = rig
+
+    def driver():
+        lun.deliver_segment(cmd_addr_segment(CMD.ERASE_1ST, row_address(ADDR)))
+        yield Timeout(500)
+        lun.deliver_segment(cmd_addr_segment(CMD.ERASE_2ND))
+        yield Timeout(10 * NS_PER_US)
+        lun.deliver_segment(cmd_addr_segment(CMD.RESET))
+
+    sim.run_process(driver())
+    sim.run()
+    assert lun.erases_completed == 0  # aborted
+    assert lun.state is LunState.IDLE
+    assert StatusRegister.is_ready(lun.status.value())
+
+
+def test_multiplane_read_loads_both_planes(rig):
+    sim, lun = rig
+    a0 = PhysicalAddress(block=2, page=1)   # plane 0
+    a1 = PhysicalAddress(block=3, page=1)   # plane 1
+    lun.array.program(a0, page_pattern(fill=0x11))
+    lun.array.program(a1, page_pattern(fill=0x22))
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(a0)))
+    deliver(sim, lun, cmd_addr_segment(CMD.MP_READ_2ND))
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_1ST, full_address(a1)))
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_2ND))
+    assert lun.reads_completed == 2
+    assert lun.page_register_view(0) is not None
+    assert lun.page_register_view(1) is not None
+
+
+def test_cache_read_pipelines_next_page(rig):
+    sim, lun = rig
+    a0 = PhysicalAddress(block=4, page=0)
+    a1 = PhysicalAddress(block=4, page=1)
+    lun.array.program(a0, page_pattern(fill=0x33))
+    lun.array.program(a1, page_pattern(fill=0x44))
+    lun.array.error_model.config = type(lun.array.error_model.config).noiseless()
+    start_read(sim, lun, a0)
+    # 0x31: page 0 moves to cache register (readable now), array fetches page 1.
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_CACHE_SEQ))
+    h0 = make_handle(8)
+    deliver(sim, lun, data_out_segment(8, h0))
+    assert h0.delivered is not None
+    sim.run()  # let the background tR complete
+    deliver(sim, lun, cmd_addr_segment(CMD.READ_CACHE_END))
+    h1 = make_handle(8)
+    deliver(sim, lun, data_out_segment(8, h1))
+    assert lun.reads_completed == 2
+
+
+def test_busy_accounting_accumulates(rig):
+    sim, lun = rig
+    lun.array.program(ADDR, page_pattern())
+    start_read(sim, lun)
+    assert lun.busy_ns_total >= T_READ
+
+
+def test_data_out_without_source_raises(rig):
+    sim, lun = rig
+    handle = make_handle(4)
+    lun.deliver_segment(data_out_segment(4, handle))
+    with pytest.raises(LunProtocolError):
+        sim.run()

@@ -1,0 +1,215 @@
+"""Edge-case and cross-configuration coverage: SDR-mode operation,
+deeper executor queues, scheduler aging, vendor variety, DMA inline
+handles, and the workload helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import BabolController, ControllerConfig
+from repro.core.softenv.txn_scheduler import PriorityTxnScheduler
+from repro.core.transaction import Transaction, TxnKind
+from repro.dram import InlineDmaHandle
+from repro.flash import HYNIX_V7, MICRON_B47R, TOSHIBA_BICS5
+from repro.flash.errors import ErrorModelConfig
+from repro.host import measure_read_throughput
+from repro.onfi import SDR_MODE0
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE, page_pattern
+
+PAGE = TEST_PROFILE.geometry.full_page_size
+
+
+# --- SDR-mode operation ------------------------------------------------------
+
+
+def test_full_read_works_in_sdr_boot_mode():
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=1, runtime="rtos",
+                         interface=SDR_MODE0, seed=1),
+    )
+    controller.luns[0].array.error_model.config = ErrorModelConfig.noiseless()
+    data = page_pattern()
+    controller.dram.write(0, data)
+    controller.run_to_completion(controller.program_page(0, 1, 0, 0))
+    t0 = sim.now
+    controller.run_to_completion(controller.read_page(0, 1, 0, PAGE))
+    sdr_read_ns = sim.now - t0
+    np.testing.assert_array_equal(controller.dram.read(PAGE, PAGE), data)
+    # SDR at 10 MT/s: the page transfer alone takes ~211 us.
+    assert sdr_read_ns > 200_000
+
+
+def test_sdr_much_slower_than_nvddr2():
+    def read_time(interface):
+        sim = Simulator()
+        controller = BabolController(
+            sim,
+            ControllerConfig(vendor=TEST_PROFILE, lun_count=1,
+                             runtime="rtos", track_data=False,
+                             **({"interface": interface} if interface else {})),
+        )
+        t0 = sim.now
+        controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+        return sim.now - t0
+
+    assert read_time(SDR_MODE0) > 3 * read_time(None)
+
+
+# --- executor queue depth -----------------------------------------------------
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4])
+def test_controller_works_at_any_queue_depth(depth):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2, runtime="rtos",
+                         executor_queue_depth=depth, track_data=False),
+    )
+    tasks = [controller.read_page(lun, 1, 0, 0) for lun in range(2)]
+    for task in tasks:
+        controller.run_to_completion(task)
+    assert controller.executor.executed >= 4  # preambles + polls + transfers
+
+
+# --- priority scheduler aging ---------------------------------------------------
+
+
+def test_priority_aging_promotes_stale_polls():
+    sim = Simulator()
+    scheduler = PriorityTxnScheduler(age_threshold_ns=1_000)
+    poll = Transaction(sim, 0, kind=TxnKind.POLL)
+    poll.enqueued_at = 0
+    data = Transaction(sim, 1, kind=TxnKind.DATA_OUT)
+    data.enqueued_at = 500
+    # Fresh poll: data wins.
+    sim.schedule(0, lambda: None)
+    sim.run()
+    assert scheduler.select([poll, data]) is data
+    # Age past the threshold: the poll is promoted.
+    sim.schedule(2_000, lambda: None)
+    sim.run()
+    assert scheduler.select([poll, data]) is poll
+
+
+def test_priority_without_aging_never_promotes():
+    sim = Simulator()
+    scheduler = PriorityTxnScheduler()  # aging off
+    poll = Transaction(sim, 0, kind=TxnKind.POLL)
+    poll.enqueued_at = 0
+    data = Transaction(sim, 1, kind=TxnKind.DATA_OUT)
+    data.enqueued_at = 500
+    sim.schedule(10_000_000, lambda: None)
+    sim.run()
+    assert scheduler.select([poll, data]) is data
+
+
+# --- vendor variety through the full stack ---------------------------------------
+
+
+@pytest.mark.parametrize("vendor", [HYNIX_V7, TOSHIBA_BICS5, MICRON_B47R])
+def test_read_latency_tracks_vendor_tr(vendor):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=vendor, lun_count=1, runtime="rtos",
+                         track_data=False),
+    )
+    t0 = sim.now
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    elapsed = sim.now - t0
+    # Latency is dominated by tR + transfer; must scale with the vendor.
+    floor = vendor.timing.t_read_ns * 0.9
+    ceiling = vendor.timing.t_read_ns * 1.3 + 150_000
+    assert floor < elapsed < ceiling
+
+
+def test_vendor_id_density_byte_nonzero_for_2tb_parts():
+    for vendor in (HYNIX_V7, TOSHIBA_BICS5, MICRON_B47R):
+        jedec = vendor.id_bytes()
+        assert len(jedec) == 5
+        assert jedec[0] in (0xAD, 0x98, 0x2C)
+
+
+# --- inline DMA handles ----------------------------------------------------------
+
+
+def test_inline_handle_fetch_and_accounting():
+    handle = InlineDmaHandle([1, 2, 3, 4])
+    out = handle.fetch(3)
+    np.testing.assert_array_equal(out, [1, 2, 3])
+    assert handle.bytes_moved == 3
+    assert handle.nbytes == 4
+
+
+def test_inline_handle_fetch_beyond_length_truncates():
+    handle = InlineDmaHandle([9, 9])
+    assert len(handle.fetch(10)) == 2
+
+
+# --- workload helper edge cases -----------------------------------------------------
+
+
+def test_workload_zero_warmup_measures_from_start():
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=1, runtime="rtos",
+                         track_data=False),
+    )
+    result = measure_read_throughput(sim, controller, 1, reads_per_lun=3,
+                                     warmup_per_lun=0)
+    assert result.pages_read == 3
+    assert result.throughput_mb_s > 0
+
+
+def test_workload_wraps_across_blocks():
+    """More reads than pages per block must roll into the next block."""
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=1, runtime="rtos",
+                         track_data=False),
+    )
+    pages = TEST_PROFILE.geometry.pages_per_block
+    result = measure_read_throughput(sim, controller, 1,
+                                     reads_per_lun=pages + 2,
+                                     warmup_per_lun=0)
+    assert result.pages_read == pages + 2
+
+
+# --- misc ---------------------------------------------------------------------
+
+
+def test_transaction_describe_and_queueing_delay():
+    sim = Simulator()
+    txn = Transaction(sim, 3, kind=TxnKind.DATA_IN, label="x")
+    assert "lun3" in txn.describe()
+    assert txn.queueing_delay_ns is None
+    txn.enqueued_at = 10
+    txn.started_at = 25
+    assert txn.queueing_delay_ns == 15
+
+
+def test_event_pending_lifecycle():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    assert event.pending
+    sim.run()
+    assert not event.pending
+    cancelled = sim.schedule(5, lambda: None)
+    cancelled.cancel()
+    assert not cancelled.pending
+
+
+def test_cpu_busy_ns_accounting():
+    from repro.core.softenv import Cpu, GHZ
+
+    sim = Simulator()
+    cpu = Cpu(sim, GHZ)
+    sim.run_process(cpu.execute(5000))
+    assert cpu.busy_ns == 5000
+    assert "1000MHz" in cpu.describe()

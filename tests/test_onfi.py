@@ -1,0 +1,311 @@
+"""Unit tests for the ONFI substrate (commands, timing, modes, status,
+geometry, features, waveform segments)."""
+
+import pytest
+
+from repro.onfi import (
+    CMD,
+    AddressCodec,
+    AddressLatch,
+    CommandClass,
+    CommandLatch,
+    DataInterface,
+    DataOutAction,
+    FeatureAddress,
+    FeatureStore,
+    Geometry,
+    IdleWait,
+    NVDDR2_100,
+    NVDDR2_200,
+    PhysicalAddress,
+    Pin,
+    SDR_MODE0,
+    SegmentKind,
+    StatusBits,
+    StatusRegister,
+    WaveformSegment,
+    classify_opcode,
+    interface_by_name,
+    opcode_name,
+    timing_for_mode,
+)
+
+
+# --- commands -----------------------------------------------------------
+
+
+def test_classify_core_opcodes():
+    assert classify_opcode(CMD.READ_1ST) is CommandClass.READ
+    assert classify_opcode(CMD.READ_2ND) is CommandClass.READ_CONFIRM
+    assert classify_opcode(CMD.READ_STATUS) is CommandClass.STATUS
+    assert classify_opcode(CMD.PROGRAM_1ST) is CommandClass.PROGRAM
+    assert classify_opcode(CMD.ERASE_1ST) is CommandClass.ERASE
+    assert classify_opcode(CMD.RESET) is CommandClass.RESET
+    assert classify_opcode(0xB7) is CommandClass.UNKNOWN
+
+
+def test_vendor_opcodes_classified():
+    assert classify_opcode(CMD.VENDOR_PSLC_ENTER) is CommandClass.VENDOR
+    assert classify_opcode(CMD.VENDOR_SUSPEND) is CommandClass.VENDOR
+
+
+def test_opcode_name_lookup():
+    assert opcode_name(CMD.READ_STATUS) == "READ_STATUS"
+    assert opcode_name(0xB7) == "0xB7"
+
+
+# --- data modes -----------------------------------------------------------
+
+
+def test_transfer_time_matches_table1():
+    """Table I: 16 KiB + spare page transfers in ~185/~100 us."""
+    geometry = Geometry()
+    t100 = NVDDR2_100.transfer_ns(geometry.full_page_size)
+    t200 = NVDDR2_200.transfer_ns(geometry.full_page_size)
+    assert 180_000 <= t100 <= 190_000
+    assert 90_000 <= t200 <= 105_000
+    assert abs(t100 - 2 * t200) < 2 * NVDDR2_100.turnaround_ns + 10
+
+
+def test_transfer_zero_bytes_is_free():
+    assert NVDDR2_200.transfer_ns(0) == 0
+
+
+def test_transfer_rounds_up():
+    # 1 byte at 200 MT/s is 5 ns plus turnaround, never 0.
+    assert NVDDR2_200.transfer_ns(1) >= 5
+
+
+def test_interface_by_name_roundtrip():
+    for mode in (SDR_MODE0, NVDDR2_100, NVDDR2_200):
+        assert interface_by_name(mode.name) is mode
+    with pytest.raises(KeyError):
+        interface_by_name("NV-DDR2-9000")
+
+
+def test_bandwidth_reported_in_mb_s():
+    assert NVDDR2_200.bandwidth_mb_s() == 200.0
+
+
+# --- timing -----------------------------------------------------------
+
+
+def test_timing_sets_validate():
+    for mode in ("SDR-mode0", "NV-DDR2-100", "NV-DDR2-200"):
+        timing_for_mode(mode).validate()
+
+
+def test_sdr_slower_than_nvddr2():
+    sdr = timing_for_mode("SDR-mode0")
+    ddr = timing_for_mode("NV-DDR2-200")
+    assert sdr.latch_cycle_ns() > ddr.latch_cycle_ns()
+
+
+def test_unknown_timing_mode_raises():
+    with pytest.raises(KeyError):
+        timing_for_mode("bogus")
+
+
+# --- status -----------------------------------------------------------
+
+
+def test_status_idle_value_has_rdy_ardy_wp():
+    reg = StatusRegister()
+    value = reg.value()
+    assert value & StatusBits.RDY
+    assert value & StatusBits.ARDY
+    assert value & StatusBits.WP
+    assert not value & StatusBits.FAIL
+
+
+def test_status_busy_then_ready_cycle():
+    reg = StatusRegister()
+    reg.begin_operation()
+    assert not StatusRegister.is_ready(reg.value())
+    reg.finish_operation(failed=False)
+    assert StatusRegister.is_ready(reg.value())
+    assert not StatusRegister.is_failed(reg.value())
+
+
+def test_status_fail_shifts_to_failc():
+    reg = StatusRegister()
+    reg.begin_operation()
+    reg.finish_operation(failed=True)
+    assert StatusRegister.is_failed(reg.value())
+    reg.begin_operation()
+    assert reg.value() & StatusBits.FAILC
+    assert not reg.value() & StatusBits.FAIL
+
+
+def test_status_cache_phase_rdy_without_ardy():
+    reg = StatusRegister()
+    reg.begin_operation()
+    reg.begin_cache_phase()
+    value = reg.value()
+    assert StatusRegister.is_ready(value)
+    assert not StatusRegister.is_array_ready(value)
+
+
+def test_write_protect_bit_inverted():
+    reg = StatusRegister()
+    reg.write_protected = True
+    assert not reg.value() & StatusBits.WP
+
+
+# --- geometry / address codec -------------------------------------------
+
+
+def test_geometry_defaults_capacity():
+    geometry = Geometry()
+    assert geometry.full_page_size == 18432
+    assert geometry.blocks_per_lun == 2048
+    assert geometry.capacity_bytes == 2048 * 256 * 16384
+
+
+def test_codec_roundtrip_simple():
+    codec = AddressCodec(Geometry())
+    addr = PhysicalAddress(block=1234, page=56, column=789)
+    assert codec.decode(codec.encode(addr)) == addr
+
+
+def test_codec_row_address_packing():
+    geometry = Geometry()
+    codec = AddressCodec(geometry)
+    addr = PhysicalAddress(block=3, page=7)
+    assert codec.row_address(addr) == 3 * geometry.pages_per_block + 7
+
+
+def test_codec_rejects_out_of_range():
+    codec = AddressCodec(Geometry())
+    with pytest.raises(ValueError):
+        codec.encode(PhysicalAddress(block=999_999, page=0))
+    with pytest.raises(ValueError):
+        codec.encode(PhysicalAddress(block=0, page=0, column=1 << 20))
+    with pytest.raises(ValueError):
+        codec.decode((0, 0))
+
+
+def test_codec_plane_interleaving():
+    codec = AddressCodec(Geometry(planes=2))
+    assert codec.plane_of(PhysicalAddress(block=4, page=0)) == 0
+    assert codec.plane_of(PhysicalAddress(block=5, page=0)) == 1
+
+
+def test_geometry_validation_catches_narrow_cycles():
+    with pytest.raises(ValueError):
+        Geometry(col_cycles=1).validate()
+
+
+# --- features -----------------------------------------------------------
+
+
+def test_feature_store_set_get():
+    store = FeatureStore()
+    store.set(FeatureAddress.VENDOR_READ_RETRY, (3, 0, 0, 0))
+    assert store.get(FeatureAddress.VENDOR_READ_RETRY) == (3, 0, 0, 0)
+    assert store.read_retry_level == 3
+
+
+def test_feature_store_callback_fires():
+    store = FeatureStore()
+    seen = []
+    store.on_change(lambda addr, params: seen.append((addr, params)))
+    store.set(FeatureAddress.VENDOR_PSLC_MODE, (1, 0, 0, 0))
+    assert seen == [(int(FeatureAddress.VENDOR_PSLC_MODE), (1, 0, 0, 0))]
+    assert store.pslc_enabled
+
+
+def test_feature_store_validates_params():
+    store = FeatureStore()
+    with pytest.raises(ValueError):
+        store.set(FeatureAddress.TIMING_MODE, (1, 2, 3))
+    with pytest.raises(ValueError):
+        store.set(FeatureAddress.TIMING_MODE, (300, 0, 0, 0))
+
+
+def test_feature_output_phase_signed():
+    store = FeatureStore()
+    store.set(FeatureAddress.VENDOR_OUTPUT_PHASE, (0xFF, 0, 0, 0))
+    assert store.output_phase == -1
+    store.set(FeatureAddress.VENDOR_OUTPUT_PHASE, (5, 0, 0, 0))
+    assert store.output_phase == 5
+
+
+# --- waveform segments ----------------------------------------------------
+
+
+def _latch_segment() -> WaveformSegment:
+    return WaveformSegment(
+        kind=SegmentKind.CMD_ADDR,
+        duration_ns=300,
+        actions=(
+            (0, CommandLatch(CMD.READ_1ST)),
+            (25, AddressLatch((0x00, 0x00, 0x12, 0x34, 0x00))),
+        ),
+        label="read-preamble",
+    )
+
+
+def test_segment_action_offsets_must_be_ordered():
+    with pytest.raises(ValueError):
+        WaveformSegment(
+            kind=SegmentKind.CMD_ADDR,
+            duration_ns=100,
+            actions=((50, CommandLatch(0x00)), (10, CommandLatch(0x30))),
+        )
+
+
+def test_segment_action_offset_beyond_end_rejected():
+    with pytest.raises(ValueError):
+        WaveformSegment(
+            kind=SegmentKind.TIMER,
+            duration_ns=10,
+            actions=((20, IdleWait(5)),),
+        )
+
+
+def test_segment_targets_from_chip_mask():
+    segment = WaveformSegment(kind=SegmentKind.TIMER, duration_ns=5, chip_mask=0b1010)
+    assert segment.targets(channel_width=4) == [1, 3]
+
+
+def test_segment_describe_mentions_actions():
+    text = _latch_segment().describe()
+    assert "CMD READ_1ST" in text
+    assert "ADDR" in text
+
+
+def test_segment_edges_are_time_sorted_and_bracketed_by_ce():
+    timing = timing_for_mode("NV-DDR2-200")
+    edges = _latch_segment().render_edges(timing, NVDDR2_200)
+    times = [edge.t for edge in edges]
+    assert times == sorted(times)
+    assert edges[0].pin is Pin.CE and edges[0].value == 0
+    assert edges[-1].pin is Pin.CE and edges[-1].value == 1
+
+
+def test_segment_edges_carry_latched_bytes():
+    timing = timing_for_mode("NV-DDR2-200")
+    edges = _latch_segment().render_edges(timing, NVDDR2_200)
+    dq_values = [edge.value for edge in edges if edge.pin is Pin.DQ]
+    assert dq_values[0] == CMD.READ_1ST
+    assert dq_values[1:] == [0x00, 0x00, 0x12, 0x34, 0x00]
+
+
+def test_data_out_segment_toggles_re_and_dqs():
+    interface = NVDDR2_200
+    nbytes = 1024
+    duration = interface.transfer_ns(nbytes)
+    segment = WaveformSegment(
+        kind=SegmentKind.DATA_OUT,
+        duration_ns=duration,
+        actions=((0, DataOutAction(nbytes)),),
+    )
+    edges = segment.render_edges(timing_for_mode("NV-DDR2-200"), interface)
+    pins = {edge.pin for edge in edges}
+    assert Pin.RE in pins and Pin.DQS in pins
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        WaveformSegment(kind=SegmentKind.TIMER, duration_ns=-1)

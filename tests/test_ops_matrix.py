@@ -1,0 +1,169 @@
+"""Operation-matrix conformance: every library operation, on both
+runtimes and several vendor profiles, must complete AND emit ONFI-legal
+waveforms (validated by the timing linter on a live capture)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import LogicAnalyzer, TimingChecker
+from repro.core import BabolController, ControllerConfig
+from repro.core.ops import (
+    cache_program_op,
+    cache_read_sequential_op,
+    erase_block_op,
+    full_page_read_op,
+    gang_read_op,
+    get_features_op,
+    multiplane_erase_op,
+    multiplane_program_op,
+    multiplane_read_op,
+    partial_program_op,
+    partial_read_op,
+    program_page_op,
+    pslc_erase_op,
+    pslc_program_op,
+    pslc_read_op,
+    read_id_op,
+    read_page_op,
+    read_page_timed_wait_op,
+    read_parameter_page_op,
+    read_status_enhanced_op,
+    read_status_op,
+    reset_op,
+    set_features_op,
+)
+from repro.flash.errors import ErrorModelConfig
+from repro.onfi.features import FeatureAddress
+from repro.onfi.geometry import PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+
+PAGE = TEST_PROFILE.geometry.full_page_size
+ADDR = PhysicalAddress(block=2, page=0)
+ADDR_P1 = PhysicalAddress(block=3, page=0)  # plane 1 in the test geometry
+
+# Each entry: (op, kwargs-builder).  The builder gets the controller so
+# addresses/codec resolve per configuration.
+MATRIX = [
+    ("read_status", read_status_op, lambda c: {}),
+    ("read_status_enhanced", read_status_enhanced_op,
+     lambda c: {"row_address_bytes": c.codec.encode_row(
+         c.codec.row_address(ADDR))}),
+    ("read_page", read_page_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("full_page_read", full_page_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("partial_read", partial_read_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=2, page=0, column=256),
+                "dram_address": 0, "length": 128}),
+    ("timed_wait_read", read_page_timed_wait_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0,
+                "wait_ns": int(c.config.vendor.timing.t_read_ns * 1.3)}),
+    ("program_page", program_page_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=4, page=0),
+                "dram_address": 0}),
+    ("partial_program", partial_program_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=4, page=1),
+                "chunks": [(0, 0, 128), (512, 0, 128)]}),
+    ("erase_block", erase_block_op,
+     lambda c: {"codec": c.codec, "block": 5}),
+    ("pslc_read", pslc_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("pslc_program", pslc_program_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=6, page=0),
+                "dram_address": 0}),
+    ("pslc_erase", pslc_erase_op,
+     lambda c: {"codec": c.codec, "block": 7}),
+    ("set_features", set_features_op,
+     lambda c: {"feature_address": int(FeatureAddress.IO_DRIVE_STRENGTH),
+                "params": (1, 0, 0, 0)}),
+    ("get_features", get_features_op,
+     lambda c: {"feature_address": int(FeatureAddress.IO_DRIVE_STRENGTH)}),
+    ("read_id", read_id_op, lambda c: {}),
+    ("read_parameter_page", read_parameter_page_op,
+     lambda c: {"param_busy_ns": c.config.vendor.timing.t_param_read_ns}),
+    ("reset", reset_op, lambda c: {}),
+    ("cache_read", cache_read_sequential_op,
+     lambda c: {"codec": c.codec, "start": PhysicalAddress(block=8, page=0),
+                "dram_addresses": [0, PAGE]}),
+    ("cache_program", cache_program_op,
+     lambda c: {"codec": c.codec,
+                "pages": [(PhysicalAddress(block=9, page=0), 0),
+                          (PhysicalAddress(block=9, page=1), 0)]}),
+    ("multiplane_read", multiplane_read_op,
+     lambda c: {"codec": c.codec, "addresses": [ADDR, ADDR_P1],
+                "dram_addresses": [0, PAGE]}),
+    ("multiplane_program", multiplane_program_op,
+     lambda c: {"codec": c.codec,
+                "pages": [(PhysicalAddress(block=10, page=0), 0),
+                          (PhysicalAddress(block=11, page=0), 0)]}),
+    ("multiplane_erase", multiplane_erase_op,
+     lambda c: {"codec": c.codec, "blocks": [10, 11]}),
+    ("gang_read", gang_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "positions": [0, 1],
+                "dram_address": 0}),
+]
+
+
+def make_controller(runtime: str) -> tuple[Simulator, BabolController]:
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2, runtime=runtime,
+                         track_data=False, seed=6),
+    )
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    return sim, controller
+
+
+@pytest.mark.parametrize("runtime", ["rtos", "coroutine"])
+@pytest.mark.parametrize("name,op,build_kwargs",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_operation_completes_and_is_onfi_legal(runtime, name, op, build_kwargs):
+    sim, controller = make_controller(runtime)
+    analyzer = LogicAnalyzer(controller.channel)
+    task = controller.submit(op, 0, **build_kwargs(controller))
+    result = controller.run_to_completion(task)
+    assert result is not None or name == "reset"
+
+    checker = TimingChecker(controller.channel.timing, lun_count=2)
+    checker.check_analyzer(analyzer)
+    assert checker.clean, f"{name} ({runtime}): {checker.report()}"
+
+
+def test_read_status_enhanced_returns_status_byte():
+    sim, controller = make_controller("rtos")
+    task = controller.submit(
+        read_status_enhanced_op, 0,
+        row_address_bytes=controller.codec.encode_row(
+            controller.codec.row_address(ADDR)),
+    )
+    status = controller.run_to_completion(task)
+    assert StatusRegister.is_ready(status)
+
+
+def test_matrix_runs_on_slower_vendor_timing():
+    """Same matrix smoke on a re-timed profile (2x slower array)."""
+    slow_timing = dataclasses.replace(
+        TEST_PROFILE.timing,
+        t_read_ns=TEST_PROFILE.timing.t_read_ns * 2,
+        t_prog_ns=TEST_PROFILE.timing.t_prog_ns * 2,
+    )
+    slow = dataclasses.replace(TEST_PROFILE, timing=slow_timing)
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=slow, lun_count=1, runtime="rtos",
+                         track_data=False),
+    )
+    t0 = sim.now
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    assert sim.now - t0 > TEST_PROFILE.timing.t_read_ns * 2

@@ -1,0 +1,298 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Condition,
+    Mutex,
+    Queue,
+    SimError,
+    Simulator,
+    Timeout,
+    Trigger,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(30, lambda: log.append(("b", sim.now)))
+    sim.schedule(10, lambda: log.append(("a", sim.now)))
+    sim.schedule(20, lambda: log.append(("m", sim.now)))
+    sim.run()
+    assert log == [("a", 10), ("m", 20), ("b", 30)]
+
+
+def test_same_time_events_fifo_by_schedule_order():
+    sim = Simulator()
+    log = []
+    for tag in "abc":
+        sim.schedule(5, lambda t=tag: log.append(t))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancelled_event_does_not_run():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(10, lambda: log.append("x"))
+    event.cancel()
+    sim.run()
+    assert log == []
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(100, lambda: log.append("late"))
+    sim.run(until=50)
+    assert sim.now == 50
+    assert log == []
+    sim.run()
+    assert log == ["late"]
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    log = []
+    sim.schedule_at(42, lambda: log.append(sim.now))
+    sim.run()
+    assert log == [42]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_process_timeout_advances_clock():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(7)
+        yield Timeout(3)
+        return sim.now
+
+    assert sim.run_process(worker()) == 10
+
+
+def test_process_bare_int_is_timeout():
+    sim = Simulator()
+
+    def worker():
+        yield 25
+        return sim.now
+
+    assert sim.run_process(worker()) == 25
+
+
+def test_process_join_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(5)
+        return "done"
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield from proc.join()
+        return value, sim.now
+
+    assert sim.run_process(parent()) == ("done", 5)
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+
+    def child():
+        return 11
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Timeout(50)
+        value = yield from proc.join()
+        return value
+
+    assert sim.run_process(parent()) == 11
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1)
+        raise ValueError("boom")
+
+    sim.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_unsupported_yield_raises():
+    sim = Simulator()
+
+    def weird():
+        yield "nonsense"
+
+    sim.spawn(weird())
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_trigger_resumes_all_waiters():
+    sim = Simulator()
+    trigger = Trigger(sim)
+    results = []
+
+    def waiter(tag):
+        value = yield from trigger.wait()
+        results.append((tag, value, sim.now))
+
+    sim.spawn(waiter("a"))
+    sim.spawn(waiter("b"))
+    sim.schedule(15, lambda: trigger.fire("go"))
+    sim.run()
+    assert sorted(results) == [("a", "go", 15), ("b", "go", 15)]
+    assert trigger.fire_count == 1
+
+
+def test_trigger_does_not_resume_late_waiters():
+    sim = Simulator()
+    trigger = Trigger(sim)
+    log = []
+
+    def late():
+        yield Timeout(20)
+        value = yield from trigger.wait()
+        log.append(value)
+
+    sim.spawn(late())
+    sim.schedule(5, lambda: trigger.fire("early"))
+    sim.schedule(30, lambda: trigger.fire("second"))
+    sim.run()
+    assert log == ["second"]
+
+
+def test_mutex_is_fifo_fair():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    order = []
+
+    def contender(tag, arrive, hold):
+        yield Timeout(arrive)
+        yield from mutex.acquire(owner=tag)
+        order.append((tag, sim.now))
+        yield Timeout(hold)
+        mutex.release()
+
+    sim.spawn(contender("first", 0, 100))
+    sim.spawn(contender("second", 10, 10))
+    sim.spawn(contender("third", 20, 10))
+    sim.run()
+    assert order == [("first", 0), ("second", 100), ("third", 110)]
+
+
+def test_mutex_release_unlocked_raises():
+    sim = Simulator()
+    with pytest.raises(RuntimeError):
+        Mutex(sim).release()
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    queue = Queue(sim)
+    got = []
+
+    def consumer():
+        item = yield from queue.get()
+        got.append((item, sim.now))
+
+    sim.spawn(consumer())
+    sim.schedule(40, lambda: queue.put("payload"))
+    sim.run()
+    assert got == [("payload", 40)]
+
+
+def test_queue_preserves_fifo_and_try_get():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put(1)
+    queue.put(2)
+    assert len(queue) == 2
+    assert queue.try_get() == 1
+    assert queue.try_get() == 2
+    assert queue.try_get() is None
+
+
+def test_queue_remove_specific_item():
+    sim = Simulator()
+    queue = Queue(sim)
+    queue.put("a")
+    queue.put("b")
+    assert queue.remove("a") is True
+    assert queue.remove("zzz") is False
+    assert queue.peek_all() == ("b",)
+
+
+def test_condition_wait_for_predicate():
+    sim = Simulator()
+    cond = Condition(sim)
+    state = {"ready": False}
+    log = []
+
+    def waiter():
+        yield from cond.wait_for(lambda: state["ready"])
+        log.append(sim.now)
+
+    def setter():
+        yield Timeout(10)
+        cond.notify()  # spurious: predicate still false
+        yield Timeout(10)
+        state["ready"] = True
+        cond.notify()
+
+    sim.spawn(waiter())
+    sim.spawn(setter())
+    sim.run()
+    assert log == [20]
+
+
+def test_run_process_unfinished_raises():
+    sim = Simulator()
+
+    def forever():
+        trigger = Trigger(sim)
+        yield from trigger.wait()
+
+    with pytest.raises(SimError):
+        sim.run_process(forever())
+
+
+def test_nested_yield_from_composition():
+    sim = Simulator()
+
+    def inner():
+        yield Timeout(5)
+        return 2
+
+    def outer():
+        a = yield from inner()
+        b = yield from inner()
+        return a + b, sim.now
+
+    assert sim.run_process(outer()) == (4, 10)

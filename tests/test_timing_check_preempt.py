@@ -1,0 +1,247 @@
+"""Tests for the ONFI timing linter and the preemptive-read manager."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LogicAnalyzer, TimingChecker
+from repro.analysis.logic_analyzer import AnalyzerEvent
+from repro.baselines import AsyncHwController, SyncHwController
+from repro.core import BabolController, ControllerConfig
+from repro.core.preempt import PreemptiveLunManager
+from repro.flash.errors import ErrorModelConfig
+from repro.onfi.commands import CMD
+from repro.onfi.timing import timing_for_mode
+from repro.sim import Simulator, Timeout
+
+from tests.helpers import TEST_PROFILE, page_pattern
+
+PAGE = TEST_PROFILE.geometry.full_page_size
+TIMING = timing_for_mode("NV-DDR2-200")
+
+
+def make_babol(runtime="rtos", lun_count=2):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=lun_count,
+                         runtime=runtime, track_data=False, seed=3),
+    )
+    return sim, controller
+
+
+# --- timing checker: clean captures -----------------------------------------
+
+
+@pytest.mark.parametrize("runtime", ["rtos", "coroutine"])
+def test_babol_emits_legal_onfi(runtime):
+    sim, controller = make_babol(runtime)
+    analyzer = LogicAnalyzer(controller.channel)
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    controller.run_to_completion(controller.program_page(1, 1, 0, 0))
+    controller.run_to_completion(controller.erase_block(0, 1))
+    checker = TimingChecker(TIMING, lun_count=2)
+    violations = checker.check_analyzer(analyzer)
+    assert checker.clean, checker.report()
+    assert violations == []
+
+
+@pytest.mark.parametrize("cls", [SyncHwController, AsyncHwController])
+def test_hw_baselines_emit_legal_onfi(cls):
+    sim = Simulator()
+    controller = cls(sim, vendor=TEST_PROFILE, lun_count=2, track_data=False)
+    analyzer = LogicAnalyzer(controller.channel)
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    controller.run_to_completion(controller.erase_block(1, 1))
+    checker = TimingChecker(TIMING, lun_count=2)
+    checker.check_analyzer(analyzer)
+    assert checker.clean, checker.report()
+
+
+def test_complex_operations_stay_legal():
+    sim, controller = make_babol()
+    analyzer = LogicAnalyzer(controller.channel)
+    controller.run_to_completion(controller.pslc_erase(0, 3))
+    controller.run_to_completion(controller.pslc_program(0, 3, 0, 0))
+    controller.run_to_completion(controller.pslc_read(0, 3, 0, 0))
+    controller.run_to_completion(controller.read_parameter_page(1))
+    controller.run_to_completion(controller.read_id(1))
+    checker = TimingChecker(TIMING, lun_count=2)
+    checker.check_analyzer(analyzer)
+    assert checker.clean, checker.report()
+    assert "clean" in checker.report()
+
+
+# --- timing checker: violation detection ----------------------------------------
+
+
+def test_checker_flags_orphan_address():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [AnalyzerEvent(100, "addr", "00,01", None, 0b1, 0)]
+    violations = checker.check_events(events)
+    assert len(violations) == 1
+    assert violations[0].rule == "orphan-address"
+    assert "orphan-address" in checker.report()
+
+
+def test_checker_flags_fast_poll_after_confirm():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_2ND", CMD.READ_2ND, 0b1, 0),
+        AnalyzerEvent(10, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+    ]
+    violations = checker.check_events(events)
+    assert any(v.rule == "tWB" for v in violations)
+
+
+def test_checker_flags_unarmed_data_out():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [AnalyzerEvent(0, "data_out", "64B", None, 0b1, 0)]
+    violations = checker.check_events(events)
+    assert violations[0].rule == "unarmed-data-out"
+
+
+def test_checker_flags_fast_ccs():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "CHANGE_READ_COL_2ND",
+                      CMD.CHANGE_READ_COL_2ND, 0b1, 0),
+        AnalyzerEvent(10, "data_out", "4096B", None, 0b1, 0),
+    ]
+    violations = checker.check_events(events)
+    assert any(v.rule == "tCCS" for v in violations)
+
+
+def test_checker_flags_confirm_without_address():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "ERASE_1ST", CMD.ERASE_1ST, 0b1, 0),
+        AnalyzerEvent(50, "cmd", "ERASE_2ND", CMD.ERASE_2ND, 0b1, 0),
+    ]
+    violations = checker.check_events(events)
+    assert any(v.rule == "confirm-without-address" for v in violations)
+
+
+def test_status_enhanced_address_is_not_orphan():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS_ENHANCED",
+                      CMD.READ_STATUS_ENHANCED, 0b1, 0),
+        AnalyzerEvent(50, "addr", "00,01,00", None, 0b1, 0),
+    ]
+    assert checker.check_events(events) == []
+
+
+# --- preemptive reads ---------------------------------------------------------
+
+
+def test_preemptive_read_cuts_latency_under_erase():
+    t_bers = TEST_PROFILE.timing.t_bers_ns
+
+    def read_latency(preemptive: bool):
+        sim, controller = make_babol()
+        manager = PreemptiveLunManager(controller, lun=0)
+        latency = {}
+
+        def background():
+            if preemptive:
+                yield from manager.erase(5)
+            else:
+                task = controller.erase_block(0, 5)
+                yield from controller.wait(task)
+
+        def reader():
+            yield Timeout(50_000)  # arrive mid-erase
+            start = sim.now
+            if preemptive:
+                yield from manager.read(1, 0, 0)
+            else:
+                task = controller.read_page(0, 1, 0, 0)
+                yield from controller.wait(task)
+            latency["ns"] = sim.now - start
+
+        sim.spawn(background())
+        sim.spawn(reader())
+        sim.run()
+        return latency["ns"]
+
+    blocked = read_latency(preemptive=False)
+    preempted = read_latency(preemptive=True)
+    assert blocked > t_bers * 0.8          # queued behind the full erase
+    assert preempted < blocked / 3         # suspension rescued the read
+
+
+def test_preemptive_erase_still_completes():
+    sim, controller = make_babol()
+    manager = PreemptiveLunManager(controller, lun=0)
+    outcome = {}
+
+    def background():
+        ok = yield from manager.erase(5)
+        outcome["ok"] = ok
+
+    def reader():
+        yield Timeout(80_000)
+        yield from manager.read(1, 0, 0)
+
+    sim.spawn(background())
+    sim.spawn(reader())
+    sim.run()
+    assert outcome["ok"] is True
+    assert controller.luns[0].erases_completed == 1
+    assert manager.stats.preemptions == 1
+    assert "1 preemption" in manager.describe()
+
+
+def test_preemptive_manager_serves_multiple_queued_reads():
+    sim, controller = make_babol()
+    manager = PreemptiveLunManager(controller, lun=0)
+    served = []
+
+    def background():
+        yield from manager.erase(5)
+
+    def reader(page, delay):
+        yield Timeout(delay)
+        yield from manager.read(1, page, 0)
+        served.append((page, sim.now))
+
+    sim.spawn(background())
+    sim.spawn(reader(0, 60_000))
+    sim.spawn(reader(1, 70_000))
+    sim.run()
+    assert len(served) == 2
+    assert controller.luns[0].reads_completed == 2
+    assert controller.luns[0].erases_completed == 1
+
+
+def test_plain_read_path_without_background():
+    sim, controller = make_babol()
+    manager = PreemptiveLunManager(controller, lun=0)
+
+    def scenario():
+        result = yield from manager.read(1, 0, 0)
+        return result
+
+    status, handle = sim.run_process(scenario())
+    assert handle is not None
+    assert manager.stats.preemptions == 0
+
+
+def test_preemptive_program_supports_preemption():
+    sim, controller = make_babol()
+    manager = PreemptiveLunManager(controller, lun=0)
+    outcome = {}
+
+    def background():
+        ok = yield from manager.program(6, 0, 0)
+        outcome["ok"] = ok
+
+    def reader():
+        yield Timeout(30_000)
+        yield from manager.read(1, 0, 0)
+
+    sim.spawn(background())
+    sim.spawn(reader())
+    sim.run()
+    assert outcome["ok"] is True
+    assert controller.luns[0].programs_completed == 1

@@ -1,0 +1,185 @@
+"""Unit tests for the µFSM instruction set."""
+
+import pytest
+
+from repro.core.ufsm import (
+    CAWriter,
+    ChipControl,
+    DataReader,
+    DataWriter,
+    TimerFsm,
+    UfsmBank,
+)
+from repro.core.ufsm.ca_writer import Latch, addr, cmd
+from repro.dram import DmaHandle
+from repro.onfi import NVDDR2_100, NVDDR2_200, SDR_MODE0
+from repro.onfi.commands import CMD
+from repro.onfi.signals import (
+    AddressLatch,
+    CommandLatch,
+    DataInAction,
+    DataOutAction,
+    SegmentKind,
+)
+
+
+# --- latch descriptors ----------------------------------------------------
+
+
+def test_latch_validation():
+    with pytest.raises(ValueError):
+        Latch("bogus", 0)
+    with pytest.raises(ValueError):
+        Latch("cmd", (1, 2))
+    with pytest.raises(ValueError):
+        Latch("addr", 5)
+    assert cmd(0x70).kind == "cmd"
+    assert addr((1, 2)).value == (1, 2)
+
+
+# --- C/A Writer ----------------------------------------------------------
+
+
+def test_ca_writer_builds_ordered_actions():
+    writer = CAWriter(NVDDR2_200)
+    segment = writer.emit([
+        cmd(CMD.READ_1ST),
+        addr((0x00, 0x00, 0x01, 0x02, 0x03)),
+        cmd(CMD.READ_2ND),
+    ])
+    assert segment.kind is SegmentKind.CMD_ADDR
+    kinds = [type(a) for _, a in segment.actions]
+    assert kinds == [CommandLatch, AddressLatch, CommandLatch]
+    offsets = [offset for offset, _ in segment.actions]
+    assert offsets == sorted(offsets)
+
+
+def test_ca_writer_duration_scales_with_latches():
+    writer = CAWriter(NVDDR2_200)
+    short = writer.emit([cmd(CMD.READ_STATUS)])
+    long = writer.emit([cmd(CMD.READ_1ST), addr((0,) * 5), cmd(CMD.READ_2ND)])
+    assert long.duration_ns > short.duration_ns
+
+
+def test_ca_writer_adds_twb_after_confirm():
+    writer = CAWriter(NVDDR2_200)
+    plain = writer.emit([cmd(CMD.READ_1ST)])
+    confirm = writer.emit([cmd(CMD.READ_2ND)])
+    assert confirm.duration_ns - plain.duration_ns == writer.timing.tWB
+
+
+def test_ca_writer_adds_twhr_before_status_data():
+    writer = CAWriter(NVDDR2_200)
+    status = writer.emit([cmd(CMD.READ_STATUS)])
+    plain = writer.emit([cmd(CMD.READ_1ST)])
+    assert status.duration_ns - plain.duration_ns == writer.timing.tWHR
+
+
+def test_ca_writer_rejects_empty():
+    with pytest.raises(ValueError):
+        CAWriter(NVDDR2_200).emit([])
+
+
+def test_ca_writer_retarget_changes_timing():
+    writer = CAWriter(NVDDR2_200)
+    fast = writer.emit([cmd(CMD.READ_STATUS)]).duration_ns
+    writer.retarget(SDR_MODE0)
+    slow = writer.emit([cmd(CMD.READ_STATUS)]).duration_ns
+    assert slow > fast
+    assert writer.emissions == 2
+
+
+# --- Data Writer / Reader ---------------------------------------------------
+
+
+def test_data_writer_duration_tracks_burst():
+    writer = DataWriter(NVDDR2_200)
+    handle = DmaHandle(None, 0, 4096)
+    seg = writer.emit(4096, handle)
+    assert seg.kind is SegmentKind.DATA_IN
+    assert seg.duration_ns >= NVDDR2_200.transfer_ns(4096)
+    action = seg.actions[0][1]
+    assert isinstance(action, DataInAction)
+    assert action.nbytes == 4096
+
+
+def test_data_writer_after_address_adds_tadl():
+    writer = DataWriter(NVDDR2_200)
+    handle = DmaHandle(None, 0, 64)
+    plain = writer.emit(64, handle)
+    delayed = writer.emit(64, handle, after_address=True)
+    assert delayed.duration_ns - plain.duration_ns == writer.timing.tADL
+    assert delayed.actions[0][0] == writer.timing.tADL
+
+
+def test_data_writer_rejects_empty_burst():
+    with pytest.raises(ValueError):
+        DataWriter(NVDDR2_200).emit(0, DmaHandle(None, 0, 0))
+
+
+def test_data_reader_leads_with_trr():
+    reader = DataReader(NVDDR2_200)
+    handle = DmaHandle(None, 0, 128)
+    seg = reader.emit(128, handle)
+    assert seg.kind is SegmentKind.DATA_OUT
+    assert seg.actions[0][0] == reader.timing.tRR
+    assert isinstance(seg.actions[0][1], DataOutAction)
+
+
+def test_data_reader_slower_at_100mt():
+    fast = DataReader(NVDDR2_200).emit(16384, DmaHandle(None, 0, 16384))
+    slow = DataReader(NVDDR2_100).emit(16384, DmaHandle(None, 0, 16384))
+    assert slow.duration_ns > fast.duration_ns * 1.7
+
+
+# --- Chip Control / Timer -----------------------------------------------------
+
+
+def test_chip_control_masks():
+    assert ChipControl.mask_for(3) == 0b1000
+    assert ChipControl.gang_mask([0, 2]) == 0b101
+    with pytest.raises(ValueError):
+        ChipControl.mask_for(-1)
+    with pytest.raises(ValueError):
+        ChipControl.gang_mask([])
+
+
+def test_chip_control_apply_redirects_segment():
+    control = ChipControl(NVDDR2_200)
+    seg = TimerFsm(NVDDR2_200).emit(100)
+    out = control.apply(seg, 0b110)
+    assert out.chip_mask == 0b110
+    with pytest.raises(ValueError):
+        control.apply(seg, 0)
+
+
+def test_timer_emits_exact_wait():
+    timer = TimerFsm(NVDDR2_200)
+    seg = timer.emit(1234)
+    assert seg.kind is SegmentKind.TIMER
+    assert seg.duration_ns == 1234
+    with pytest.raises(ValueError):
+        timer.emit(-1)
+
+
+# --- the bank -------------------------------------------------------------
+
+
+def test_bank_holds_all_five():
+    bank = UfsmBank(NVDDR2_200)
+    names = {ufsm.name for ufsm in bank.all()}
+    assert names == {"ca_writer", "data_writer", "data_reader", "chip_control", "timer"}
+
+
+def test_bank_retargets_coherently():
+    bank = UfsmBank(NVDDR2_200)
+    bank.retarget(NVDDR2_100)
+    assert all(ufsm.interface is NVDDR2_100 for ufsm in bank.all())
+
+
+def test_inventories_have_positive_structure():
+    bank = UfsmBank(NVDDR2_200)
+    for ufsm in bank.all():
+        inventory = ufsm.inventory()
+        assert inventory.fsm_states >= 2
+        assert inventory.registers_bits > 0
