@@ -61,10 +61,19 @@ class PollingSummary:
 
 
 class LogicAnalyzer:
-    """Tap a channel and record decoded events."""
+    """Tap a channel and record decoded events.
 
-    def __init__(self, channel: Channel):
+    Pass a :class:`repro.obs.Tracer` (or attach one to the simulator
+    with ``sim.set_tracer``) and every decoded pin-level event is also
+    mirrored into the trace on an ``analyzer/<channel>`` track — with
+    the *same* integer-ns timestamps as the kernel's own spans, so a
+    Perfetto view lines the capture up against ops, CPU time, and
+    segment occupancy exactly.
+    """
+
+    def __init__(self, channel: Channel, tracer=None):
         self.channel = channel
+        self.tracer = tracer  # explicit override; else the sim's tracer
         self.events: list[AnalyzerEvent] = []
         self.segments: list[WaveformSegment] = []
         self._armed = True
@@ -86,6 +95,7 @@ class LogicAnalyzer:
         if not self._armed:
             return
         self.segments.append(segment)
+        first_event = len(self.events)
         for offset, action in segment.actions:
             t = time_ns + offset
             if isinstance(action, CommandLatch):
@@ -112,6 +122,15 @@ class LogicAnalyzer:
                 self.events.append(AnalyzerEvent(
                     t, "wait", action.describe(), None, segment.chip_mask, 0,
                 ))
+        tracer = self.tracer if self.tracer is not None \
+            else self.channel.sim._tracer
+        if tracer is not None:
+            track = f"analyzer/{self.channel.name}"
+            for event in self.events[first_event:]:
+                tracer.instant(
+                    "analyzer", track, f"{event.kind}:{event.detail}",
+                    event.time_ns, {"chip_mask": event.chip_mask},
+                )
 
     # -- derived measurements --------------------------------------------
 
@@ -169,3 +188,20 @@ class LogicAnalyzer:
         if not self.events:
             return 0
         return self.events[-1].time_ns - self.events[0].time_ns
+
+    # -- export ------------------------------------------------------------
+
+    def to_tracer(self, tracer) -> int:
+        """Replay the finished capture into ``tracer`` (post-hoc merge).
+
+        Timestamps are the capture's own integer-ns values, so the
+        replay lands in perfect alignment with any kernel-side spans
+        already in the tracer.  Returns the number of events emitted.
+        """
+        track = f"analyzer/{self.channel.name}"
+        for event in self.events:
+            tracer.instant(
+                "analyzer", track, f"{event.kind}:{event.detail}",
+                event.time_ns, {"chip_mask": event.chip_mask},
+            )
+        return len(self.events)

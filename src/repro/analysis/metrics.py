@@ -25,10 +25,21 @@ class LatencyStats:
 
 
 def _percentile(ordered: Sequence[int], fraction: float) -> float:
+    """Linear-interpolated percentile of a sorted sample.
+
+    Matches ``numpy.percentile``'s default ("linear") method: the
+    p-quantile sits at rank ``fraction * (n - 1)``, interpolating
+    between the two bracketing order statistics — p50 of ``[1, 2]``
+    is 1.5, not a truncated nearest rank.
+    """
     if not ordered:
         return 0.0
-    index = min(int(len(ordered) * fraction), len(ordered) - 1)
-    return float(ordered[index])
+    fraction = min(max(fraction, 0.0), 1.0)
+    rank = fraction * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = rank - lower
+    return float(ordered[lower]) + (float(ordered[upper]) - float(ordered[lower])) * weight
 
 
 def summarize_latencies(samples_ns: Sequence[int]) -> LatencyStats:

@@ -65,10 +65,12 @@ class Channel:
         interface: DataInterface = NVDDR2_200,
         phy: Optional[ChannelPhy] = None,
         perfect_phy: bool = True,
+        name: str = "ch0",
     ):
         if not luns:
             raise ValueError("a channel needs at least one LUN")
         self.sim = sim
+        self.name = name
         self.luns = luns
         self.interface = interface
         self.timing: TimingSet = timing_for_mode(interface.name)
@@ -125,6 +127,15 @@ class Channel:
             raise RuntimeError("transmit without owning the channel")
         segment.emitted_at = self.sim.now
         self.stats.record(segment)
+        tracer = self.sim._tracer
+        if tracer is not None:
+            # One span per segment on this channel's track: the bus
+            # occupancy picture Figs. 10-12 reason about.
+            tracer.complete(
+                "channel", f"channel/{self.name}", segment.kind.value,
+                self.sim.now, segment.duration_ns,
+                {"chip_mask": segment.chip_mask, "label": segment.label},
+            )
         for tap in self._taps:
             tap(self.sim.now, segment)
         targets = segment.targets(self.width)

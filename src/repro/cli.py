@@ -9,11 +9,19 @@ Usage examples::
     python -m repro.cli table2
     python -m repro.cli table3
     python -m repro.cli demo
+    python -m repro.cli trace --out trace.json    # observability capture
+    python -m repro.cli bench-smoke --out BENCH_smoke.json
+
+``demo``/``fig10``/``fig11``/``fig12`` accept ``--trace out.json`` to
+capture a Chrome ``trace_event`` file of every simulated run (open it
+in https://ui.perfetto.dev).  Traces are deterministic: the same
+command line produces a byte-identical file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Optional, Sequence
 
 from repro.core import BabolController, ControllerConfig
@@ -22,6 +30,24 @@ from repro.flash.vendors import VENDOR_PROFILES, profile_by_name
 from repro.host import measure_read_throughput
 from repro.onfi.datamodes import NVDDR2_100, NVDDR2_200
 from repro.sim import Simulator
+
+
+def _make_tracer(args):
+    """A Tracer when ``--trace`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _write_trace(args, tracer, metrics=None) -> None:
+    if tracer is None:
+        return
+    from repro.obs import write_chrome_trace
+
+    count = write_chrome_trace(args.trace, tracer, metrics=metrics)
+    print(f"trace: {count} events -> {args.trace}")
 
 
 def _print_rows(headers, rows):
@@ -43,6 +69,8 @@ def cmd_demo(args) -> int:
     import numpy as np
 
     sim = Simulator()
+    tracer = _make_tracer(args)
+    sim.set_tracer(tracer)
     controller = BabolController(
         sim, ControllerConfig(vendor=profile_by_name(args.vendor),
                               lun_count=args.luns, runtime=args.runtime)
@@ -56,6 +84,11 @@ def cmd_demo(args) -> int:
     print(controller.describe())
     print(f"program+read roundtrip in {sim.now / 1000:.1f} us of device time; "
           f"{errors} raw byte error(s) before ECC")
+    if tracer is not None:
+        from repro.obs import MetricsRegistry, register_controller_metrics
+
+        _write_trace(args, tracer,
+                     register_controller_metrics(MetricsRegistry(), controller))
     return 0
 
 
@@ -79,7 +112,14 @@ def cmd_fig10(args) -> int:
     rows = []
     from repro.baselines import SyncHwController
 
+    # One tracer spans the whole sweep; each cell's tracks are kept
+    # apart by a scope prefix (its own Perfetto thread group).
+    tracer = _make_tracer(args)
+
     sim = Simulator()
+    if tracer is not None:
+        tracer.scope = "sync-hw"
+        sim.set_tracer(tracer)
     hw = SyncHwController(sim, vendor=vendor, lun_count=args.luns,
                           interface=interface, track_data=False)
     result = measure_read_throughput(sim, hw, args.luns)
@@ -87,6 +127,9 @@ def cmd_fig10(args) -> int:
     for runtime in ("rtos", "coroutine"):
         for mhz in args.freq_mhz:
             sim = Simulator()
+            if tracer is not None:
+                tracer.scope = f"{runtime}@{mhz}MHz"
+                sim.set_tracer(tracer)
             controller = BabolController(
                 sim,
                 ControllerConfig(vendor=vendor, lun_count=args.luns,
@@ -98,6 +141,7 @@ def cmd_fig10(args) -> int:
     print(f"Fig. 10 cell: {args.vendor}, {args.interface} MT/s, "
           f"{args.luns} LUNs (MB/s)")
     _print_rows(["controller", "CPU", "throughput"], rows)
+    _write_trace(args, tracer)
     return 0
 
 
@@ -105,8 +149,12 @@ def cmd_fig11(args) -> int:
     from repro.analysis import LogicAnalyzer
 
     rows = []
+    tracer = _make_tracer(args)
     for runtime in ("rtos", "coroutine"):
         sim = Simulator()
+        if tracer is not None:
+            tracer.scope = runtime
+            sim.set_tracer(tracer)
         controller = BabolController(
             sim, ControllerConfig(vendor=profile_by_name(args.vendor),
                                   lun_count=1, runtime=runtime,
@@ -121,6 +169,7 @@ def cmd_fig11(args) -> int:
                      f"{sim.now / args.reads / 1000:.1f} us"])
     print("Fig. 11: polling period (1 LUN, 1 GHz)")
     _print_rows(["runtime", "polls", "period", "READ latency"], rows)
+    _write_trace(args, tracer)
     return 0
 
 
@@ -131,10 +180,14 @@ def cmd_fig12(args) -> int:
 
     vendor = profile_by_name(args.vendor)
     rows = []
+    tracer = _make_tracer(args)
     for ways in args.ways:
         bandwidths = []
         for kind in ("cosmos", "rtos", "coroutine"):
             sim = Simulator()
+            if tracer is not None:
+                tracer.scope = f"{kind}@{ways}way"
+                sim.set_tracer(tracer)
             if kind == "cosmos":
                 controller = AsyncHwController(
                     sim, vendor=vendor, lun_count=ways, track_data=False
@@ -160,6 +213,7 @@ def cmd_fig12(args) -> int:
         rows.append([str(ways)] + [f"{bw:.1f}" for bw in bandwidths])
     print(f"Fig. 12: fio {args.pattern} read bandwidth (MB/s)")
     _print_rows(["ways", "Cosmos+ (HW)", "BABOL-RTOS", "BABOL-Coro"], rows)
+    _write_trace(args, tracer)
     return 0
 
 
@@ -195,6 +249,109 @@ def cmd_table3(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """Dedicated observability capture: run a mixed workload with the
+    tracer and metrics registry on, write the Chrome trace, and print
+    the per-track + metrics summaries."""
+    from repro.analysis import LogicAnalyzer
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        register_controller_metrics,
+        render_text_summary,
+        write_chrome_trace,
+    )
+
+    sim = Simulator()
+    tracer = Tracer(categories=None if not args.kernel else
+                    {"kernel", "channel", "txn", "cpu", "sched", "task", "op",
+                     "host", "analyzer", "user"})
+    sim.set_tracer(tracer)
+    controller = BabolController(
+        sim, ControllerConfig(vendor=profile_by_name(args.vendor),
+                              lun_count=args.luns, runtime=args.runtime,
+                              track_data=False),
+    )
+    analyzer = LogicAnalyzer(controller.channel)
+    registry = register_controller_metrics(MetricsRegistry(), controller)
+    op_latency = registry.histogram("op_latency_ns")
+
+    # A read/program mix fanned across every LUN: enough concurrency to
+    # make the channel-occupancy and queue-depth tracks interesting.
+    page = controller.codec.geometry.full_page_size
+    tasks = []
+    for i in range(args.ops):
+        lun = i % args.luns
+        if i % 3 == 2:
+            tasks.append(controller.program_page(lun, 1, i // args.luns, 0))
+        else:
+            tasks.append(controller.read_page(lun, 1, i // args.luns,
+                                              page * (1 + lun)))
+    for task in tasks:
+        controller.run_to_completion(task)
+        op_latency.observe(task.finished_at - task.submitted_at)
+
+    registry.counter("analyzer_events").inc(len(analyzer.events))
+    print(controller.describe())
+    print(render_text_summary(tracer))
+    print(registry.render_text("metrics:"))
+    count = write_chrome_trace(args.out, tracer, metrics=registry)
+    print(f"trace: {count} events -> {args.out}")
+    return 0
+
+
+def cmd_bench_smoke(args) -> int:
+    """CI benchmark smoke: tiny, fast cells of Table I and Fig. 11 with
+    wall-clock timings, serialized to JSON so the perf trajectory of the
+    repository accumulates run over run."""
+    import time
+
+    from repro.analysis import LogicAnalyzer
+
+    results: dict = {"schema": 1, "bench": "smoke"}
+
+    started = time.perf_counter()
+    vendor = profile_by_name(args.vendor)
+    results["table1"] = {
+        "vendor": args.vendor,
+        "t_read_us": vendor.timing.t_read_ns / 1000,
+        "page_bytes": vendor.geometry.page_size,
+        "transfer_us_200mt": NVDDR2_200.transfer_ns(
+            vendor.geometry.full_page_size) / 1000,
+    }
+
+    fig11 = {}
+    for runtime in ("rtos", "coroutine"):
+        run_started = time.perf_counter()
+        sim = Simulator()
+        controller = BabolController(
+            sim, ControllerConfig(vendor=vendor, lun_count=1, runtime=runtime,
+                                  track_data=False),
+        )
+        analyzer = LogicAnalyzer(controller.channel)
+        for i in range(args.reads):
+            controller.run_to_completion(controller.read_page(0, 1, i, 0))
+        summary = analyzer.polling_summary()
+        fig11[runtime] = {
+            "reads": args.reads,
+            "polls": summary.count,
+            "poll_period_us": summary.mean_ns / 1000,
+            "read_latency_us": sim.now / args.reads / 1000,
+            "sim_ns": sim.now,
+            "wall_s": round(time.perf_counter() - run_started, 4),
+        }
+    results["fig11"] = fig11
+    results["wall_s"] = round(time.perf_counter() - started, 4)
+
+    rendered = json.dumps(results, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"bench-smoke -> {args.out}")
+    print(rendered)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="babol-repro",
@@ -205,6 +362,9 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p):
         p.add_argument("--vendor", default="hynix",
                        choices=sorted(VENDOR_PROFILES))
+        p.add_argument("--trace", metavar="OUT.json", default=None,
+                       help="write a Chrome trace_event capture of the "
+                            "run(s) (open in Perfetto)")
 
     p = sub.add_parser("demo", help="program+read roundtrip demo")
     common(p)
@@ -235,6 +395,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pattern", default="sequential",
                    choices=["sequential", "random"])
     p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser("trace", help="observability capture of a mixed workload")
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event output path")
+    p.add_argument("--luns", type=int, default=4)
+    p.add_argument("--ops", type=int, default=24,
+                   help="operations to run across the LUNs")
+    p.add_argument("--runtime", default="coroutine",
+                   choices=["coroutine", "rtos"])
+    p.add_argument("--kernel", action="store_true",
+                   help="also record the kernel event firehose")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("bench-smoke",
+                       help="fast benchmark cells as JSON (CI artifact)")
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--reads", type=int, default=4)
+    p.add_argument("--out", default=None, help="JSON output path")
+    p.set_defaults(func=cmd_bench_smoke)
 
     p = sub.add_parser("table2", help="lines of code")
     p.set_defaults(func=cmd_table2)

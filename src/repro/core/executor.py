@@ -82,6 +82,17 @@ class Executor:
                 yield from self.channel.transmit(segment)
             txn.finished_at = self.sim.now
             self.busy_ns += txn.finished_at - txn.started_at
+            tracer = self.sim._tracer
+            if tracer is not None:
+                tracer.complete(
+                    "txn", f"executor/{self.channel.name}",
+                    txn.label or txn.kind.value,
+                    txn.started_at, txn.finished_at - txn.started_at,
+                    # NB: no txn.id here — that counter is process-global,
+                    # and trace output must be a pure function of the run.
+                    {"lun": txn.lun_position,
+                     "queue_ns": txn.started_at - txn.dispatched_at},
+                )
             self.channel.release()
             self.executed += 1
             txn.completed.fire(txn)

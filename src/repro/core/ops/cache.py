@@ -17,8 +17,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def cache_read_sequential_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -72,6 +74,7 @@ def cache_read_sequential_op(
     return handles
 
 
+@traced_op
 def cache_program_op(
     ctx: OperationContext,
     codec: AddressCodec,

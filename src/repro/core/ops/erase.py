@@ -11,8 +11,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def erase_block_op(
     ctx: OperationContext,
     codec: AddressCodec,

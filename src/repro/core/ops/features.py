@@ -18,10 +18,12 @@ from repro.core.softenv.base import OperationContext
 from repro.core.transaction import TxnKind
 from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
 
 _FEAT_MARGIN_NS = 200
 
 
+@traced_op
 def set_features_op(
     ctx: OperationContext,
     feature_address: int,
@@ -48,6 +50,7 @@ def set_features_op(
     return True
 
 
+@traced_op
 def get_features_op(
     ctx: OperationContext,
     feature_address: int,

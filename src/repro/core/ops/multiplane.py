@@ -18,6 +18,7 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
 def _check_distinct_planes(codec: AddressCodec, addresses: Sequence[PhysicalAddress]) -> None:
@@ -26,6 +27,7 @@ def _check_distinct_planes(codec: AddressCodec, addresses: Sequence[PhysicalAddr
         raise ValueError("multi-plane targets must address distinct planes")
 
 
+@traced_op
 def multiplane_read_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -81,6 +83,7 @@ def multiplane_read_op(
     return handles
 
 
+@traced_op
 def multiplane_program_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -123,6 +126,7 @@ def multiplane_program_op(
     return not StatusRegister.is_failed(status)
 
 
+@traced_op
 def multiplane_erase_op(
     ctx: OperationContext,
     codec: AddressCodec,

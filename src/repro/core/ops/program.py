@@ -17,8 +17,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def program_page_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -58,6 +60,7 @@ def program_page_op(
     return not StatusRegister.is_failed(status)
 
 
+@traced_op
 def partial_program_op(
     ctx: OperationContext,
     codec: AddressCodec,

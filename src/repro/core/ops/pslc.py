@@ -18,8 +18,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def pslc_read_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -70,6 +72,7 @@ def pslc_read_op(
     return status, handle
 
 
+@traced_op
 def pslc_program_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -113,6 +116,7 @@ def pslc_program_op(
     return not StatusRegister.is_failed(status)
 
 
+@traced_op
 def pslc_erase_op(
     ctx: OperationContext,
     codec: AddressCodec,

@@ -20,8 +20,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusBits
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def read_page_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -71,6 +73,7 @@ def read_page_op(
     return status, handle
 
 
+@traced_op
 def full_page_read_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -83,6 +86,7 @@ def full_page_read_op(
     return result
 
 
+@traced_op
 def partial_read_op(
     ctx: OperationContext,
     codec: AddressCodec,
@@ -97,6 +101,7 @@ def partial_read_op(
     return result
 
 
+@traced_op
 def read_page_timed_wait_op(
     ctx: OperationContext,
     codec: AddressCodec,

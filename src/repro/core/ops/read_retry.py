@@ -18,8 +18,10 @@ from repro.core.softenv.base import OperationContext
 from repro.dram import DmaHandle
 from repro.onfi.features import FeatureAddress
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def read_with_retry_op(
     ctx: OperationContext,
     codec: AddressCodec,

@@ -8,10 +8,12 @@ from repro.core.softenv.base import OperationContext
 from repro.core.transaction import TxnKind
 from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
 
 _PARAM_MARGIN_NS = 500
 
 
+@traced_op
 def read_id_op(
     ctx: OperationContext,
     area: int = 0x00,
@@ -34,6 +36,7 @@ def read_id_op(
     return tuple(int(b) for b in handle.delivered)
 
 
+@traced_op
 def read_parameter_page_op(
     ctx: OperationContext,
     param_busy_ns: int,

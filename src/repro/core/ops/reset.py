@@ -9,8 +9,10 @@ from repro.core.softenv.base import OperationContext
 from repro.core.transaction import TxnKind
 from repro.core.ufsm.ca_writer import cmd
 from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def reset_op(ctx: OperationContext, synchronous: bool = False) -> Generator:
     """RESET (0xFF) or SYNCHRONOUS RESET (0xFC); polls until ready."""
     opcode = CMD.SYNCHRONOUS_RESET if synchronous else CMD.RESET

@@ -15,8 +15,10 @@ from repro.core.softenv.base import OperationContext
 from repro.core.transaction import TxnKind
 from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def read_status_op(
     ctx: OperationContext,
     chip_mask: Optional[int] = None,
@@ -31,6 +33,7 @@ def read_status_op(
     return int(handle.delivered[0])
 
 
+@traced_op
 def read_status_enhanced_op(
     ctx: OperationContext,
     row_address_bytes: tuple[int, ...],

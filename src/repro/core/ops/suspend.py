@@ -19,8 +19,10 @@ from repro.core.ufsm.ca_writer import addr, cmd
 from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
 
 
+@traced_op
 def suspend_op(ctx: OperationContext) -> Generator:
     """Suspend the in-flight program/erase on the target LUN."""
     txn = ctx.transaction(TxnKind.CONFIG, label="suspend")
@@ -31,6 +33,7 @@ def suspend_op(ctx: OperationContext) -> Generator:
     return True
 
 
+@traced_op
 def resume_op(ctx: OperationContext) -> Generator:
     """Resume a previously suspended program/erase."""
     txn = ctx.transaction(TxnKind.CONFIG, label="resume")
@@ -41,6 +44,7 @@ def resume_op(ctx: OperationContext) -> Generator:
     return True
 
 
+@traced_op
 def erase_with_preemptive_read_op(
     ctx: OperationContext,
     codec: AddressCodec,

@@ -331,6 +331,8 @@ class SoftwareEnvironment:
                 self._pending_txns.remove(txn)
                 self.executor.push(txn)
                 self.txns_dispatched += 1
+                if self.sim._tracer is not None:
+                    self._trace_queue_depths()
                 continue
             if self._ready:
                 # Task half: pick, context-switch, resume one step.
@@ -339,6 +341,8 @@ class SoftwareEnvironment:
                     continue
                 task = self.task_scheduler.select(self._ready)
                 self._ready.remove(task)
+                if self.sim._tracer is not None:
+                    self._trace_queue_depths()
                 yield from self.cpu.execute(self.costs.context_switch)
                 yield from self._step_task(task)
                 continue
@@ -384,10 +388,22 @@ class SoftwareEnvironment:
 
     # -- transitions -----------------------------------------------------
 
+    def _trace_queue_depths(self) -> None:
+        """Counter samples of the scheduler's two queues (caller guards
+        on ``sim._tracer``; this is never on the untraced path)."""
+        tracer = self.sim._tracer
+        track = f"env/{self.runtime_name}"
+        tracer.counter("sched", track, "ready_tasks", self.sim.now,
+                       len(self._ready))
+        tracer.counter("sched", track, "pending_txns", self.sim.now,
+                       len(self._pending_txns))
+
     def _enqueue_txn(self, txn: Transaction) -> None:
         txn.enqueued_at = self.sim.now
         self._pending_txns.append(txn)
         self.txns_enqueued += 1
+        if self.sim._tracer is not None:
+            self._trace_queue_depths()
         self._work.notify()
 
     def _block_on_txn(self, task: Task, txn: Transaction) -> None:
@@ -428,12 +444,25 @@ class SoftwareEnvironment:
         task.state = TaskState.READY
         task.ready_since = self.sim.now
         self._ready.append(task)
+        if self.sim._tracer is not None:
+            self._trace_queue_depths()
         self._work.notify()
 
     def _finish_task(self, task: Task, result: Any) -> None:
         task.state = TaskState.DONE
         task.result = result
         task.finished_at = self.sim.now
+        tracer = self.sim._tracer
+        if tracer is not None:
+            start = task.admitted_at if task.admitted_at is not None \
+                else task.submitted_at
+            tracer.complete(
+                "task", f"task/lun{task.lun_position}", task.label,
+                start, self.sim.now - start,
+                # task.id is process-global; keeping it out of the trace
+                # keeps repeat runs byte-identical.
+                {"admission_wait_ns": start - task.submitted_at},
+            )
         self.tasks_completed += 1
         running = self._running_per_lun.get(task.lun_position, 1)
         self._running_per_lun[task.lun_position] = running - 1

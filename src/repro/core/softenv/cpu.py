@@ -53,14 +53,23 @@ class Cpu:
         ns = self.cycles_to_ns(cycles)
         if not ns:
             return
+        tracer = self.sim._tracer
         if self._mutex is None:
             yield Timeout(ns)
+            if tracer is not None:
+                tracer.complete("cpu", f"cpu/{self.name}", "busy",
+                                self.sim.now - ns, ns, {"cycles": cycles})
             return
         if self._mutex.locked:
             self.contention_waits += 1
         yield from self._mutex.acquire()
         try:
             yield Timeout(ns)
+            if tracer is not None:
+                # Span starts after the core was won, so shared-CPU
+                # traces show contention as gaps, not stretched spans.
+                tracer.complete("cpu", f"cpu/{self.name}", "busy",
+                                self.sim.now - ns, ns, {"cycles": cycles})
         finally:
             self._mutex.release()
 

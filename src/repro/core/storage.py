@@ -61,6 +61,8 @@ class StorageController:
         for index in range(cfg.channel_count):
             channel_cfg = replace(cfg.channel, seed=cfg.channel.seed + 1000 * index)
             controller = BabolController(sim, channel_cfg)
+            # Distinct track names so traces keep the channels apart.
+            controller.channel.name = f"ch{index}"
             if shared_cpu is not None:
                 # Rebind the channel's environment onto the shared core.
                 controller.cpu = shared_cpu

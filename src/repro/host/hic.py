@@ -79,6 +79,16 @@ class HostInterface:
             else:
                 self.ftl.trim(command.lpn)
             command.finished_at = self.sim.now
+            tracer = self.sim._tracer
+            if tracer is not None:
+                tracer.complete(
+                    "host", "host/hic", command.opcode.value,
+                    command.submitted_at,
+                    command.finished_at - command.submitted_at,
+                    # command.id is process-global; excluded so traces
+                    # are a pure function of the run.
+                    {"lpn": command.lpn},
+                )
             self.completed.append(command)
             self._outstanding -= 1
             self._pending -= 1

@@ -1,0 +1,55 @@
+"""Observability: simulation-wide tracing, metrics, and exporters.
+
+The paper's evaluation is a study of *where nanoseconds go* — which
+waveform segments occupy the channel, where software latency inserts
+gaps (Figs. 10-12).  This package is the reproduction's measurement
+substrate:
+
+* :class:`Tracer` — an append-only event recorder every layer of the
+  stack emits into (kernel, channel, executor, CPU, runtime, ops,
+  host).  Attach one with ``sim.set_tracer(tracer)``; every hook is a
+  strict no-op behind a single ``if tracer is not None`` when absent.
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — pull-style metrics components register into,
+  rendered to a JSON-able snapshot.
+* :mod:`repro.obs.chrome` — Chrome ``trace_event`` JSON export (open in
+  Perfetto / ``chrome://tracing``; one "thread" per channel/LUN/CPU
+  track) plus a plain-text summary.
+* :func:`traced_op` — the decorator that turns each ONFI operation in
+  :mod:`repro.core.ops` into a named span.
+
+Timestamps are simulated nanoseconds straight off the kernel clock, so
+traces are bit-reproducible across runs with the same seed.
+"""
+
+from repro.obs.chrome import (
+    chrome_trace_events,
+    render_text_summary,
+    write_chrome_trace,
+)
+from repro.obs.instrument import register_controller_metrics, traced_op
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    ALL_CATEGORIES,
+    DEFAULT_CATEGORIES,
+    SpanKind,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanKind",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "register_controller_metrics",
+    "render_text_summary",
+    "traced_op",
+    "write_chrome_trace",
+]

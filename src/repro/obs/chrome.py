@@ -1,0 +1,126 @@
+"""Chrome ``trace_event`` export.
+
+Produces the JSON object format consumed by Perfetto
+(https://ui.perfetto.dev) and the legacy ``chrome://tracing`` viewer:
+a ``traceEvents`` array where every track becomes a named "thread" of
+one ``babol-sim`` process — channels, CPUs, LUN operation lanes, the
+host queue — so the rendered view is the Fig. 11/12 waveform story:
+segments occupying channels, ops overlapping across LUNs, software
+gaps visible as blank bus time.
+
+Timestamps: trace_event ``ts``/``dur`` are microseconds; the simulator
+clock is integer nanoseconds, so values are emitted as exact
+``ns / 1000`` decimals.  Output is fully deterministic (sorted track
+ids, stable event order, ``sort_keys`` serialization): two runs with
+the same seed produce byte-identical files, which CI asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanKind, Tracer
+
+_PID = 0
+_PROCESS_NAME = "babol-sim"
+
+
+def _us(ns: Union[int, float]) -> float:
+    return ns / 1000.0
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """Render a tracer's events to a ``traceEvents`` list."""
+    tids = {track: tid for tid, track in enumerate(tracer.tracks())}
+    events: list[dict] = [{
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": _PROCESS_NAME},
+    }]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid, "name": "thread_name",
+            "args": {"name": track},
+        })
+        # sort_index pins the viewer's track order to ours.
+        events.append({
+            "ph": "M", "pid": _PID, "tid": tid, "name": "thread_sort_index",
+            "args": {"sort_index": tid},
+        })
+    for event in tracer.events:
+        tid = tids[event.track]
+        if event.kind is SpanKind.COMPLETE:
+            record = {
+                "ph": "X", "pid": _PID, "tid": tid, "cat": event.cat,
+                "name": event.name, "ts": _us(event.ts),
+                "dur": _us(event.value or 0),
+            }
+        elif event.kind is SpanKind.INSTANT:
+            record = {
+                "ph": "i", "pid": _PID, "tid": tid, "cat": event.cat,
+                "name": event.name, "ts": _us(event.ts), "s": "t",
+            }
+        else:  # COUNTER
+            record = {
+                "ph": "C", "pid": _PID, "tid": tid, "cat": event.cat,
+                "name": event.name, "ts": _us(event.ts),
+                "args": {"value": event.value},
+            }
+        if event.args:
+            record.setdefault("args", {}).update(event.args)
+        events.append(record)
+    return events
+
+
+def write_chrome_trace(
+    destination: Union[str, IO[str]],
+    tracer: Tracer,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write the JSON-object trace format; returns the event count.
+
+    ``metrics``, when given, lands in the file's ``otherData`` section
+    so one artifact carries both the timeline and the aggregates.
+    """
+    payload: dict = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ns",
+    }
+    if metrics is not None:
+        payload["otherData"] = metrics.snapshot()
+    rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            handle.write(rendered)
+    else:
+        destination.write(rendered)
+    return len(payload["traceEvents"])
+
+
+def render_text_summary(tracer: Tracer) -> str:
+    """Per-track digest: span counts and busy time, instants, counters."""
+    per_track: dict[str, dict[str, int]] = {}
+    for event in tracer.events:
+        bucket = per_track.setdefault(
+            event.track, {"spans": 0, "busy_ns": 0, "instants": 0, "samples": 0}
+        )
+        if event.kind is SpanKind.COMPLETE:
+            bucket["spans"] += 1
+            bucket["busy_ns"] += int(event.value or 0)
+        elif event.kind is SpanKind.INSTANT:
+            bucket["instants"] += 1
+        else:
+            bucket["samples"] += 1
+    lines = [f"trace: {len(tracer.events)} events on {len(per_track)} tracks"]
+    for track in sorted(per_track):
+        bucket = per_track[track]
+        parts = [f"{bucket['spans']} spans"]
+        if bucket["busy_ns"]:
+            parts.append(f"busy {bucket['busy_ns'] / 1000:.1f}us")
+        if bucket["instants"]:
+            parts.append(f"{bucket['instants']} instants")
+        if bucket["samples"]:
+            parts.append(f"{bucket['samples']} samples")
+        lines.append(f"  {track}: {', '.join(parts)}")
+    return "\n".join(lines)

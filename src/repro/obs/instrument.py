@@ -1,0 +1,120 @@
+"""Instrumentation helpers: the op-span decorator and metric wiring.
+
+``traced_op`` is how the operation library becomes observable: each
+decorated ONFI op renders as one named span on its LUN's track, with
+composed ops (READ invoking READ STATUS) nesting naturally.  When no
+tracer is attached the decorator returns the *original* generator —
+the only overhead is one attribute check at op-construction time, so
+the Table II LoC measurements and the disabled-path performance are
+untouched.
+
+``register_controller_metrics`` scrapes a built controller stack into
+a :class:`~repro.obs.metrics.MetricsRegistry` via pull collectors:
+nothing is added to any hot path, the registry reads the counters the
+stack already keeps (channel stats, executor busy time, environment
+task/txn counts, CPU cycles) at snapshot time.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def traced_op(fn: Optional[Callable] = None, *, name: Optional[str] = None):
+    """Decorate an ONFI operation so it records a span per invocation.
+
+    Works on any ``(ctx, ...) -> Generator`` operation::
+
+        @traced_op
+        def my_op(ctx, ...): ...
+
+        @traced_op(name="fancy")
+        def other_op(ctx, ...): ...
+
+    The span covers first resume to completion (simulated time), lands
+    on track ``op/lun<N>``, and is emitted even if the op raises.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        label = name or getattr(func, "__name__", "op")
+
+        @functools.wraps(func)
+        def wrapper(ctx, *args, **kwargs):
+            tracer = ctx.sim._tracer
+            if tracer is None or not tracer.wants("op"):
+                return func(ctx, *args, **kwargs)
+            return _traced_body(tracer, label, ctx, func, args, kwargs)
+
+        return wrapper
+
+    return decorate(fn) if fn is not None else decorate
+
+
+def _traced_body(tracer: Tracer, label: str, ctx, func, args, kwargs):
+    sim = ctx.sim
+    start = sim.now  # first resume: the environment just scheduled us
+    try:
+        result = yield from func(ctx, *args, **kwargs)
+    except BaseException:
+        tracer.complete("op", f"op/lun{ctx.lun_position}", label, start,
+                        sim.now - start, {"error": True})
+        raise
+    tracer.complete("op", f"op/lun{ctx.lun_position}", label, start,
+                    sim.now - start)
+    return result
+
+
+def register_controller_metrics(registry: MetricsRegistry, controller,
+                                prefix: str = "") -> MetricsRegistry:
+    """Wire a :class:`~repro.core.controller.BabolController` (or any
+    object with ``channel``/``executor``/``env``/``cpu``) into a
+    registry as pull collectors.  Returns the registry for chaining."""
+    p = f"{prefix}." if prefix else ""
+    channel = controller.channel
+    executor = controller.executor
+    env = controller.env
+    cpu = controller.cpu
+
+    def channel_stats() -> dict:
+        stats = channel.stats
+        return {
+            "segments": stats.segments,
+            "busy_ns": stats.busy_ns,
+            "data_bytes_out": stats.data_bytes_out,
+            "data_bytes_in": stats.data_bytes_in,
+            "utilization": round(channel.utilization(), 6),
+        }
+
+    def executor_stats() -> dict:
+        return {
+            "executed": executor.executed,
+            "busy_ns": executor.busy_ns,
+            "queue_depth": executor.queue_depth,
+        }
+
+    def env_stats() -> dict:
+        return {
+            "runtime": env.runtime_name,
+            "tasks_submitted": env.tasks_submitted,
+            "tasks_completed": env.tasks_completed,
+            "txns_enqueued": env.txns_enqueued,
+            "txns_dispatched": env.txns_dispatched,
+        }
+
+    def cpu_stats() -> dict:
+        return {
+            "freq_hz": cpu.freq_hz,
+            "cycles_charged": cpu.cycles_charged,
+            "busy_ns": cpu.busy_ns,
+            "contention_waits": cpu.contention_waits,
+        }
+
+    registry.register_collector(f"{p}channel.{channel.name}", channel_stats)
+    registry.register_collector(f"{p}executor.{channel.name}", executor_stats)
+    registry.register_collector(f"{p}env.{env.runtime_name}", env_stats)
+    registry.register_collector(f"{p}cpu.{cpu.name}", cpu_stats)
+    return registry

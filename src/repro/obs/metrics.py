@@ -1,0 +1,156 @@
+"""The metrics registry: Counter / Gauge / Histogram + pull collectors.
+
+Components either own an instrument (``registry.counter("...")`` and
+bump it on the hot path) or register a *collector* — a zero-argument
+callable scraped only at snapshot time, which is the right shape for
+stats the stack already accumulates (``ChannelStats``, executor busy
+time, environment task counts): zero added cost while simulating,
+one dict comprehension when reporting.
+
+``snapshot()`` renders everything to plain dicts of JSON-able scalars;
+``render_text()`` is the human-readable form the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.analysis.metrics import LatencyStats, summarize_latencies
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, utilization)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Latency histogram over :func:`summarize_latencies`.
+
+    Samples are kept raw (integer ns) and summarized lazily — the
+    simulator produces at most a few hundred thousand samples per run,
+    which is cheap to hold and keeps percentiles exact.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[int] = []
+
+    def observe(self, value_ns: int) -> None:
+        self.samples.append(value_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def summarize(self) -> LatencyStats:
+        return summarize_latencies(self.samples)
+
+
+class MetricsRegistry:
+    """Named instruments plus lazily scraped collectors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+
+    # -- instrument access (get-or-create, so callers stay one-liners) --
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def register_collector(self, name: str, collect: Callable[[], dict]) -> None:
+        """Register a pull-style source scraped at snapshot time.
+
+        ``collect`` must return a flat dict of JSON-able scalars.
+        Re-registering a name replaces the previous collector.
+        """
+        self._collectors[name] = collect
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Render every instrument and collector to plain dicts."""
+        histograms = {}
+        for name, histogram in sorted(self._histograms.items()):
+            stats = histogram.summarize()
+            histograms[name] = {
+                "count": stats.count,
+                "mean_ns": stats.mean_ns,
+                "p50_ns": stats.p50_ns,
+                "p99_ns": stats.p99_ns,
+                "min_ns": stats.min_ns,
+                "max_ns": stats.max_ns,
+            }
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": histograms,
+            "collected": {name: collect()
+                          for name, collect in sorted(self._collectors.items())},
+        }
+
+    def render_text(self, title: Optional[str] = None) -> str:
+        """Readable multi-line summary (the CLI's ``trace`` output)."""
+        snap = self.snapshot()
+        lines = [title] if title else []
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name}: {value}")
+        for name, value in snap["gauges"].items():
+            lines.append(f"  {name}: {value:g}")
+        for name, stats in snap["histograms"].items():
+            lines.append(
+                f"  {name}: n={stats['count']} mean={stats['mean_ns'] / 1000:.1f}us "
+                f"p50={stats['p50_ns'] / 1000:.1f}us p99={stats['p99_ns'] / 1000:.1f}us"
+            )
+        for source, values in snap["collected"].items():
+            for key, value in sorted(values.items()):
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"  {source}.{key}: {rendered}")
+        return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""The trace recorder.
+
+A :class:`Tracer` is an append-only list of :class:`TraceEvent` records
+with simulated-nanosecond timestamps.  Instrumentation points across
+the stack call :meth:`Tracer.complete` / :meth:`instant` /
+:meth:`counter`; each call names a *category* (coarse on/off switch)
+and a *track* (the Perfetto "thread" the event renders on:
+``channel/ch0``, ``cpu/coroutine``, ``op/lun3``, ...).
+
+Design constraints, in order:
+
+1. **Zero cost when absent.**  Every hook in hot code is guarded by a
+   single ``if tracer is not None`` — no tracer object exists unless
+   the user asked for one, so the disabled path is one attribute load
+   and an identity check.
+2. **Determinism.**  Events carry only simulation state (integer-ns
+   timestamps, names, masks).  Two runs with the same seed produce
+   identical event streams, which the CI determinism test pins down to
+   byte-identical exported JSON.
+3. **Cheap when present.**  Recording is one tuple-ish object append;
+   category filtering is a frozenset membership test.  High-volume
+   kernel events (every scheduled callback) live in the ``kernel``
+   category, which is *off* by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, Optional
+
+# Category vocabulary.  "kernel" is the per-event firehose (process
+# spawn/step/finish, event schedule/fire/cancel) and is opt-in; the
+# rest are per-activity spans and cost one event per simulated action.
+ALL_CATEGORIES = frozenset(
+    {"kernel", "channel", "txn", "cpu", "sched", "task", "op", "host", "analyzer",
+     "user"}
+)
+DEFAULT_CATEGORIES = ALL_CATEGORIES - {"kernel"}
+
+
+class SpanKind(enum.Enum):
+    """Shape of a trace event (maps onto Chrome trace_event phases)."""
+
+    COMPLETE = "X"   # a span: timestamp + duration
+    INSTANT = "i"    # a point event
+    COUNTER = "C"    # a sampled numeric series
+
+
+class TraceEvent:
+    """One recorded event.  ``value`` doubles as duration (COMPLETE,
+    integer ns) or sample value (COUNTER); it is ``None`` for INSTANT."""
+
+    __slots__ = ("kind", "cat", "track", "name", "ts", "value", "args")
+
+    def __init__(self, kind: SpanKind, cat: str, track: str, name: str,
+                 ts: int, value: Optional[float], args: Optional[dict]):
+        self.kind = kind
+        self.cat = cat
+        self.track = track
+        self.name = name
+        self.ts = ts
+        self.value = value
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TraceEvent {self.kind.name} {self.track}:{self.name} "
+                f"@{self.ts} {self.value}>")
+
+
+class Tracer:
+    """Collects trace events from every instrumented layer.
+
+    ``categories`` selects which event families are recorded (see
+    :data:`ALL_CATEGORIES`); the default records everything except the
+    kernel firehose.  ``scope`` is an optional prefix prepended to
+    every track name — the CLI uses it to keep multiple simulator runs
+    (e.g. the Fig. 10 sweep cells) apart inside one trace file.
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None,
+                 scope: str = ""):
+        cats = frozenset(categories) if categories is not None else DEFAULT_CATEGORIES
+        unknown = cats - ALL_CATEGORIES
+        if unknown:
+            raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+        self.categories = cats
+        self.scope = scope
+        self.events: list[TraceEvent] = []
+
+    # -- recording -----------------------------------------------------
+
+    def wants(self, cat: str) -> bool:
+        return cat in self.categories
+
+    def _track(self, track: str) -> str:
+        return f"{self.scope}/{track}" if self.scope else track
+
+    def complete(self, cat: str, track: str, name: str, ts: int,
+                 duration_ns: int, args: Optional[dict] = None) -> None:
+        """Record a span: ``[ts, ts + duration_ns)`` on ``track``."""
+        if cat not in self.categories:
+            return
+        self.events.append(TraceEvent(
+            SpanKind.COMPLETE, cat, self._track(track), name, ts,
+            duration_ns, args,
+        ))
+
+    def instant(self, cat: str, track: str, name: str, ts: int,
+                args: Optional[dict] = None) -> None:
+        """Record a point event."""
+        if cat not in self.categories:
+            return
+        self.events.append(TraceEvent(
+            SpanKind.INSTANT, cat, self._track(track), name, ts, None, args,
+        ))
+
+    def counter(self, cat: str, track: str, name: str, ts: int,
+                value: float) -> None:
+        """Record one sample of a numeric series (queue depth, ...)."""
+        if cat not in self.categories:
+            return
+        self.events.append(TraceEvent(
+            SpanKind.COUNTER, cat, self._track(track), name, ts, value, None,
+        ))
+
+    def span(self, sim, track: str, name: str, args: Optional[dict] = None):
+        """User-emitted span as a context manager::
+
+            with tracer.span(sim, "ftl/gc", "relocate-block"):
+                ...drive the simulation...
+
+        Duration is whatever simulated time elapsed inside the block.
+        """
+        return _UserSpan(self, sim, track, name, args)
+
+    # -- kernel hooks (called by repro.sim.kernel, "kernel" category) --
+
+    def kernel_process(self, what: str, name: str, ts: int) -> None:
+        self.instant("kernel", "kernel/processes", f"{what}:{name}", ts)
+
+    def kernel_event(self, what: str, ts: int, fire_at: int) -> None:
+        self.instant("kernel", "kernel/events", what, ts,
+                     {"fire_at": fire_at} if fire_at != ts else None)
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def tracks(self) -> list[str]:
+        """Distinct track names, sorted (stable across runs)."""
+        return sorted({event.track for event in self.events})
+
+    def spans(self, track: Optional[str] = None) -> list[TraceEvent]:
+        return [e for e in self.events
+                if e.kind is SpanKind.COMPLETE
+                and (track is None or e.track == track)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class _UserSpan:
+    """Context manager behind :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "sim", "track", "name", "args", "_start")
+
+    def __init__(self, tracer: Tracer, sim, track: str, name: str,
+                 args: Optional[dict]):
+        self.tracer = tracer
+        self.sim = sim
+        self.track = track
+        self.name = name
+        self.args = args
+        self._start = 0
+
+    def __enter__(self) -> "_UserSpan":
+        self._start = self.sim.now
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.tracer.complete("user", self.track, self.name, self._start,
+                             self.sim.now - self._start, self.args)

@@ -112,6 +112,9 @@ class Process:
     def _step(self, send_value: Any = None) -> None:
         if self.finished:
             return
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.kernel_process("step", self.name, self.sim.now)
         try:
             command = self.gen.send(send_value)
         except StopIteration as stop:
@@ -142,6 +145,9 @@ class Process:
     def _finish(self, value: Any) -> None:
         self.finished = True
         self.value = value
+        tracer = self.sim._tracer
+        if tracer is not None:
+            tracer.kernel_process("finish", self.name, self.sim.now)
         waiters, self._waiters = self._waiters, []
         for waiter in waiters:
             waiter(value)
@@ -178,6 +184,25 @@ class Simulator:
         self._heap: list[_HeapEntry] = []
         self._seq = 0
         self._running = False
+        # Optional observability hook (repro.obs.Tracer).  Every kernel
+        # call site guards with a single `is not None` check so the
+        # untraced fast path stays one attribute load per event.
+        self._tracer = None
+
+    # -- observability -------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach with ``None``) a :class:`repro.obs.Tracer`.
+
+        All instrumentation points in the stack discover the tracer
+        through their simulator, so this one call enables tracing for
+        channels, executors, CPUs, runtimes, ops, and hosts alike.
+        """
+        self._tracer = tracer
+
+    @property
+    def tracer(self):
+        return self._tracer
 
     # -- scheduling ----------------------------------------------------
 
@@ -188,6 +213,8 @@ class Simulator:
         event = Event(self.now + int(delay), callback)
         self._seq += 1
         heapq.heappush(self._heap, _HeapEntry(event.time, self._seq, event))
+        if self._tracer is not None:
+            self._tracer.kernel_event("schedule", self.now, event.time)
         return event
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
@@ -199,6 +226,8 @@ class Simulator:
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Create a process from a generator and start it immediately."""
         process = Process(self, gen, name)
+        if self._tracer is not None:
+            self._tracer.kernel_process("spawn", process.name, self.now)
         self.schedule(0, lambda: process._step(None))
         return process
 
@@ -215,11 +244,18 @@ class Simulator:
             heapq.heappop(heap)
             event = entry.event
             if event.cancelled:
+                # Cancellation itself is a plain flag flip (Event has no
+                # simulator back-reference); it becomes observable here,
+                # when the dead entry surfaces from the heap.
+                if self._tracer is not None:
+                    self._tracer.kernel_event("cancel", self.now, event.time)
                 continue
             if event.time < self.now:  # pragma: no cover - invariant guard
                 raise SimError("event heap time went backwards")
             self.now = event.time
             event._done = True
+            if self._tracer is not None:
+                self._tracer.kernel_event("fire", self.now, event.time)
             event.callback()
         if until is not None and self.now < until:
             self.now = until

@@ -203,10 +203,45 @@ def test_summarize_latencies_basic():
     assert stats.count == 4
     assert stats.mean_ns == 250
     assert stats.min_ns == 100 and stats.max_ns == 400
-    assert stats.p50_ns in (200.0, 300.0)
+    # Linear interpolation: the even-count median is the midpoint.
+    assert stats.p50_ns == 250.0
 
 
 def test_summarize_latencies_empty():
     stats = summarize_latencies([])
     assert stats.count == 0 and stats.mean_ns == 0.0
     assert "n=0" in stats.describe()
+
+
+def test_percentile_interpolates_between_ranks():
+    from repro.analysis.metrics import _percentile
+
+    assert _percentile([1, 2], 0.50) == 1.5
+    assert _percentile([10, 20, 30], 0.50) == 20.0
+    assert _percentile([10, 20, 30, 40], 0.25) == 17.5
+    # p99 of 1..100 sits 0.99 * 99 = 98.01 ranks in: between 99 and 100.
+    assert _percentile(list(range(1, 101)), 0.99) == pytest.approx(99.01)
+
+
+def test_percentile_edges():
+    from repro.analysis.metrics import _percentile
+
+    assert _percentile([], 0.5) == 0.0
+    assert _percentile([7], 0.0) == 7.0
+    assert _percentile([7], 1.0) == 7.0
+    assert _percentile([3, 9], 0.0) == 3.0
+    assert _percentile([3, 9], 1.0) == 9.0
+    # Out-of-range fractions clamp instead of indexing out of bounds.
+    assert _percentile([3, 9], -0.5) == 3.0
+    assert _percentile([3, 9], 1.5) == 9.0
+
+
+def test_percentile_matches_numpy_linear_method():
+    import numpy as np
+
+    from repro.analysis.metrics import _percentile
+
+    samples = sorted(int(x) for x in np.random.default_rng(3).integers(0, 10_000, 37))
+    for fraction in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0):
+        expected = float(np.percentile(samples, fraction * 100))
+        assert _percentile(samples, fraction) == pytest.approx(expected)
