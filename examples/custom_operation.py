@@ -2,13 +2,15 @@
 
 This example plays the SSD Architect.  It starts from the stock READ
 (Algorithm 2), derives the pSLC variant (Algorithm 3) the way Fig. 8
-shows — a two-latch diff — and then composes a brand-new operation the
-library doesn't ship: a *verified read* that re-reads at escalating
-read-retry voltages until the (behavioural) BCH engine decodes the
-page, then reports which voltage level worked.
+shows — a two-latch diff — and then runs a *verified read* that
+re-reads at escalating read-retry voltages until the (behavioural) BCH
+engine decodes the page, reporting which voltage level worked.
 
-Everything happens in plain Python over the µFSM instruction set; no
-"hardware" was modified.
+Since the operation library is declarative (``repro.core.opir``), the
+custom operation is *data*: a program of IR nodes that can be linted
+before it ever runs, serialized to JSON, and installed on a vendor
+profile so the stock library entry point runs it — no "hardware" (and
+no library source) was modified.
 
 Run: ``python examples/custom_operation.py``
 """
@@ -16,14 +18,27 @@ Run: ``python examples/custom_operation.py``
 import numpy as np
 
 from repro import BabolController, ControllerConfig, Simulator
-from repro.core.ops import poll_until_ready, read_page_op, set_features_op
+from repro.analysis import lint_program
+from repro.core.opir import (
+    DataXfer,
+    DeclareHandle,
+    HandleRef,
+    LatchSeq,
+    OpProgram,
+    PollStatus,
+    Return,
+    TimerWait,
+    Txn,
+    run_program,
+    to_json,
+)
+from repro.core.ops import read_with_retry_op
 from repro.core.transaction import TxnKind
 from repro.core.ufsm.ca_writer import addr, cmd
 from repro.ecc import BchConfig, BchEngine
 from repro.flash import HYNIX_V7
 from repro.flash.errors import ErrorModelConfig
 from repro.onfi.commands import CMD
-from repro.onfi.features import FeatureAddress
 from repro.onfi.geometry import PhysicalAddress
 
 PAGE = HYNIX_V7.geometry.full_page_size
@@ -31,62 +46,46 @@ PAGE = HYNIX_V7.geometry.full_page_size
 
 # ---------------------------------------------------------------------------
 # 1. A custom operation: pSLC READ, derived from Algorithm 2 by hand.
-#    (The library ships `pslc_read_op`; this is the from-scratch version
-#    to show how small the diff really is.)
+#    (The library ships a `pslc_read` program; this is the from-scratch
+#    version to show how small the diff really is.)
 # ---------------------------------------------------------------------------
 
-def my_pslc_read(ctx, codec, address, dram_address):
-    bank = ctx.ufsm
-    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="my-pslc-read")
-    preamble.add_segment(bank.ca_writer.emit(
-        [
-            cmd(CMD.VENDOR_PSLC_ENTER),           # <-- the Fig. 8 gray diff
-            cmd(CMD.READ_1ST),
-            addr(codec.encode(address)),
-            cmd(CMD.READ_2ND),
-        ],
-        chip_mask=ctx.chip_mask,
-    ))
-    yield from ctx.add_transaction(preamble)
-    yield from poll_until_ready(ctx)
+def my_pslc_read_program(codec, address, dram_address, length=None) -> OpProgram:
+    # An override builder must accept the stock op's full keyword set
+    # (the library entry point forwards everything it was called with).
+    nbytes = length if length is not None else PAGE
+    return OpProgram(
+        "my_pslc_read",
+        (
+            Txn(TxnKind.CMD_ADDR, (
+                LatchSeq((
+                    cmd(CMD.VENDOR_PSLC_ENTER),    # <-- the Fig. 8 gray diff
+                    cmd(CMD.READ_1ST),
+                    addr(codec.encode(address)),
+                    cmd(CMD.READ_2ND),
+                )),
+            ), label="my-pslc-read"),
+            PollStatus(until="ready"),
+            DeclareHandle("page", "from_flash", nbytes=nbytes,
+                          dram_address=dram_address),
+            Txn(TxnKind.DATA_OUT, (
+                LatchSeq((cmd(CMD.CHANGE_READ_COL_1ST),
+                          addr(codec.encode_column(0)),
+                          cmd(CMD.CHANGE_READ_COL_2ND))),
+                TimerWait(param="tCCS"),
+                DataXfer("out", nbytes, HandleRef("page")),
+                LatchSeq((cmd(CMD.VENDOR_PSLC_EXIT),)),  # <-- and its exit
+            ), label="my-pslc-transfer"),
+            Return(HandleRef("page")),
+        ),
+        doc="pSLC READ derived from Algorithm 2: the diff is two latch nodes.",
+    )
 
-    handle = ctx.packetizer.from_flash(dram_address, PAGE)
-    transfer = ctx.transaction(TxnKind.DATA_OUT, label="my-pslc-transfer")
-    transfer.add_segment(bank.ca_writer.emit(
-        [cmd(CMD.CHANGE_READ_COL_1ST), addr(codec.encode_column(0)),
-         cmd(CMD.CHANGE_READ_COL_2ND)],
-        chip_mask=ctx.chip_mask,
-    ))
-    transfer.add_segment(bank.timer.emit(bank.ca_writer.timing.tCCS,
-                                         chip_mask=ctx.chip_mask))
-    transfer.add_segment(bank.data_reader.emit(PAGE, handle,
-                                               chip_mask=ctx.chip_mask))
-    transfer.add_segment(bank.ca_writer.emit([cmd(CMD.VENDOR_PSLC_EXIT)],
-                                             chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(transfer)
-    return handle
 
-
-# ---------------------------------------------------------------------------
-# 2. A composed operation: verified read with a retry sweep (cf. [48]).
-# ---------------------------------------------------------------------------
-
-def verified_read(ctx, codec, address, dram_address, ecc, pristine, max_levels=8):
-    for level in range(max_levels):
-        if level:
-            yield from set_features_op(
-                ctx, FeatureAddress.VENDOR_READ_RETRY, (level, 0, 0, 0)
-            )
-        _, handle = yield from read_page_op(ctx, codec, address, dram_address)
-        received = handle.dram.read(handle.address, PAGE)
-        result = ecc.decode(received, pristine)
-        if result.ok:
-            if level:
-                yield from set_features_op(
-                    ctx, FeatureAddress.VENDOR_READ_RETRY, (0, 0, 0, 0)
-                )
-            return level, result.corrected_bits
-    return None, 0
+def run_op_program(ctx, program, **hooks):
+    """Generic driver: interpret any op program on a LUN context."""
+    result = yield from run_program(ctx, program, hooks=hooks)
+    return result
 
 
 def main() -> None:
@@ -98,13 +97,21 @@ def main() -> None:
     payload = (np.arange(PAGE) % 247).astype(np.uint8)
     controller.dram.write(0, payload)
 
+    # Because the operation is data, it can be checked before it runs
+    # (tCCS/tADL ordering, poll termination, channel holds, handles)
+    # and persisted/diffed as JSON.
+    program = my_pslc_read_program(
+        controller.codec, PhysicalAddress(block=3, page=0), PAGE
+    )
+    findings = lint_program(program)
+    print(f"op-lint          : {len(findings)} finding(s) on my_pslc_read")
+    print(f"serialized form  : {len(to_json(program))} bytes of JSON\n")
+
     # -- pSLC path --------------------------------------------------------
     controller.run_to_completion(controller.pslc_erase(0, 3))
     controller.run_to_completion(controller.pslc_program(0, 3, 0, 0))
     t0 = sim.now
-    task = controller.submit(my_pslc_read, 0, codec=controller.codec,
-                             address=PhysicalAddress(block=3, page=0),
-                             dram_address=PAGE)
+    task = controller.submit(run_op_program, 0, program=program)
     controller.run_to_completion(task)
     pslc_us = (sim.now - t0) / 1000
     print(f"custom pSLC read : {pslc_us:7.1f} us")
@@ -118,7 +125,9 @@ def main() -> None:
           f"(pSLC is {native_us / pslc_us:.1f}x faster)")
 
     # -- verified read with a retry sweep -----------------------------------
-    # Age the block artificially so the default voltage is hopeless.
+    # The library's read_with_retry program walks the voltage levels; the
+    # acceptance test is a *hook* — plain Python called from the program
+    # via E("hook", ...) — here, a behavioural BCH decode.
     lun = controller.luns[0]
     lun.array.error_model.config = ErrorModelConfig(
         base_rber=0.0, wear_rber_per_kcycle=0.0,
@@ -130,16 +139,40 @@ def main() -> None:
     controller.run_to_completion(controller.program_page(0, 7, 0, 0))
 
     ecc = BchEngine(BchConfig(codeword_bytes=1024, t=40))
+    corrected = {}
+
+    def decodes_clean(handle) -> bool:
+        received = handle.dram.read(handle.address, PAGE)
+        result = ecc.decode(received, payload)
+        if result.ok:
+            corrected["bits"] = result.corrected_bits
+        return result.ok
+
     task = controller.submit(
-        verified_read, 0, codec=controller.codec,
+        read_with_retry_op, 0, codec=controller.codec,
         address=PhysicalAddress(block=7, page=0), dram_address=PAGE,
-        ecc=ecc, pristine=payload,
+        validate=decodes_clean,
     )
-    level, corrected = controller.run_to_completion(task)
+    level, _handle = controller.run_to_completion(task)
     print(f"verified read    : decoded at retry level {level} "
           f"(block optimum = {block.optimal_retry_level}), "
-          f"{corrected} bits corrected, "
+          f"{corrected.get('bits', 0)} bits corrected, "
           f"{ecc.pages_failed} level(s) uncorrectable along the way")
+
+    # -- install the custom program on a vendor profile ---------------------
+    # A profile-level override reroutes the *stock* entry point: any code
+    # that calls the library pslc_read now runs our program on this part.
+    custom_vendor = HYNIX_V7.with_op_override("pslc_read", my_pslc_read_program)
+    controller2 = BabolController(
+        Simulator(),
+        ControllerConfig(vendor=custom_vendor, lun_count=1, runtime="coroutine"),
+    )
+    controller2.run_to_completion(controller2.pslc_erase(0, 3))
+    controller2.run_to_completion(controller2.pslc_program(0, 3, 0, 0))
+    handle = controller2.run_to_completion(
+        controller2.pslc_read(0, 3, 0, PAGE))
+    print(f"vendor override  : library pslc_read now runs my_pslc_read "
+          f"(returned {type(handle).__name__}, {handle.nbytes} B)")
 
 
 if __name__ == "__main__":

@@ -7,6 +7,12 @@ per-position phase skews, demonstrates that fast-mode reads are garbage
 before calibration, then runs BABOL's software bring-up sequence and
 shows the channel come up clean.
 
+Part quirks are handled the same software-defined way: the profile can
+override whole operations (``VendorProfile.with_op_override``), so a
+part that e.g. demands SYNCHRONOUS RESET at speed reroutes the stock
+``reset`` to a different op program — a table change, not a library
+edit.  The last section demonstrates that at the pins.
+
 Run: ``python examples/new_package_bringup.py``
 """
 
@@ -72,7 +78,31 @@ def main() -> None:
         parse_parameter_page(raw)  # raises if still garbled
         ok += 1
     print(f"calibrated NV-DDR2-200: {ok}/{LUNS} parameter-page reads clean")
-    print(f"bring-up took {sim.now / 1e6:.2f} ms of device time")
+    print(f"bring-up took {sim.now / 1e6:.2f} ms of device time\n")
+
+    # A package quirk as a profile entry: suppose this part requires
+    # SYNCHRONOUS RESET (0xFC) once running NV-DDR2.  Overriding the op
+    # program on the vendor profile reroutes the stock reset everywhere
+    # — observed here with the logic analyzer.
+    from repro.analysis import LogicAnalyzer
+    from repro.core.opir.programs import reset_program
+    from repro.onfi.commands import CMD, opcode_name
+
+    quirky = TOSHIBA_BICS5.with_op_override(
+        "reset", lambda synchronous=False: reset_program(synchronous=True)
+    )
+    controller = BabolController(
+        Simulator(),
+        ControllerConfig(vendor=quirky, lun_count=1, runtime="rtos",
+                         track_data=False),
+    )
+    analyzer = LogicAnalyzer(controller.channel)
+    controller.run_to_completion(controller.reset(0))
+    issued = [opcode_name(e.opcode) for e in analyzer.events
+              if e.kind == "cmd" and e.opcode in
+              (CMD.RESET, CMD.SYNCHRONOUS_RESET)]
+    print(f"op override: stock reset on the quirky part issues {issued[0]} "
+          f"(library untouched)")
 
 
 if __name__ == "__main__":

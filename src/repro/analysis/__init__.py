@@ -5,6 +5,7 @@
   event with exact nanosecond timestamps, measures polling periods.
 * :mod:`waveform_render` — ASCII timing diagrams (Figs. 2/9/11 style).
 * :mod:`loc` — source-line counting for the Table II comparison.
+* :mod:`op_lint` — static protocol linter for declarative op programs.
 * :mod:`area` — the structural FPGA area model behind Table III.
 * :mod:`metrics` — shared throughput/latency summaries.
 """
@@ -12,6 +13,7 @@
 from repro.analysis.logic_analyzer import AnalyzerEvent, LogicAnalyzer
 from repro.analysis.waveform_render import render_segment, render_timeline
 from repro.analysis.loc import count_source_lines, operation_loc_table
+from repro.analysis.op_lint import LintFinding, lint_all, lint_program
 from repro.analysis.area import AreaEstimate, estimate_area
 from repro.analysis.metrics import LatencyStats, summarize_latencies
 from repro.analysis.timing_check import TimingChecker, TimingViolation
@@ -25,6 +27,9 @@ __all__ = [
     "render_timeline",
     "count_source_lines",
     "operation_loc_table",
+    "LintFinding",
+    "lint_all",
+    "lint_program",
     "AreaEstimate",
     "estimate_area",
     "LatencyStats",

@@ -71,10 +71,7 @@ def operation_loc_table() -> dict[str, dict[str, int]]:
     which is exactly the paper's point (a).
     """
     from repro.baselines import async_hw, sync_hw
-    from repro.core.ops import erase as ops_erase
-    from repro.core.ops import program as ops_program
-    from repro.core.ops import read as ops_read
-    from repro.core.ops import status as ops_status
+    from repro.core.opir import programs as opir_programs
     from repro.core.ops.base import poll_until_ready
 
     sync_shared = count_source_lines(
@@ -86,13 +83,19 @@ def operation_loc_table() -> dict[str, dict[str, int]]:
          async_hw._Sequencer._poll, async_hw._Sequencer._await_ready,
          async_hw.AsyncHwController._dispatcher]
     )
-    # BABOL's READ composes READ STATUS (Algorithm 2 invoking
-    # Algorithm 1); count both plus the poll helper, as the paper's 58
-    # lines cover the full listing of Fig. 8.
+    # BABOL operations are authored as declarative op programs (the
+    # ``*_op`` generators are signature-preserving shims over the IR
+    # interpreter), so the program builders are what we measure.  READ
+    # composes READ STATUS (Algorithm 2 invoking Algorithm 1); count
+    # both plus the poll helper, as the paper's 58 lines cover the full
+    # listing of Fig. 8.
     babol_read = count_source_lines(
-        [ops_read.read_page_op, ops_status.read_status_op, poll_until_ready]
+        [opir_programs.read_page_program, opir_programs.read_status_program,
+         poll_until_ready]
     )
-    babol_poll = count_source_lines([ops_status.read_status_op, poll_until_ready])
+    babol_poll = count_source_lines(
+        [opir_programs.read_status_program, poll_until_ready]
+    )
 
     return {
         "READ": {
@@ -106,12 +109,14 @@ def operation_loc_table() -> dict[str, dict[str, int]]:
             "sync_hw": count_source_lines([sync_hw._ProgramState,
                                            sync_hw._LunEngine._program_fsm]) + sync_shared,
             "async_hw": count_source_lines([async_hw._Sequencer._program]) + async_shared,
-            "babol": count_source_lines([ops_program.program_page_op]) + babol_poll,
+            "babol": count_source_lines([opir_programs.program_page_program])
+                     + babol_poll,
         },
         "ERASE": {
             "sync_hw": count_source_lines([sync_hw._EraseState,
                                            sync_hw._LunEngine._erase_fsm]) + sync_shared,
             "async_hw": count_source_lines([async_hw._Sequencer._erase]) + async_shared,
-            "babol": count_source_lines([ops_erase.erase_block_op]) + babol_poll,
+            "babol": count_source_lines([opir_programs.erase_block_program])
+                     + babol_poll,
         },
     }

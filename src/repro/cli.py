@@ -10,6 +10,7 @@ Usage examples::
     python -m repro.cli table3
     python -m repro.cli demo
     python -m repro.cli trace --out trace.json    # observability capture
+    python -m repro.cli op-lint                   # static op-program lint
     python -m repro.cli bench-smoke --out BENCH_smoke.json
 
 ``demo``/``fig10``/``fig11``/``fig12`` accept ``--trace out.json`` to
@@ -300,6 +301,29 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_op_lint(args) -> int:
+    """Statically lint every op program (built-ins x vendor profiles,
+    honouring vendor overrides); non-zero exit on any error finding."""
+    from repro.analysis import lint_all
+    from repro.core.opir import list_ops
+
+    vendors = ([profile_by_name(args.vendor)] if args.vendor
+               else list(VENDOR_PROFILES.values()))
+    findings = lint_all(vendors=vendors)
+    errors = [f for f in findings if f.severity == "error"]
+    if args.json:
+        print(json.dumps([f.__dict__ for f in findings],
+                         indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding)
+        print(f"op-lint: {len(list_ops())} programs x "
+              f"{len(vendors)} vendor profile(s): "
+              f"{len(errors)} error(s), {len(findings) - len(errors)} "
+              f"warning(s)")
+    return 1 if errors else 0
+
+
 def cmd_bench_smoke(args) -> int:
     """CI benchmark smoke: tiny, fast cells of Table I and Fig. 11 with
     wall-clock timings, serialized to JSON so the perf trajectory of the
@@ -341,6 +365,34 @@ def cmd_bench_smoke(args) -> int:
             "wall_s": round(time.perf_counter() - run_started, 4),
         }
     results["fig11"] = fig11
+
+    # Per-op dispatch overhead: fixed op counts on one coroutine LUN.
+    # Wall time per op tracks the cost of the software dispatch path
+    # itself (program build + interpretation + runtime scheduling), so
+    # IR/runtime changes show up here run over run.
+    from repro.core.ops import read_status_op
+
+    dispatch_started = time.perf_counter()
+    sim = Simulator()
+    controller = BabolController(
+        sim, ControllerConfig(vendor=vendor, lun_count=1, runtime="coroutine",
+                              track_data=False),
+    )
+    reads = 150
+    for i in range(reads):
+        controller.run_to_completion(controller.read_page(0, 1, i, 0))
+    read_wall = time.perf_counter() - dispatch_started
+    poll_started = time.perf_counter()
+    polls = 400
+    for _ in range(polls):
+        controller.run_to_completion(controller.submit(read_status_op, 0))
+    poll_wall = time.perf_counter() - poll_started
+    results["dispatch"] = {
+        "reads": reads,
+        "read_us_per_op": round(read_wall / reads * 1e6, 1),
+        "status_polls": polls,
+        "status_us_per_op": round(poll_wall / polls * 1e6, 1),
+    }
     results["wall_s"] = round(time.perf_counter() - started, 4)
 
     rendered = json.dumps(results, indent=2, sort_keys=True)
@@ -408,6 +460,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", action="store_true",
                    help="also record the kernel event firehose")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("op-lint",
+                       help="statically lint the op-program library")
+    p.add_argument("--vendor", default=None, choices=sorted(VENDOR_PROFILES),
+                   help="lint one vendor profile (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON")
+    p.set_defaults(func=cmd_op_lint)
 
     p = sub.add_parser("bench-smoke",
                        help="fast benchmark cells as JSON (CI artifact)")

@@ -121,6 +121,7 @@ class BabolController:
             cpu=self.cpu,
             task_scheduler=task_scheduler,
             txn_scheduler=txn_scheduler,
+            vendor=cfg.vendor,
         )
         self.codec = AddressCodec(cfg.vendor.geometry)
 

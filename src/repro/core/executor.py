@@ -14,7 +14,7 @@ transaction scheduler reorder under contention.
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import deque
 
 from repro.bus.channel import Channel
 from repro.core.transaction import Transaction
@@ -38,7 +38,7 @@ class Executor:
         self.channel = channel
         self.dispatch_latency_ns = dispatch_latency_ns
         self.queue_depth = queue_depth
-        self._queue: list[Transaction] = []
+        self._queue: deque[Transaction] = deque()
         self._cond = Condition(sim)
         self.slot_freed = Trigger(sim)  # software listens: room to dispatch
         self.txn_done = Trigger(sim)    # software listens: completions
@@ -71,7 +71,7 @@ class Executor:
     def _run(self):
         while True:
             yield from self._cond.wait_for(lambda: bool(self._queue))
-            txn = self._queue.pop(0)
+            txn = self._queue.popleft()
             self.slot_freed.fire(self)
             # Fixed hardware dispatch: descriptor decode + channel request.
             if self.dispatch_latency_ns:

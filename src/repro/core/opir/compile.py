@@ -1,0 +1,93 @@
+"""The op-program compiler: lower segment nodes to waveform segments.
+
+This is the "table to wires" half of the IR: given a
+:class:`~repro.core.softenv.base.OperationContext` (whose µFSM bank
+carries the current data mode's timing), each segment node lowers to
+exactly the µFSM emission the hand-written generators performed —
+same emitter, same arguments, same order — so the resulting waveform
+is byte/ns identical to the seeds.
+"""
+
+from __future__ import annotations
+
+from repro.core.opir.nodes import (
+    DataXfer,
+    EvalState,
+    LatchSeq,
+    TimerWait,
+    Txn,
+    eval_expr,
+)
+from repro.core.transaction import Transaction
+from repro.onfi.signals import WaveformSegment
+
+
+def resolve_mask(ctx, chip_mask, state: EvalState) -> int:
+    """A node's chip mask: ``None`` means the operation's target."""
+    if chip_mask is None:
+        return ctx.chip_mask
+    return eval_expr(chip_mask, state)
+
+
+def resolve_timer_ns(bank, node: TimerWait) -> int:
+    """The duration of a :class:`TimerWait` against ``bank``'s timing."""
+    if (node.ns is None) == (node.param is None):
+        raise ValueError("TimerWait needs exactly one of ns= or param=")
+    if node.ns is not None:
+        return node.ns
+    try:
+        return getattr(bank.ca_writer.timing, node.param)
+    except AttributeError:
+        raise ValueError(
+            f"TimerWait param {node.param!r} is not a timing parameter"
+        ) from None
+
+
+def compile_segment(ctx, node, state: EvalState) -> WaveformSegment:
+    """Lower one segment node via the bank's µFSM emitters."""
+    bank = ctx.ufsm
+    if isinstance(node, LatchSeq):
+        if node.via_chip_control:
+            # Emit with the default mask, then let Chip Control redirect
+            # it — the gang-scheduling idiom (Fig. 6d).
+            segment = bank.ca_writer.emit(list(node.latches), label=node.label)
+            return bank.chip_control.apply(
+                segment, eval_expr(node.chip_mask, state)
+            )
+        return bank.ca_writer.emit(
+            list(node.latches),
+            chip_mask=resolve_mask(ctx, node.chip_mask, state),
+            label=node.label,
+        )
+    if isinstance(node, TimerWait):
+        return bank.timer.emit(
+            resolve_timer_ns(bank, node),
+            chip_mask=resolve_mask(ctx, node.chip_mask, state),
+            label=node.label,
+        )
+    if isinstance(node, DataXfer):
+        handle = eval_expr(node.handle, state)
+        mask = resolve_mask(ctx, node.chip_mask, state)
+        if node.direction == "out":
+            return bank.data_reader.emit(
+                node.nbytes, handle, chip_mask=mask, label=node.label
+            )
+        if node.direction == "in":
+            return bank.data_writer.emit(
+                node.nbytes,
+                handle,
+                column=node.column,
+                chip_mask=mask,
+                after_address=node.after_address,
+                label=node.label,
+            )
+        raise ValueError(f"DataXfer direction must be 'out' or 'in', got {node.direction!r}")
+    raise TypeError(f"{type(node).__name__} is not a segment node")
+
+
+def build_transaction(ctx, node: Txn, state: EvalState) -> Transaction:
+    """Lower a :class:`Txn` node into one prepared transaction."""
+    txn = ctx.transaction(node.kind, label=node.label)
+    for segment_node in node.segments:
+        txn.add_segment(compile_segment(ctx, segment_node, state))
+    return txn

@@ -1,0 +1,394 @@
+"""The op-program IR: declarative node set for flash operations.
+
+BABOL's core claim is that flash operations are *software* — programs
+over the five µFSMs (Fig. 8, Algorithms 1–3).  This module makes that
+literal: an operation is an :class:`OpProgram`, a tree of small frozen
+dataclasses describing latch sequences, timer waits, data bursts,
+status polls, and the (rare) data-dependent control flow.  Programs are
+pure values — no generators, no context — which is what buys the three
+things imperative generators could never give us:
+
+* a static linter (:mod:`repro.analysis.op_lint`) can walk a program
+  and check tCCS/tADL ordering, poll budgets, and channel-hold time
+  before anything runs;
+* programs serialize to JSON (:mod:`repro.core.opir.serialize`) for
+  trace replay and cross-run diffing;
+* vendors override whole operations by supplying a different program
+  builder (:mod:`repro.flash.vendors`), not by monkeypatching code.
+
+Execution is split the way the paper splits it: a *compiler*
+(:mod:`repro.core.opir.compile`) lowers segment nodes to waveform
+segments against a :class:`~repro.core.ufsm.base.UfsmBank`, and an
+*interpreter* (:mod:`repro.core.opir.interp`) runs the program through
+an :class:`~repro.core.softenv.base.OperationContext` with byte/ns
+identical behaviour to the original hand-written generators (pinned by
+``tests/test_opir_golden.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import Latch
+from repro.onfi.status import StatusRegister
+
+__all__ = [
+    "Reg",
+    "HandleRef",
+    "E",
+    "EvalState",
+    "eval_expr",
+    "LatchSeq",
+    "TimerWait",
+    "DataXfer",
+    "Txn",
+    "DeclareHandle",
+    "PollStatus",
+    "SoftSleep",
+    "CallOp",
+    "SetReg",
+    "Branch",
+    "Loop",
+    "BreakIf",
+    "SelectFirstReady",
+    "Return",
+    "OpProgram",
+    "SEGMENT_NODES",
+    "STEP_NODES",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions: the tiny value language of the IR.
+#
+# Any "value position" in a node (a chip mask, a register assignment, a
+# return expression, CallOp kwargs) may hold a literal, a tuple/list of
+# values, or one of the three expression kinds below.  Evaluation is
+# :func:`eval_expr`; undefined registers evaluate to ``None`` (matching
+# the seeds' ``level_used = None`` initializations).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """Read a named interpreter register."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class HandleRef:
+    """Reference a DMA handle minted by a :class:`DeclareHandle`."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class E:
+    """A primitive operator application; ``args`` are value positions.
+
+    Operators:
+
+    ``item``            ``args = (seq, index)`` — subscript
+    ``and``             ``args = (a, b)`` — Python ``and``
+    ``gt`` / ``ne``     ``args = (a, b)`` — comparisons
+    ``not_failed``      ``args = (status,)`` — ``not StatusRegister.is_failed``
+    ``delivered``       ``args = (handle,)`` — the raw delivered array
+    ``delivered_byte``  ``args = (handle,)`` — ``int(delivered[0])``
+    ``delivered_tuple`` ``args = (handle,)`` — ``tuple(int(b) ...)``
+    ``hook``            ``args = (hook_name, *call_args)`` — invoke a
+                        caller-supplied callable (e.g. an ECC validate)
+    """
+
+    op: str
+    args: tuple = ()
+
+
+class EvalState:
+    """Mutable interpreter state: registers, handles, and hooks."""
+
+    __slots__ = ("regs", "handles", "hooks")
+
+    def __init__(self, hooks: Optional[dict] = None):
+        self.regs: dict[str, Any] = {}
+        self.handles: dict[str, Any] = {}
+        self.hooks: dict[str, Callable] = dict(hooks or {})
+
+
+def eval_expr(value: Any, state: EvalState) -> Any:
+    """Evaluate a value position against the interpreter state."""
+    if isinstance(value, Reg):
+        return state.regs.get(value.name)
+    if isinstance(value, HandleRef):
+        try:
+            return state.handles[value.name]
+        except KeyError:
+            raise KeyError(f"handle {value.name!r} referenced before declaration") from None
+    if isinstance(value, E):
+        return _apply(value, state)
+    if isinstance(value, tuple):
+        return tuple(eval_expr(item, state) for item in value)
+    if isinstance(value, list):
+        return [eval_expr(item, state) for item in value]
+    return value
+
+
+def _apply(expr: E, state: EvalState) -> Any:
+    op = expr.op
+    if op == "hook":
+        name = expr.args[0]
+        try:
+            hook = state.hooks[name]
+        except KeyError:
+            raise KeyError(f"program calls hook {name!r} but none was supplied") from None
+        return hook(*(eval_expr(a, state) for a in expr.args[1:]))
+    args = [eval_expr(a, state) for a in expr.args]
+    if op == "item":
+        return args[0][args[1]]
+    if op == "and":
+        return args[0] and args[1]
+    if op == "gt":
+        return args[0] > args[1]
+    if op == "ne":
+        return args[0] != args[1]
+    if op == "not_failed":
+        return not StatusRegister.is_failed(args[0])
+    if op == "delivered":
+        return args[0].delivered
+    if op == "delivered_byte":
+        return int(args[0].delivered[0])
+    if op == "delivered_tuple":
+        return tuple(int(b) for b in args[0].delivered)
+    raise ValueError(f"unknown expression operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Segment nodes: lowered to WaveformSegments by the compiler.  A
+# ``chip_mask`` of ``None`` means "the operation's target mask"
+# (``ctx.chip_mask``) — resolved at run time, so one program serves any
+# LUN position.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatchSeq:
+    """One C/A Writer emission: a tuple of command/address latches.
+
+    ``via_chip_control=True`` reproduces the gang-scheduling idiom: the
+    segment is emitted with the default mask and then redirected by the
+    Chip Control µFSM (Fig. 6d), exactly as ``gang_read_op`` did.
+    """
+
+    latches: tuple[Latch, ...]
+    chip_mask: Any = None
+    label: str = ""
+    via_chip_control: bool = False
+
+
+@dataclass(frozen=True)
+class TimerWait:
+    """A Timer µFSM segment: a category-2/3 wait on the channel.
+
+    Exactly one of ``ns`` (absolute) or ``param`` (a
+    :class:`~repro.onfi.timing.TimingSet` attribute such as ``"tCCS"``,
+    resolved against the bank's current mode at compile time) must be
+    given.  ``reason`` documents *why* a long wait holds the channel —
+    the channel-hold lint (OPL004) requires it for waits over its
+    threshold.
+    """
+
+    ns: Optional[int] = None
+    param: Optional[str] = None
+    chip_mask: Any = None
+    label: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class DataXfer:
+    """A data burst: ``direction`` is ``"out"`` (Data Reader, flash to
+    controller) or ``"in"`` (Data Writer).  ``after_address=True``
+    prepends the tADL wait on the in path (the SET FEATURES / PROGRAM
+    contract)."""
+
+    direction: str
+    nbytes: int
+    handle: HandleRef
+    column: int = 0
+    after_address: bool = False
+    chip_mask: Any = None
+    label: str = ""
+
+
+SEGMENT_NODES = (LatchSeq, TimerWait, DataXfer)
+
+
+# ---------------------------------------------------------------------------
+# Step nodes: executed in order by the interpreter.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Txn:
+    """Build one transaction from segment nodes and ``co_await`` it."""
+
+    kind: TxnKind
+    segments: tuple
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class DeclareHandle:
+    """Mint a Packetizer DMA handle and bind it to ``name``.
+
+    ``source`` selects the Packetizer verb: ``"from_flash"`` /
+    ``"to_flash"`` (DRAM-bound, need ``dram_address``), ``"capture"``
+    (controller-internal register reads), or ``"inline"`` (immediate
+    bytes from ``data``, e.g. SET FEATURES parameters).
+    """
+
+    name: str
+    source: str
+    nbytes: int = 0
+    dram_address: Optional[int] = None
+    data: tuple = ()
+
+
+@dataclass(frozen=True)
+class PollStatus:
+    """Poll READ STATUS until a readiness bit (Algorithm 2, lines 7..9).
+
+    ``until`` is ``"ready"`` (RDY — array or register free) or
+    ``"array_ready"`` (ARDY — the cache ops' inner readiness).  The
+    final status byte lands in register ``dest`` when given.  A finite
+    ``max_polls`` is mandatory — the linter rejects unbounded polls.
+    """
+
+    until: str = "ready"
+    dest: Optional[str] = None
+    chip_mask: Any = None
+    max_polls: int = 100_000
+
+
+@dataclass(frozen=True)
+class SoftSleep:
+    """Suspend the task in software for ``ns`` — the channel is NOT
+    held (contrast with an in-transaction :class:`TimerWait`)."""
+
+    ns: Any
+
+
+@dataclass(frozen=True)
+class CallOp:
+    """Invoke another registered operation (Algorithm 2 calling
+    Algorithm 1).  Goes through the public ``*_op`` wrapper, so traced
+    spans nest and vendor overrides resolve for the callee too."""
+
+    op: str
+    kwargs: tuple = ()  # tuple of (name, value) pairs; values are value positions
+    dest: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SetReg:
+    """Assign ``expr`` to register ``name``."""
+
+    name: str
+    expr: Any = None
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Run ``then`` when ``pred`` evaluates truthy, else ``orelse``."""
+
+    pred: Any
+    then: tuple = ()
+    orelse: tuple = ()
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Run ``body`` ``count`` times with the index bound to register
+    ``var``; a :class:`BreakIf` inside the body exits early."""
+
+    var: str
+    count: int
+    body: tuple = ()
+
+
+@dataclass(frozen=True)
+class BreakIf:
+    """Break the innermost :class:`Loop` when ``pred`` is truthy,
+    applying the ``sets`` register assignments first."""
+
+    pred: Any
+    sets: tuple = ()  # tuple of (reg_name, expr) pairs
+
+
+@dataclass(frozen=True)
+class SelectFirstReady:
+    """Round-robin status-poll a set of LUN positions until one reports
+    RDY (the gang-read / RAIL idiom).  The winning position lands in
+    ``dest_pos`` and its single-chip mask in ``dest_mask``."""
+
+    positions: tuple[int, ...]
+    dest_pos: str = "winner"
+    dest_mask: str = "winner_mask"
+    max_rounds: int = 100_000
+
+
+@dataclass(frozen=True)
+class Return:
+    """Finish the program; ``expr`` is the operation's result."""
+
+    expr: Any = None
+
+
+STEP_NODES = (
+    Txn,
+    DeclareHandle,
+    PollStatus,
+    SoftSleep,
+    CallOp,
+    SetReg,
+    Branch,
+    Loop,
+    BreakIf,
+    SelectFirstReady,
+    Return,
+)
+
+
+@dataclass(frozen=True)
+class OpProgram:
+    """A complete operation: a name and an ordered node tuple."""
+
+    name: str
+    nodes: tuple
+    doc: str = field(default="", compare=False)
+
+    def walk(self):
+        """Pre-order traversal of every node (steps and segments)."""
+        yield from _walk(self.nodes)
+
+
+def _walk(nodes):
+    for node in nodes:
+        yield node
+        if isinstance(node, Txn):
+            yield from _walk(node.segments)
+        elif isinstance(node, Branch):
+            yield from _walk(node.then)
+            yield from _walk(node.orelse)
+        elif isinstance(node, Loop):
+            yield from _walk(node.body)
+
+
+def kwargs_tuple(mapping: dict) -> tuple:
+    """Normalize a kwargs dict into the sorted pair-tuple CallOp wants."""
+    return tuple(sorted(mapping.items()))
+
+
+Value = Union[Reg, HandleRef, E, int, str, bytes, None]

@@ -1,0 +1,1089 @@
+"""The built-in operation programs: `core/ops` rewritten as IR values.
+
+Each builder mirrors one seed generator from ``repro.core.ops`` —
+same latches, same transaction labels, same poll points, same handle
+mint order — so the golden-equivalence tests can hold the two side by
+side segment for segment.  Builders run at "compile time": addresses
+are encoded, data-independent loops (cache pages, multi-plane queues,
+retry level sweeps) are unrolled, and argument validation happens
+before a single segment exists.
+
+This module must not import :mod:`repro.core.ops` (the wrappers there
+import the registry, which imports us); composition is expressed with
+:class:`~repro.core.opir.nodes.CallOp` and resolved lazily by the
+interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.opir.nodes import (
+    Branch,
+    BreakIf,
+    CallOp,
+    DataXfer,
+    DeclareHandle,
+    E,
+    HandleRef,
+    LatchSeq,
+    Loop,
+    OpProgram,
+    PollStatus,
+    Reg,
+    Return,
+    SelectFirstReady,
+    SetReg,
+    SoftSleep,
+    TimerWait,
+    Txn,
+)
+from repro.core.opir.registry import op_program
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.core.ufsm.chip_control import ChipControl
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusBits
+
+_FEAT_MARGIN_NS = 200
+_PARAM_MARGIN_NS = 500
+
+
+def _col_change(codec: AddressCodec, column: int) -> tuple:
+    """The CHANGE READ COLUMN latch triple (05h-addr-E0h)."""
+    return (
+        cmd(CMD.CHANGE_READ_COL_1ST),
+        addr(codec.encode_column(column)),
+        cmd(CMD.CHANGE_READ_COL_2ND),
+    )
+
+
+def _read_preamble(codec: AddressCodec, address: PhysicalAddress) -> tuple:
+    """The READ latch triple (00h-addr-30h)."""
+    return (cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND))
+
+
+def _not_failed(status) -> E:
+    return E("not_failed", (status,))
+
+
+# ---------------------------------------------------------------------------
+# Status (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+@op_program("read_status")
+def read_status_program(chip_mask: Optional[int] = None) -> OpProgram:
+    return OpProgram(
+        "read_status",
+        (
+            DeclareHandle("s", "capture", nbytes=1),
+            Txn(
+                TxnKind.POLL,
+                (
+                    LatchSeq((cmd(CMD.READ_STATUS),), chip_mask=chip_mask),
+                    DataXfer("out", 1, HandleRef("s"), chip_mask=chip_mask),
+                ),
+                label="read-status",
+            ),
+            Return(E("delivered_byte", (HandleRef("s"),))),
+        ),
+        doc="One status poll; returns the status byte.",
+    )
+
+
+@op_program("read_status_enhanced")
+def read_status_enhanced_program(
+    row_address_bytes: tuple[int, ...],
+    chip_mask: Optional[int] = None,
+) -> OpProgram:
+    return OpProgram(
+        "read_status_enhanced",
+        (
+            DeclareHandle("s", "capture", nbytes=1),
+            Txn(
+                TxnKind.POLL,
+                (
+                    LatchSeq(
+                        (cmd(CMD.READ_STATUS_ENHANCED), addr(tuple(row_address_bytes))),
+                        chip_mask=chip_mask,
+                    ),
+                    DataXfer("out", 1, HandleRef("s"), chip_mask=chip_mask),
+                ),
+                label="read-status-enhanced",
+            ),
+            Return(E("delivered_byte", (HandleRef("s"),))),
+        ),
+        doc="READ STATUS ENHANCED (0x78): per-LUN status.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# READ (Algorithm 2 and variants)
+# ---------------------------------------------------------------------------
+
+
+@op_program("read_page")
+def read_page_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> OpProgram:
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    return OpProgram(
+        "read_page",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq(_read_preamble(codec, address)),),
+                label="read-preamble",
+            ),
+            PollStatus(until="ready", dest="status"),
+            DeclareHandle("h", "from_flash", nbytes=nbytes, dram_address=dram_address),
+            Txn(
+                TxnKind.DATA_OUT,
+                (
+                    LatchSeq(_col_change(codec, address.column)),
+                    TimerWait(param="tCCS"),
+                    DataXfer("out", nbytes, HandleRef("h")),
+                ),
+                label="read-transfer",
+            ),
+            Return((Reg("status"), HandleRef("h"))),
+        ),
+        doc="READ with Column Address Change (Fig. 8, Algorithm 2).",
+    )
+
+
+@op_program("full_page_read")
+def full_page_read_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+) -> OpProgram:
+    base = PhysicalAddress(block=address.block, page=address.page, column=0)
+    return OpProgram(
+        "full_page_read",
+        (
+            CallOp(
+                "read_page",
+                kwargs=(
+                    ("codec", codec),
+                    ("address", base),
+                    ("dram_address", dram_address),
+                ),
+                dest="r",
+            ),
+            Return(Reg("r")),
+        ),
+        doc="Column-0 full-page READ — Algorithm 2's degenerate case.",
+    )
+
+
+@op_program("partial_read")
+def partial_read_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: int,
+) -> OpProgram:
+    if length <= 0:
+        raise ValueError("partial read length must be positive")
+    return OpProgram(
+        "partial_read",
+        (
+            CallOp(
+                "read_page",
+                kwargs=(
+                    ("codec", codec),
+                    ("address", address),
+                    ("dram_address", dram_address),
+                    ("length", length),
+                ),
+                dest="r",
+            ),
+            Return(Reg("r")),
+        ),
+        doc="Sub-page READ from address.column.",
+    )
+
+
+@op_program("read_page_timed_wait")
+def read_page_timed_wait_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    wait_ns: int,
+    length: Optional[int] = None,
+) -> OpProgram:
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    return OpProgram(
+        "read_page_timed_wait",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq(_read_preamble(codec, address)),),
+                label="read-preamble-timed",
+            ),
+            # The category-3 wait as a software sleep: the channel is
+            # free while the array works (the polling-ablation variant).
+            SoftSleep(wait_ns),
+            DeclareHandle("h", "from_flash", nbytes=nbytes, dram_address=dram_address),
+            Txn(
+                TxnKind.DATA_OUT,
+                (
+                    LatchSeq(_col_change(codec, address.column)),
+                    TimerWait(param="tCCS"),
+                    DataXfer("out", nbytes, HandleRef("h")),
+                ),
+                label="read-transfer-timed",
+            ),
+            # No status was read on this path; report the nominal ready code.
+            Return((int(StatusBits.RDY), HandleRef("h"))),
+        ),
+        doc="READ using a fixed wait instead of status polling.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# PROGRAM
+# ---------------------------------------------------------------------------
+
+
+@op_program("program_page")
+def program_page_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> OpProgram:
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    return OpProgram(
+        "program_page",
+        (
+            DeclareHandle("h", "to_flash", nbytes=nbytes, dram_address=dram_address),
+            Txn(
+                TxnKind.DATA_IN,
+                (
+                    LatchSeq((cmd(CMD.PROGRAM_1ST), addr(codec.encode(address)))),
+                    DataXfer(
+                        "in", nbytes, HandleRef("h"),
+                        column=address.column, after_address=True,
+                    ),
+                ),
+                label="program-load",
+            ),
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq((cmd(CMD.PROGRAM_2ND),)),),
+                label="program-confirm",
+            ),
+            PollStatus(until="ready", dest="status"),
+            Return(_not_failed(Reg("status"))),
+        ),
+        doc="Three-phase PROGRAM: load, confirm, poll.",
+    )
+
+
+@op_program("partial_program")
+def partial_program_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    chunks: Sequence[tuple[int, int, int]],
+) -> OpProgram:
+    if not chunks:
+        raise ValueError("partial program needs at least one chunk")
+    nodes: list = []
+    first_column, first_dram, first_len = chunks[0]
+    first_address = PhysicalAddress(
+        block=address.block, page=address.page, column=first_column
+    )
+    nodes.append(
+        DeclareHandle("h0", "to_flash", nbytes=first_len, dram_address=first_dram)
+    )
+    nodes.append(
+        Txn(
+            TxnKind.DATA_IN,
+            (
+                LatchSeq((cmd(CMD.PROGRAM_1ST), addr(codec.encode(first_address)))),
+                DataXfer(
+                    "in", first_len, HandleRef("h0"),
+                    column=first_column, after_address=True,
+                ),
+            ),
+            label="partial-program-load",
+        )
+    )
+    for index, (column, dram_address, nbytes) in enumerate(chunks[1:], start=1):
+        handle = f"h{index}"
+        nodes.append(
+            DeclareHandle(handle, "to_flash", nbytes=nbytes, dram_address=dram_address)
+        )
+        nodes.append(
+            Txn(
+                TxnKind.DATA_IN,
+                (
+                    LatchSeq(
+                        (cmd(CMD.CHANGE_WRITE_COL), addr(codec.encode_column(column)))
+                    ),
+                    DataXfer(
+                        "in", nbytes, HandleRef(handle),
+                        column=column, after_address=True,
+                    ),
+                ),
+                label="partial-program-chunk",
+            )
+        )
+    nodes.append(
+        Txn(
+            TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.PROGRAM_2ND),)),),
+            label="partial-program-confirm",
+        )
+    )
+    nodes.append(PollStatus(until="ready", dest="status"))
+    nodes.append(Return(_not_failed(Reg("status"))))
+    return OpProgram(
+        "partial_program",
+        tuple(nodes),
+        doc="Disjoint-chunk PROGRAM via CHANGE WRITE COLUMN.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ERASE
+# ---------------------------------------------------------------------------
+
+
+@op_program("erase_block")
+def erase_block_program(codec: AddressCodec, block: int) -> OpProgram:
+    row = codec.row_address(PhysicalAddress(block=block, page=0))
+    return OpProgram(
+        "erase_block",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (
+                            cmd(CMD.ERASE_1ST),
+                            addr(codec.encode_row(row)),
+                            cmd(CMD.ERASE_2ND),
+                        )
+                    ),
+                ),
+                label="erase",
+            ),
+            PollStatus(until="ready", dest="status"),
+            Return(_not_failed(Reg("status"))),
+        ),
+        doc="ERASE: 0x60 + row + 0xD0, then poll.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache operations
+# ---------------------------------------------------------------------------
+
+
+@op_program("cache_read_sequential")
+def cache_read_sequential_program(
+    codec: AddressCodec,
+    start: PhysicalAddress,
+    dram_addresses: Sequence[int],
+) -> OpProgram:
+    if not dram_addresses:
+        raise ValueError("cache read needs at least one destination")
+    page_bytes = codec.geometry.full_page_size
+    count = len(dram_addresses)
+    nodes: list = [
+        Txn(
+            TxnKind.CMD_ADDR,
+            (LatchSeq(_read_preamble(codec, start)),),
+            label="cache-read-start",
+        ),
+        PollStatus(until="ready"),
+    ]
+    for index, dram_address in enumerate(dram_addresses):
+        final = index == count - 1
+        opcode = CMD.READ_CACHE_END if final else CMD.READ_CACHE_SEQ
+        handle = f"h{index}"
+        nodes.append(
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq((cmd(opcode),)),),
+                label="cache-read-flip",
+            )
+        )
+        nodes.append(
+            DeclareHandle(
+                handle, "from_flash", nbytes=page_bytes, dram_address=dram_address
+            )
+        )
+        nodes.append(
+            Txn(
+                TxnKind.DATA_OUT,
+                (DataXfer("out", page_bytes, HandleRef(handle)),),
+                label="cache-read-page",
+            )
+        )
+        if not final:
+            nodes.append(PollStatus(until="array_ready"))
+    nodes.append(Return([HandleRef(f"h{i}") for i in range(count)]))
+    return OpProgram(
+        "cache_read_sequential",
+        tuple(nodes),
+        doc="READ CACHE SEQUENTIAL: overlap tR with transfers.",
+    )
+
+
+@op_program("cache_program")
+def cache_program_program(
+    codec: AddressCodec,
+    pages: Sequence[tuple[PhysicalAddress, int]],
+) -> OpProgram:
+    if not pages:
+        raise ValueError("cache program needs at least one page")
+    page_bytes = codec.geometry.full_page_size
+    nodes: list = [SetReg("ok", True)]
+    for index, (address, dram_address) in enumerate(pages):
+        final = index == len(pages) - 1
+        handle = f"h{index}"
+        nodes.append(
+            DeclareHandle(
+                handle, "to_flash", nbytes=page_bytes, dram_address=dram_address
+            )
+        )
+        nodes.append(
+            Txn(
+                TxnKind.DATA_IN,
+                (
+                    LatchSeq((cmd(CMD.PROGRAM_1ST), addr(codec.encode(address)))),
+                    DataXfer("in", page_bytes, HandleRef(handle), after_address=True),
+                ),
+                label="cache-program-load",
+            )
+        )
+        if index > 0:
+            status = f"s{index}"
+            nodes.append(PollStatus(until="array_ready", dest=status))
+            nodes.append(
+                SetReg("ok", E("and", (Reg("ok"), _not_failed(Reg(status)))))
+            )
+        opcode = CMD.PROGRAM_2ND if final else CMD.CACHE_PROGRAM_2ND
+        nodes.append(
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq((cmd(opcode),)),),
+                label="cache-program-confirm",
+            )
+        )
+    nodes.append(PollStatus(until="array_ready", dest="sf"))
+    nodes.append(SetReg("ok", E("and", (Reg("ok"), _not_failed(Reg("sf"))))))
+    nodes.append(Return(Reg("ok")))
+    return OpProgram(
+        "cache_program",
+        tuple(nodes),
+        doc="CACHE PROGRAM: bursts overlap background tPROG.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-plane operations
+# ---------------------------------------------------------------------------
+
+
+def _check_distinct_planes(
+    codec: AddressCodec, addresses: Sequence[PhysicalAddress]
+) -> None:
+    planes = [codec.plane_of(a) for a in addresses]
+    if len(set(planes)) != len(planes):
+        raise ValueError("multi-plane targets must address distinct planes")
+
+
+@op_program("multiplane_read")
+def multiplane_read_program(
+    codec: AddressCodec,
+    addresses: Sequence[PhysicalAddress],
+    dram_addresses: Sequence[int],
+) -> OpProgram:
+    if len(addresses) != len(dram_addresses) or not addresses:
+        raise ValueError("need one DRAM destination per plane address")
+    _check_distinct_planes(codec, addresses)
+    page_bytes = codec.geometry.full_page_size
+    nodes: list = []
+    for index, address in enumerate(addresses):
+        final = index == len(addresses) - 1
+        confirm = CMD.READ_2ND if final else CMD.MP_READ_2ND
+        nodes.append(
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(confirm))
+                    ),
+                ),
+                label="mp-read-queue",
+            )
+        )
+        # Queue cycles incur a short tDBSY; the final confirm the full tR.
+        nodes.append(PollStatus(until="ready"))
+    for index, (address, dram_address) in enumerate(zip(addresses, dram_addresses)):
+        handle = f"h{index}"
+        nodes.append(
+            DeclareHandle(
+                handle, "from_flash", nbytes=page_bytes, dram_address=dram_address
+            )
+        )
+        nodes.append(
+            Txn(
+                TxnKind.DATA_OUT,
+                (
+                    LatchSeq(
+                        (
+                            cmd(CMD.CHANGE_READ_COL_ENH_1ST),
+                            addr(codec.encode(address)),
+                            cmd(CMD.CHANGE_READ_COL_2ND),
+                        )
+                    ),
+                    TimerWait(param="tCCS"),
+                    DataXfer("out", page_bytes, HandleRef(handle)),
+                ),
+                label="mp-read-transfer",
+            )
+        )
+    nodes.append(Return([HandleRef(f"h{i}") for i in range(len(addresses))]))
+    return OpProgram(
+        "multiplane_read",
+        tuple(nodes),
+        doc="One page per plane in a single array time.",
+    )
+
+
+@op_program("multiplane_program")
+def multiplane_program_program(
+    codec: AddressCodec,
+    pages: Sequence[tuple[PhysicalAddress, int]],
+) -> OpProgram:
+    if not pages:
+        raise ValueError("multi-plane program needs at least one page")
+    _check_distinct_planes(codec, [address for address, _ in pages])
+    page_bytes = codec.geometry.full_page_size
+    nodes: list = []
+    for index, (address, dram_address) in enumerate(pages):
+        final = index == len(pages) - 1
+        handle = f"h{index}"
+        nodes.append(
+            DeclareHandle(
+                handle, "to_flash", nbytes=page_bytes, dram_address=dram_address
+            )
+        )
+        nodes.append(
+            Txn(
+                TxnKind.DATA_IN,
+                (
+                    LatchSeq((cmd(CMD.PROGRAM_1ST), addr(codec.encode(address)))),
+                    DataXfer("in", page_bytes, HandleRef(handle), after_address=True),
+                ),
+                label="mp-program-load",
+            )
+        )
+        confirm = CMD.PROGRAM_2ND if final else CMD.MP_PROGRAM_2ND
+        nodes.append(
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq((cmd(confirm),)),),
+                label="mp-program-confirm",
+            )
+        )
+        if not final:
+            nodes.append(PollStatus(until="ready"))  # tDBSY between queue cycles
+    nodes.append(PollStatus(until="ready", dest="status"))
+    nodes.append(Return(_not_failed(Reg("status"))))
+    return OpProgram(
+        "multiplane_program",
+        tuple(nodes),
+        doc="One page per plane in a single tPROG.",
+    )
+
+
+@op_program("multiplane_erase")
+def multiplane_erase_program(codec: AddressCodec, blocks: Sequence[int]) -> OpProgram:
+    if not blocks:
+        raise ValueError("multi-plane erase needs at least one block")
+    addresses = [PhysicalAddress(block=b, page=0) for b in blocks]
+    _check_distinct_planes(codec, addresses)
+    nodes: list = []
+    for index, address in enumerate(addresses):
+        final = index == len(addresses) - 1
+        confirm = CMD.ERASE_2ND if final else CMD.MP_ERASE_2ND
+        row = codec.row_address(address)
+        nodes.append(
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (cmd(CMD.ERASE_1ST), addr(codec.encode_row(row)), cmd(confirm))
+                    ),
+                ),
+                label="mp-erase",
+            )
+        )
+        if not final:
+            nodes.append(PollStatus(until="ready"))
+    nodes.append(PollStatus(until="ready", dest="status"))
+    nodes.append(Return(_not_failed(Reg("status"))))
+    return OpProgram(
+        "multiplane_erase",
+        tuple(nodes),
+        doc="One block per plane in a single tBERS.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gang-scheduled READ (the RAIL idiom)
+# ---------------------------------------------------------------------------
+
+
+@op_program("gang_read")
+def gang_read_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    positions: Sequence[int],
+    dram_address: int,
+) -> OpProgram:
+    if not positions:
+        raise ValueError("gang read needs at least one position")
+    gang_mask = ChipControl.gang_mask(list(positions))
+    page_bytes = codec.geometry.full_page_size
+    winner_mask = Reg("winner_mask")
+    return OpProgram(
+        "gang_read",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        _read_preamble(codec, address),
+                        chip_mask=gang_mask,
+                        via_chip_control=True,
+                    ),
+                ),
+                label="gang-read-preamble",
+            ),
+            # Poll the replicas round-robin; first RDY wins.
+            SelectFirstReady(tuple(positions)),
+            DeclareHandle(
+                "h", "from_flash", nbytes=page_bytes, dram_address=dram_address
+            ),
+            Txn(
+                TxnKind.DATA_OUT,
+                (
+                    LatchSeq(_col_change(codec, address.column), chip_mask=winner_mask),
+                    TimerWait(param="tCCS", chip_mask=winner_mask),
+                    DataXfer(
+                        "out", page_bytes, HandleRef("h"), chip_mask=winner_mask
+                    ),
+                ),
+                label="gang-read-transfer",
+            ),
+            Return((Reg("winner"), HandleRef("h"))),
+        ),
+        doc="Broadcast READ to replicas; transfer from first ready LUN.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# pSLC operations (Fig. 8, Algorithm 3)
+# ---------------------------------------------------------------------------
+
+
+@op_program("pslc_read")
+def pslc_read_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> OpProgram:
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    return OpProgram(
+        "pslc_read",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (cmd(CMD.VENDOR_PSLC_ENTER),)  # <- the Alg. 3 diff
+                        + _read_preamble(codec, address)
+                    ),
+                ),
+                label="pslc-read-preamble",
+            ),
+            PollStatus(until="ready", dest="status"),
+            DeclareHandle("h", "from_flash", nbytes=nbytes, dram_address=dram_address),
+            Txn(
+                TxnKind.DATA_OUT,
+                (
+                    LatchSeq(_col_change(codec, address.column)),
+                    TimerWait(param="tCCS"),
+                    DataXfer("out", nbytes, HandleRef("h")),
+                    LatchSeq((cmd(CMD.VENDOR_PSLC_EXIT),)),
+                ),
+                label="pslc-read-transfer",
+            ),
+            Return((Reg("status"), HandleRef("h"))),
+        ),
+        doc="pSLC PAGE READ (Algorithm 2 + mode enter/exit latches).",
+    )
+
+
+@op_program("pslc_program")
+def pslc_program_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> OpProgram:
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    return OpProgram(
+        "pslc_program",
+        (
+            DeclareHandle("h", "to_flash", nbytes=nbytes, dram_address=dram_address),
+            Txn(
+                TxnKind.DATA_IN,
+                (
+                    LatchSeq(
+                        (
+                            cmd(CMD.VENDOR_PSLC_ENTER),
+                            cmd(CMD.PROGRAM_1ST),
+                            addr(codec.encode(address)),
+                        )
+                    ),
+                    DataXfer(
+                        "in", nbytes, HandleRef("h"),
+                        column=address.column, after_address=True,
+                    ),
+                ),
+                label="pslc-program-load",
+            ),
+            Txn(
+                TxnKind.CMD_ADDR,
+                (LatchSeq((cmd(CMD.PROGRAM_2ND),)),),
+                label="pslc-program-confirm",
+            ),
+            PollStatus(until="ready", dest="status"),
+            Txn(
+                TxnKind.CONFIG,
+                (LatchSeq((cmd(CMD.VENDOR_PSLC_EXIT),)),),
+                label="pslc-exit",
+            ),
+            Return(_not_failed(Reg("status"))),
+        ),
+        doc="pSLC PROGRAM: one-bit-per-cell commit.",
+    )
+
+
+@op_program("pslc_erase")
+def pslc_erase_program(codec: AddressCodec, block: int) -> OpProgram:
+    row = codec.row_address(PhysicalAddress(block=block, page=0))
+    return OpProgram(
+        "pslc_erase",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (
+                            cmd(CMD.VENDOR_PSLC_ENTER),
+                            cmd(CMD.ERASE_1ST),
+                            addr(codec.encode_row(row)),
+                            cmd(CMD.ERASE_2ND),
+                        )
+                    ),
+                ),
+                label="pslc-erase",
+            ),
+            PollStatus(until="ready", dest="status"),
+            Txn(
+                TxnKind.CONFIG,
+                (LatchSeq((cmd(CMD.VENDOR_PSLC_EXIT),)),),
+                label="pslc-exit",
+            ),
+            Return(_not_failed(Reg("status"))),
+        ),
+        doc="pSLC ERASE: re-dedicates the block to pSLC duty.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# READ RETRY (the data-dependent loop)
+# ---------------------------------------------------------------------------
+
+
+@op_program("read_with_retry")
+def read_with_retry_program(
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    max_levels: int = 8,
+    feat_busy_ns: int = 1_000,
+) -> OpProgram:
+    from repro.onfi.features import FeatureAddress
+
+    def set_level(params) -> CallOp:
+        return CallOp(
+            "set_features",
+            kwargs=(
+                ("feature_address", FeatureAddress.VENDOR_READ_RETRY),
+                ("params", params),
+                ("feat_busy_ns", feat_busy_ns),
+            ),
+        )
+
+    return OpProgram(
+        "read_with_retry",
+        (
+            SetReg("level_used", None),
+            SetReg("handle", None),
+            Loop(
+                "level",
+                max_levels,
+                (
+                    Branch(
+                        E("gt", (Reg("level"), 0)),
+                        then=(set_level((Reg("level"), 0, 0, 0)),),
+                    ),
+                    CallOp(
+                        "read_page",
+                        kwargs=(
+                            ("codec", codec),
+                            ("address", address),
+                            ("dram_address", dram_address),
+                        ),
+                        dest="rr",
+                    ),
+                    SetReg("handle", E("item", (Reg("rr"), 1))),
+                    BreakIf(
+                        E("hook", ("validate", Reg("handle"))),
+                        sets=(("level_used", Reg("level")),),
+                    ),
+                ),
+            ),
+            # A non-default level was programmed (or the sweep exhausted);
+            # restore the factory default so later reads start clean.
+            Branch(
+                E("ne", (Reg("level_used"), 0)),
+                then=(set_level((0, 0, 0, 0)),),
+            ),
+            Return((Reg("level_used"), Reg("handle"))),
+        ),
+        doc="Escalating read-voltage sweep with an ECC validate hook.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Features / identification / reset
+# ---------------------------------------------------------------------------
+
+
+@op_program("set_features")
+def set_features_program(
+    feature_address: int,
+    params: tuple[int, int, int, int],
+    feat_busy_ns: int = 1_000,
+) -> OpProgram:
+    return OpProgram(
+        "set_features",
+        (
+            DeclareHandle("p", "inline", data=tuple(params)),
+            Txn(
+                TxnKind.CONFIG,
+                (
+                    LatchSeq(
+                        (cmd(CMD.SET_FEATURES), addr((int(feature_address),)))
+                    ),
+                    DataXfer("in", 4, HandleRef("p"), after_address=True),
+                    TimerWait(
+                        ns=feat_busy_ns + _FEAT_MARGIN_NS,
+                        reason="tFEAT busy: fixed and short, polling would waste more",
+                    ),
+                ),
+                label="set-features",
+            ),
+            Return(True),
+        ),
+        doc="Write a 4-byte feature record (0xEF).",
+    )
+
+
+@op_program("get_features")
+def get_features_program(
+    feature_address: int,
+    feat_busy_ns: int = 1_000,
+) -> OpProgram:
+    return OpProgram(
+        "get_features",
+        (
+            DeclareHandle("f", "capture", nbytes=4),
+            Txn(
+                TxnKind.CONFIG,
+                (
+                    LatchSeq(
+                        (cmd(CMD.GET_FEATURES), addr((int(feature_address),)))
+                    ),
+                    TimerWait(
+                        ns=feat_busy_ns + _FEAT_MARGIN_NS,
+                        reason="tFEAT busy before the record streams out",
+                    ),
+                    DataXfer("out", 4, HandleRef("f")),
+                ),
+                label="get-features",
+            ),
+            Return(E("delivered_tuple", (HandleRef("f"),))),
+        ),
+        doc="Read a 4-byte feature record (0xEE).",
+    )
+
+
+@op_program("reset")
+def reset_program(synchronous: bool = False) -> OpProgram:
+    opcode = CMD.SYNCHRONOUS_RESET if synchronous else CMD.RESET
+    return OpProgram(
+        "reset",
+        (
+            Txn(TxnKind.CONFIG, (LatchSeq((cmd(opcode),)),), label="reset"),
+            PollStatus(until="ready", dest="status"),
+            Return(Reg("status")),
+        ),
+        doc="RESET (0xFF) or SYNCHRONOUS RESET (0xFC); polls until ready.",
+    )
+
+
+@op_program("read_id")
+def read_id_program(area: int = 0x00, nbytes: int = 5) -> OpProgram:
+    return OpProgram(
+        "read_id",
+        (
+            DeclareHandle("i", "capture", nbytes=nbytes),
+            Txn(
+                TxnKind.CONFIG,
+                (
+                    LatchSeq((cmd(CMD.READ_ID), addr((area,)))),
+                    TimerWait(param="tWHR"),
+                    DataXfer("out", nbytes, HandleRef("i")),
+                ),
+                label="read-id",
+            ),
+            Return(E("delivered_tuple", (HandleRef("i"),))),
+        ),
+        doc="READ ID (0x90); area 0x00 = JEDEC, 0x20 = ONFI signature.",
+    )
+
+
+@op_program("read_parameter_page")
+def read_parameter_page_program(param_busy_ns: int, nbytes: int = 256) -> OpProgram:
+    return OpProgram(
+        "read_parameter_page",
+        (
+            DeclareHandle("p", "capture", nbytes=nbytes),
+            Txn(
+                TxnKind.CONFIG,
+                (
+                    LatchSeq((cmd(CMD.READ_PARAMETER_PAGE), addr((0x00,)))),
+                    TimerWait(
+                        ns=param_busy_ns + _PARAM_MARGIN_NS,
+                        reason="parameter-page fetch: a category-3 wait the op owns",
+                    ),
+                    DataXfer("out", nbytes, HandleRef("p")),
+                ),
+                label="read-parameter-page",
+            ),
+            Return(E("delivered", (HandleRef("p"),))),
+        ),
+        doc="READ PARAMETER PAGE (0xEC); returns the raw bytes.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suspend / resume and the composed preemptive-read erase
+# ---------------------------------------------------------------------------
+
+
+@op_program("suspend")
+def suspend_program() -> OpProgram:
+    return OpProgram(
+        "suspend",
+        (
+            Txn(
+                TxnKind.CONFIG,
+                (LatchSeq((cmd(CMD.VENDOR_SUSPEND),)),),
+                label="suspend",
+            ),
+            Return(True),
+        ),
+        doc="Suspend the in-flight program/erase on the target LUN.",
+    )
+
+
+@op_program("resume")
+def resume_program() -> OpProgram:
+    return OpProgram(
+        "resume",
+        (
+            Txn(
+                TxnKind.CONFIG,
+                (LatchSeq((cmd(CMD.VENDOR_RESUME),)),),
+                label="resume",
+            ),
+            Return(True),
+        ),
+        doc="Resume a previously suspended program/erase.",
+    )
+
+
+@op_program("erase_with_preemptive_read")
+def erase_with_preemptive_read_program(
+    codec: AddressCodec,
+    erase_block: int,
+    read_address: PhysicalAddress,
+    dram_address: int,
+    suspend_after_ns: int,
+) -> OpProgram:
+    row = codec.row_address(PhysicalAddress(block=erase_block, page=0))
+    return OpProgram(
+        "erase_with_preemptive_read",
+        (
+            Txn(
+                TxnKind.CMD_ADDR,
+                (
+                    LatchSeq(
+                        (
+                            cmd(CMD.ERASE_1ST),
+                            addr(codec.encode_row(row)),
+                            cmd(CMD.ERASE_2ND),
+                        )
+                    ),
+                ),
+                label="erase-start",
+            ),
+            # Let the erase make progress, then preempt it.
+            SoftSleep(suspend_after_ns),
+            CallOp("suspend"),
+            CallOp(
+                "read_page",
+                kwargs=(
+                    ("codec", codec),
+                    ("address", read_address),
+                    ("dram_address", dram_address),
+                ),
+                dest="r",
+            ),
+            SetReg("handle", E("item", (Reg("r"), 1))),
+            CallOp("resume"),
+            PollStatus(until="ready", dest="status"),
+            Return((_not_failed(Reg("status")), Reg("handle"))),
+        ),
+        doc="Erase, suspend for an urgent read, resume, complete.",
+    )

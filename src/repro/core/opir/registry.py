@@ -1,0 +1,107 @@
+"""The op-program registry: name -> program builder, with vendor overrides.
+
+A *builder* is a plain function taking the operation's keyword
+arguments (minus hooks — callables are routed to the interpreter as
+hooks) and returning an :class:`~repro.core.opir.nodes.OpProgram`.
+The builder runs at "compile time": it encodes addresses, unrolls
+data-independent loops, and resolves geometry, so the interpreter's
+hot path touches no codec.
+
+Vendor profiles override operations wholesale by carrying
+``op_overrides`` pairs (:meth:`~repro.flash.vendors.VendorProfile.with_op_override`);
+:func:`resolve_builder` consults the target vendor first — the paper's
+new-package bring-up story (Section IV-C) as a table change.
+
+Built programs are memoized per (builder, kwargs) when the kwargs are
+hashable, so the hot read path builds its program once and replays the
+cached node tree on every call.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.opir.interp import run_program
+from repro.core.opir.nodes import OpProgram
+
+_BUILDERS: dict[str, Callable[..., OpProgram]] = {}
+_PROGRAM_CACHE: dict = {}
+_PROGRAM_CACHE_MAX = 512
+_programs_loaded = False
+
+
+def op_program(name: str):
+    """Register a program builder under ``name`` (decorator)."""
+
+    def register(builder: Callable[..., OpProgram]) -> Callable[..., OpProgram]:
+        builder.program_name = name
+        _BUILDERS[name] = builder
+        return builder
+
+    return register
+
+
+def _ensure_programs() -> None:
+    """Import the built-in program library exactly once (lazy: the
+    programs module must not be imported while ``repro.core.ops`` is
+    still initializing)."""
+    global _programs_loaded
+    if not _programs_loaded:
+        import repro.core.opir.programs  # noqa: F401  (registers builders)
+
+        _programs_loaded = True
+
+
+def list_ops() -> list[str]:
+    """Names of every registered built-in operation program."""
+    _ensure_programs()
+    return sorted(_BUILDERS)
+
+
+def resolve_builder(name: str, vendor=None) -> Callable[..., OpProgram]:
+    """The builder for ``name``, honouring ``vendor.op_overrides``."""
+    if vendor is not None:
+        for key, builder in getattr(vendor, "op_overrides", ()) or ():
+            if key == name:
+                return builder
+    _ensure_programs()
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no operation program named {name!r}; known: {list_ops()}"
+        ) from None
+
+
+def build_program(name: str, vendor=None, **kwargs) -> OpProgram:
+    """Build (uncached) the program for ``name`` with ``kwargs``."""
+    return resolve_builder(name, vendor)(**kwargs)
+
+
+def _cached_program(builder: Callable[..., OpProgram], kwargs: dict) -> OpProgram:
+    try:
+        key = (builder, tuple(sorted(kwargs.items())))
+        program = _PROGRAM_CACHE.get(key)
+    except TypeError:  # unhashable kwarg (lists of pages, ...): build fresh
+        return builder(**kwargs)
+    if program is None:
+        program = builder(**kwargs)
+        if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
+            _PROGRAM_CACHE.clear()
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def run_op(ctx, name: str, **kwargs):
+    """Resolve, build, and interpret the program for ``name``.
+
+    Callable kwargs become interpreter hooks (reachable from programs
+    via ``E("hook", (kwarg_name, ...))``); everything else goes to the
+    builder.  This is the body of every thin ``*_op`` wrapper.
+    """
+    hooks = {key: value for key, value in kwargs.items() if callable(value)}
+    build_kwargs = {key: value for key, value in kwargs.items() if key not in hooks}
+    builder = resolve_builder(name, getattr(ctx, "vendor", None))
+    program = _cached_program(builder, build_kwargs)
+    result = yield from run_program(ctx, program, hooks=hooks)
+    return result

@@ -1,10 +1,15 @@
 """The operation library: ONFI operations written in software.
 
-Every operation here is a Python generator over the µFSM instruction
-set, mirroring the paper's Fig. 8 algorithms.  Operations compose by
-``yield from`` (READ invokes READ STATUS the way Algorithm 2 invokes
-Algorithm 1) and variations are small textual diffs (pSLC READ differs
-from READ exactly where Fig. 8 highlights in gray).
+Every operation is now an *op program* — a declarative IR value in
+:mod:`repro.core.opir.programs` mirroring the paper's Fig. 8
+algorithms — and the ``*_op`` generators here are thin wrappers that
+resolve the program (honouring per-vendor overrides), interpret it
+against the operation's context, and keep the original call signatures.
+Operations still compose (READ invokes READ STATUS the way Algorithm 2
+invokes Algorithm 1 — via ``CallOp`` nodes) and variations are still
+small diffs (pSLC READ differs from READ by exactly the latch nodes
+Fig. 8 highlights in gray), but the structure is now data: lintable,
+serializable, and overridable without editing this package.
 """
 
 from repro.core.ops.base import (

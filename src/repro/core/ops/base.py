@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.core.softenv.base import OperationContext
 from repro.core.transaction import Transaction, TxnKind
-from repro.core.ufsm.ca_writer import Latch, cmd
+from repro.core.ufsm.ca_writer import Latch
 from repro.onfi.status import StatusRegister
 
 
@@ -24,24 +24,38 @@ def single_latch_txn(
     return txn
 
 
-def poll_until_ready(
+def _poll_status(
     ctx: OperationContext,
-    chip_mask: Optional[int] = None,
-    max_polls: int = 100_000,
+    predicate: Callable[[int], bool],
+    chip_mask: Optional[int],
+    max_polls: int,
+    what: str,
 ) -> Generator:
-    """Poll READ STATUS until RDY (Algorithm 2, lines 7..9).
+    """Poll READ STATUS until ``predicate`` accepts the status byte.
 
-    Returns the final status byte.  Each iteration is a full software
-    round trip — this loop is exactly what the Fig. 11 logic-analyzer
-    experiment measures the period of.
+    Each iteration is a full software round trip — this loop is exactly
+    what the Fig. 11 logic-analyzer experiment measures the period of.
+    The two public polls below differ only in the predicate.
     """
     from repro.core.ops.status import read_status_op
 
     for _ in range(max_polls):
         status = yield from read_status_op(ctx, chip_mask=chip_mask)
-        if StatusRegister.is_ready(status):
+        if predicate(status):
             return status
-    raise RuntimeError("status poll budget exhausted — stuck LUN?")
+    raise RuntimeError(f"{what} poll budget exhausted — stuck LUN?")
+
+
+def poll_until_ready(
+    ctx: OperationContext,
+    chip_mask: Optional[int] = None,
+    max_polls: int = 100_000,
+) -> Generator:
+    """Poll until RDY (Algorithm 2, lines 7..9); returns the status byte."""
+    status = yield from _poll_status(
+        ctx, StatusRegister.is_ready, chip_mask, max_polls, "status"
+    )
+    return status
 
 
 def poll_until_array_ready(
@@ -50,10 +64,7 @@ def poll_until_array_ready(
     max_polls: int = 100_000,
 ) -> Generator:
     """Poll until ARDY: cache operations' inner readiness."""
-    from repro.core.ops.status import read_status_op
-
-    for _ in range(max_polls):
-        status = yield from read_status_op(ctx, chip_mask=chip_mask)
-        if StatusRegister.is_array_ready(status):
-            return status
-    raise RuntimeError("array-ready poll budget exhausted — stuck LUN?")
+    status = yield from _poll_status(
+        ctx, StatusRegister.is_array_ready, chip_mask, max_polls, "array-ready"
+    )
+    return status

@@ -2,21 +2,17 @@
 
 Cache reads interleave the array's tR with channel transfers: while
 page *n* streams out of the cache register, the array already fetches
-page *n+1*.  The op polls ARDY (not RDY) between pages — the cache
-register is ready (RDY) long before the array is.
+page *n+1*.  The op program polls ARDY (not RDY) between pages — the
+cache register is ready (RDY) long before the array is.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Sequence
 
-from repro.core.ops.base import poll_until_array_ready, poll_until_ready
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
-from repro.onfi.status import StatusRegister
 from repro.obs.instrument import traced_op
 
 
@@ -31,47 +27,11 @@ def cache_read_sequential_op(
 
     Returns the list of DMA handles (one per page, in order).
     """
-    if not dram_addresses:
-        raise ValueError("cache read needs at least one destination")
-    bank = ctx.ufsm
-    page_bytes = codec.geometry.full_page_size
-    count = len(dram_addresses)
-    handles = []
-
-    # Initial page fetch (plain READ preamble).
-    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="cache-read-start")
-    preamble.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.READ_1ST), addr(codec.encode(start)), cmd(CMD.READ_2ND)],
-            chip_mask=ctx.chip_mask,
-        )
+    result = yield from run_op(
+        ctx, "cache_read_sequential",
+        codec=codec, start=start, dram_addresses=tuple(dram_addresses),
     )
-    yield from ctx.add_transaction(preamble)
-    yield from poll_until_ready(ctx)
-
-    for index, dram_address in enumerate(dram_addresses):
-        final = index == count - 1
-        opcode = CMD.READ_CACHE_END if final else CMD.READ_CACHE_SEQ
-        flip = ctx.transaction(TxnKind.CMD_ADDR, label="cache-read-flip")
-        flip.add_segment(
-            bank.ca_writer.emit([cmd(opcode)], chip_mask=ctx.chip_mask)
-        )
-        yield from ctx.add_transaction(flip)
-
-        # Page `index` is now in the output register; stream it while
-        # the array (if not final) fetches page `index + 1`.
-        handle = ctx.packetizer.from_flash(dram_address, page_bytes)
-        transfer = ctx.transaction(TxnKind.DATA_OUT, label="cache-read-page")
-        transfer.add_segment(
-            bank.data_reader.emit(page_bytes, handle, chip_mask=ctx.chip_mask)
-        )
-        yield from ctx.add_transaction(transfer)
-        handles.append(handle)
-
-        if not final:
-            # The next flip needs the array done with its background tR.
-            yield from poll_until_array_ready(ctx)
-    return handles
+    return result
 
 
 @traced_op
@@ -87,47 +47,8 @@ def cache_program_op(
     programs); the last uses the plain 0x10.  Returns True when every
     page programmed cleanly.
     """
-    if not pages:
-        raise ValueError("cache program needs at least one page")
-    bank = ctx.ufsm
-    page_bytes = codec.geometry.full_page_size
-    ok = True
-
-    for index, (address, dram_address) in enumerate(pages):
-        final = index == len(pages) - 1
-
-        # Stream the page into the register.  For pages after the first
-        # this burst overlaps the previous page's background tPROG —
-        # that overlap is the entire point of CACHE PROGRAM.
-        handle = ctx.packetizer.to_flash(dram_address, page_bytes)
-        load = ctx.transaction(TxnKind.DATA_IN, label="cache-program-load")
-        load.add_segment(
-            bank.ca_writer.emit(
-                [cmd(CMD.PROGRAM_1ST), addr(codec.encode(address))],
-                chip_mask=ctx.chip_mask,
-            )
-        )
-        load.add_segment(
-            bank.data_writer.emit(
-                page_bytes, handle, chip_mask=ctx.chip_mask, after_address=True
-            )
-        )
-        yield from ctx.add_transaction(load)
-
-        if index > 0:
-            # The array must finish the previous page before this
-            # confirm may start the next program.
-            status = yield from poll_until_array_ready(ctx)
-            ok = ok and not StatusRegister.is_failed(status)
-
-        confirm = ctx.transaction(TxnKind.CMD_ADDR, label="cache-program-confirm")
-        opcode = CMD.PROGRAM_2ND if final else CMD.CACHE_PROGRAM_2ND
-        confirm.add_segment(
-            bank.ca_writer.emit([cmd(opcode)], chip_mask=ctx.chip_mask)
-        )
-        yield from ctx.add_transaction(confirm)
-
-    # Wait out the last array program completely.
-    status = yield from poll_until_array_ready(ctx)
-    ok = ok and not StatusRegister.is_failed(status)
-    return ok
+    result = yield from run_op(
+        ctx, "cache_program",
+        codec=codec, pages=tuple(tuple(page) for page in pages),
+    )
+    return result

@@ -4,13 +4,9 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.core.ops.base import poll_until_ready
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
-from repro.onfi.geometry import AddressCodec, PhysicalAddress
-from repro.onfi.status import StatusRegister
+from repro.onfi.geometry import AddressCodec
 from repro.obs.instrument import traced_op
 
 
@@ -21,14 +17,5 @@ def erase_block_op(
     block: int,
 ) -> Generator:
     """Erase one block; returns True on success (False = worn out)."""
-    row = codec.row_address(PhysicalAddress(block=block, page=0))
-    txn = ctx.transaction(TxnKind.CMD_ADDR, label="erase")
-    txn.add_segment(
-        ctx.ufsm.ca_writer.emit(
-            [cmd(CMD.ERASE_1ST), addr(codec.encode_row(row)), cmd(CMD.ERASE_2ND)],
-            chip_mask=ctx.chip_mask,
-        )
-    )
-    yield from ctx.add_transaction(txn)
-    status = yield from poll_until_ready(ctx)
-    return not StatusRegister.is_failed(status)
+    result = yield from run_op(ctx, "erase_block", codec=codec, block=block)
+    return result

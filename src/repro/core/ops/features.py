@@ -2,8 +2,8 @@
 
 SET FEATURES is the operation the paper uses to motivate the Timer
 µFSM: the feature data must follow the address phase by tADL, and the
-package is busy for tFEAT afterwards.  Both waits appear explicitly
-below — the tADL one inside the Data Writer emission (its
+package is busy for tFEAT afterwards.  Both waits appear explicitly in
+the op program — the tADL one inside the Data Writer emission (its
 ``after_address`` contract) and the tFEAT one as a Timer segment, since
 tFEAT is fixed and short enough that polling it would be wasteful.
 """
@@ -12,15 +12,9 @@ from __future__ import annotations
 
 from typing import Generator
 
-import numpy as np
-
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.obs.instrument import traced_op
-
-_FEAT_MARGIN_NS = 200
 
 
 @traced_op
@@ -31,23 +25,12 @@ def set_features_op(
     feat_busy_ns: int = 1_000,
 ) -> Generator:
     """Write a 4-byte feature record (0xEF)."""
-    bank = ctx.ufsm
-    handle = ctx.packetizer.inline(np.array(params, dtype=np.uint8))
-    txn = ctx.transaction(TxnKind.CONFIG, label="set-features")
-    txn.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.SET_FEATURES), addr((int(feature_address),))],
-            chip_mask=ctx.chip_mask,
-        )
+    result = yield from run_op(
+        ctx, "set_features",
+        feature_address=feature_address, params=tuple(params),
+        feat_busy_ns=feat_busy_ns,
     )
-    txn.add_segment(
-        bank.data_writer.emit(4, handle, chip_mask=ctx.chip_mask, after_address=True)
-    )
-    txn.add_segment(
-        bank.timer.emit(feat_busy_ns + _FEAT_MARGIN_NS, chip_mask=ctx.chip_mask)
-    )
-    yield from ctx.add_transaction(txn)
-    return True
+    return result
 
 
 @traced_op
@@ -57,18 +40,8 @@ def get_features_op(
     feat_busy_ns: int = 1_000,
 ) -> Generator:
     """Read a 4-byte feature record (0xEE); returns the tuple."""
-    bank = ctx.ufsm
-    handle = ctx.packetizer.capture(4)
-    txn = ctx.transaction(TxnKind.CONFIG, label="get-features")
-    txn.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.GET_FEATURES), addr((int(feature_address),))],
-            chip_mask=ctx.chip_mask,
-        )
+    result = yield from run_op(
+        ctx, "get_features",
+        feature_address=feature_address, feat_busy_ns=feat_busy_ns,
     )
-    txn.add_segment(
-        bank.timer.emit(feat_busy_ns + _FEAT_MARGIN_NS, chip_mask=ctx.chip_mask)
-    )
-    txn.add_segment(bank.data_reader.emit(4, handle, chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(txn)
-    return tuple(int(b) for b in handle.delivered)
+    return result

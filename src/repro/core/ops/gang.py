@@ -4,19 +4,16 @@ Data replicated across several LUNs of one channel is read by
 broadcasting the READ preamble with a multi-chip Chip Control mask,
 then polling each replica individually and transferring from whichever
 becomes ready first — bounding tail latency the way RAIL [32] proposes.
+The broadcast/select structure is the ``gang_read`` op program.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Sequence
 
-from repro.core.ops.status import read_status_op
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
-from repro.onfi.status import StatusRegister
 from repro.obs.instrument import traced_op
 
 
@@ -34,43 +31,9 @@ def gang_read_op(
     physical address and that no other operation targets these LUNs.
     Returns ``(winner_position, handle)``.
     """
-    if not positions:
-        raise ValueError("gang read needs at least one position")
-    bank = ctx.ufsm
-    gang_mask = bank.chip_control.gang_mask(list(positions))
-    page_bytes = codec.geometry.full_page_size
-
-    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="gang-read-preamble")
-    segment = bank.ca_writer.emit(
-        [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND)],
+    result = yield from run_op(
+        ctx, "gang_read",
+        codec=codec, address=address, positions=tuple(positions),
+        dram_address=dram_address,
     )
-    preamble.add_segment(bank.chip_control.apply(segment, gang_mask))
-    yield from ctx.add_transaction(preamble)
-
-    # Poll the replicas round-robin; first RDY wins.
-    winner = None
-    while winner is None:
-        for position in positions:
-            mask = bank.chip_control.mask_for(position)
-            status = yield from read_status_op(ctx, chip_mask=mask)
-            if StatusRegister.is_ready(status):
-                winner = position
-                break
-
-    handle = ctx.packetizer.from_flash(dram_address, page_bytes)
-    mask = bank.chip_control.mask_for(winner)
-    transfer = ctx.transaction(TxnKind.DATA_OUT, label="gang-read-transfer")
-    transfer.add_segment(
-        bank.ca_writer.emit(
-            [
-                cmd(CMD.CHANGE_READ_COL_1ST),
-                addr(codec.encode_column(address.column)),
-                cmd(CMD.CHANGE_READ_COL_2ND),
-            ],
-            chip_mask=mask,
-        )
-    )
-    transfer.add_segment(bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=mask))
-    transfer.add_segment(bank.data_reader.emit(page_bytes, handle, chip_mask=mask))
-    yield from ctx.add_transaction(transfer)
-    return winner, handle
+    return result

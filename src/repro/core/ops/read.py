@@ -7,19 +7,19 @@ CHANGE READ COLUMN.  ``full_page_read_op`` is the degenerate column-0
 case; ``partial_read_op`` reads a sub-page chunk (the 16 KiB-page /
 4 KiB-subpage use case); ``read_page_timed_wait_op`` is the timed-wait
 alternative the polling ablation compares against.
+
+Each is a thin wrapper over its op program in
+:mod:`repro.core.opir.programs`; vendor profiles can swap the program
+without touching these signatures.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.core.ops.base import poll_until_ready
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
-from repro.onfi.status import StatusBits
 from repro.obs.instrument import traced_op
 
 
@@ -36,41 +36,11 @@ def read_page_op(
     Returns ``(status_byte, DmaHandle)``; the handle's DRAM window holds
     the page bytes when the operation completes.
     """
-    bank = ctx.ufsm
-    nbytes = length if length is not None else codec.geometry.full_page_size
-
-    # Transaction 1: command + page address latch (lines 1..6).
-    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="read-preamble")
-    preamble.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND)],
-            chip_mask=ctx.chip_mask,
-        )
+    result = yield from run_op(
+        ctx, "read_page",
+        codec=codec, address=address, dram_address=dram_address, length=length,
     )
-    yield from ctx.add_transaction(preamble)
-
-    # Poll for the end of tR instead of a timed wait (lines 7..9).
-    status = yield from poll_until_ready(ctx)
-
-    # Transaction 2: column select + data transfer (lines 10..17).
-    handle = ctx.packetizer.from_flash(dram_address, nbytes)
-    transfer = ctx.transaction(TxnKind.DATA_OUT, label="read-transfer")
-    transfer.add_segment(
-        bank.ca_writer.emit(
-            [
-                cmd(CMD.CHANGE_READ_COL_1ST),
-                addr(codec.encode_column(address.column)),
-                cmd(CMD.CHANGE_READ_COL_2ND),
-            ],
-            chip_mask=ctx.chip_mask,
-        )
-    )
-    transfer.add_segment(
-        bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
-    )
-    transfer.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(transfer)
-    return status, handle
+    return result
 
 
 @traced_op
@@ -81,8 +51,10 @@ def full_page_read_op(
     dram_address: int,
 ) -> Generator:
     """Column-0 full-page READ — Algorithm 2's degenerate case."""
-    base = PhysicalAddress(block=address.block, page=address.page, column=0)
-    result = yield from read_page_op(ctx, codec, base, dram_address)
+    result = yield from run_op(
+        ctx, "full_page_read",
+        codec=codec, address=address, dram_address=dram_address,
+    )
     return result
 
 
@@ -95,9 +67,10 @@ def partial_read_op(
     length: int,
 ) -> Generator:
     """Sub-page READ: transfer ``length`` bytes from ``address.column``."""
-    if length <= 0:
-        raise ValueError("partial read length must be positive")
-    result = yield from read_page_op(ctx, codec, address, dram_address, length=length)
+    result = yield from run_op(
+        ctx, "partial_read",
+        codec=codec, address=address, dram_address=dram_address, length=length,
+    )
     return result
 
 
@@ -110,45 +83,15 @@ def read_page_timed_wait_op(
     wait_ns: int,
     length: Optional[int] = None,
 ) -> Generator:
-    """READ using a fixed Timer wait instead of status polling.
+    """READ using a fixed wait instead of status polling.
 
     ``wait_ns`` must cover the worst-case tR of the package; the
     polling ablation quantifies what that margin costs versus
     Algorithm 2's poll loop.
     """
-    bank = ctx.ufsm
-    nbytes = length if length is not None else codec.geometry.full_page_size
-
-    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="read-preamble-timed")
-    preamble.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND)],
-            chip_mask=ctx.chip_mask,
-        )
+    result = yield from run_op(
+        ctx, "read_page_timed_wait",
+        codec=codec, address=address, dram_address=dram_address,
+        wait_ns=wait_ns, length=length,
     )
-    yield from ctx.add_transaction(preamble)
-
-    # The category-3 wait, made explicit with the Timer µFSM.  Sleeping
-    # in software (not holding the channel) would also work; the Timer
-    # variant reproduces packages that require the bus-held form.
-    yield from ctx.sleep(wait_ns)
-
-    handle = ctx.packetizer.from_flash(dram_address, nbytes)
-    transfer = ctx.transaction(TxnKind.DATA_OUT, label="read-transfer-timed")
-    transfer.add_segment(
-        bank.ca_writer.emit(
-            [
-                cmd(CMD.CHANGE_READ_COL_1ST),
-                addr(codec.encode_column(address.column)),
-                cmd(CMD.CHANGE_READ_COL_2ND),
-            ],
-            chip_mask=ctx.chip_mask,
-        )
-    )
-    transfer.add_segment(
-        bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
-    )
-    transfer.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(transfer)
-    # No status was read on this path; report the nominal ready code.
-    return int(StatusBits.RDY), handle
+    return result

@@ -4,13 +4,9 @@ from __future__ import annotations
 
 from typing import Generator
 
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.obs.instrument import traced_op
-
-_PARAM_MARGIN_NS = 500
 
 
 @traced_op
@@ -20,20 +16,8 @@ def read_id_op(
     nbytes: int = 5,
 ) -> Generator:
     """READ ID (0x90); area 0x00 = JEDEC bytes, 0x20 = ONFI signature."""
-    bank = ctx.ufsm
-    handle = ctx.packetizer.capture(nbytes)
-    txn = ctx.transaction(TxnKind.CONFIG, label="read-id")
-    txn.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.READ_ID), addr((area,))], chip_mask=ctx.chip_mask
-        )
-    )
-    txn.add_segment(
-        bank.timer.emit(bank.ca_writer.timing.tWHR, chip_mask=ctx.chip_mask)
-    )
-    txn.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(txn)
-    return tuple(int(b) for b in handle.delivered)
+    result = yield from run_op(ctx, "read_id", area=area, nbytes=nbytes)
+    return result
 
 
 @traced_op
@@ -47,17 +31,7 @@ def read_parameter_page_op(
     ``param_busy_ns`` is the package's parameter-page fetch time — a
     category-3 wait the operation owns, expressed with the Timer µFSM.
     """
-    bank = ctx.ufsm
-    handle = ctx.packetizer.capture(nbytes)
-    txn = ctx.transaction(TxnKind.CONFIG, label="read-parameter-page")
-    txn.add_segment(
-        bank.ca_writer.emit(
-            [cmd(CMD.READ_PARAMETER_PAGE), addr((0x00,))], chip_mask=ctx.chip_mask
-        )
+    result = yield from run_op(
+        ctx, "read_parameter_page", param_busy_ns=param_busy_ns, nbytes=nbytes
     )
-    txn.add_segment(
-        bank.timer.emit(param_busy_ns + _PARAM_MARGIN_NS, chip_mask=ctx.chip_mask)
-    )
-    txn.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
-    yield from ctx.add_transaction(txn)
-    return handle.delivered
+    return result

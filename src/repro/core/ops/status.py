@@ -1,9 +1,9 @@
 """READ STATUS (Algorithm 1).
 
-The paper's listing, line for line: activate the chip, latch 0x70, read
-one byte back, deactivate.  Chip activation/deactivation is the Chip
-Control µFSM's doing — here it shows up as the chip mask stamped on
-each segment.
+The paper's listing, line for line — now as the ``read_status`` op
+program (:mod:`repro.core.opir.programs`): latch 0x70, read one byte
+back.  Chip activation/deactivation is the Chip Control µFSM's doing —
+it shows up as the chip mask stamped on each segment.
 """
 
 from __future__ import annotations
@@ -11,10 +11,8 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.core.ops.base import single_latch_txn  # noqa: F401  (re-export site)
+from repro.core.opir.registry import run_op
 from repro.core.softenv.base import OperationContext
-from repro.core.transaction import TxnKind
-from repro.core.ufsm.ca_writer import addr, cmd
-from repro.onfi.commands import CMD
 from repro.obs.instrument import traced_op
 
 
@@ -24,13 +22,8 @@ def read_status_op(
     chip_mask: Optional[int] = None,
 ) -> Generator:
     """One status poll; returns the status byte."""
-    mask = chip_mask if chip_mask is not None else ctx.chip_mask
-    handle = ctx.packetizer.capture(1)
-    txn = ctx.transaction(TxnKind.POLL, label="read-status")
-    txn.add_segment(ctx.ufsm.ca_writer.emit([cmd(CMD.READ_STATUS)], chip_mask=mask))
-    txn.add_segment(ctx.ufsm.data_reader.emit(1, handle, chip_mask=mask))
-    yield from ctx.add_transaction(txn)
-    return int(handle.delivered[0])
+    result = yield from run_op(ctx, "read_status", chip_mask=chip_mask)
+    return result
 
 
 @traced_op
@@ -40,15 +33,8 @@ def read_status_enhanced_op(
     chip_mask: Optional[int] = None,
 ) -> Generator:
     """READ STATUS ENHANCED (0x78): per-LUN status on multi-die packages."""
-    mask = chip_mask if chip_mask is not None else ctx.chip_mask
-    handle = ctx.packetizer.capture(1)
-    txn = ctx.transaction(TxnKind.POLL, label="read-status-enhanced")
-    txn.add_segment(
-        ctx.ufsm.ca_writer.emit(
-            [cmd(CMD.READ_STATUS_ENHANCED), addr(row_address_bytes)],
-            chip_mask=mask,
-        )
+    result = yield from run_op(
+        ctx, "read_status_enhanced",
+        row_address_bytes=tuple(row_address_bytes), chip_mask=chip_mask,
     )
-    txn.add_segment(ctx.ufsm.data_reader.emit(1, handle, chip_mask=mask))
-    yield from ctx.add_transaction(txn)
-    return int(handle.delivered[0])
+    return result

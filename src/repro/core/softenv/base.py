@@ -180,6 +180,9 @@ class OperationContext:
         self.chip_mask = chip_mask if chip_mask is not None else (1 << lun_position)
         self.ufsm: UfsmBank = env.ufsm
         self.packetizer: Packetizer = env.packetizer
+        # The vendor profile of the attached package, if known: op-IR
+        # programs resolve per-vendor overrides through it.
+        self.vendor = getattr(env, "vendor", None)
 
     # -- transaction building ------------------------------------------
 
@@ -227,6 +230,7 @@ class SoftwareEnvironment:
         task_scheduler: Optional[TaskScheduler] = None,
         txn_scheduler: Optional[TxnScheduler] = None,
         max_tasks_per_lun: int = 1,
+        vendor=None,
     ):
         self.sim = sim
         self.executor = executor
@@ -234,6 +238,7 @@ class SoftwareEnvironment:
         self.packetizer = packetizer
         self.cpu = cpu
         self.costs = costs
+        self.vendor = vendor
         self.task_scheduler = task_scheduler or RoundRobinTaskScheduler()
         self.txn_scheduler = txn_scheduler or FifoTxnScheduler()
         self.max_tasks_per_lun = max_tasks_per_lun

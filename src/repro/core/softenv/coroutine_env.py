@@ -51,6 +51,7 @@ class CoroutineEnvironment(SoftwareEnvironment):
         task_scheduler: Optional[TaskScheduler] = None,
         txn_scheduler: Optional[TxnScheduler] = None,
         costs: RuntimeCosts = CORO_COSTS,
+        vendor=None,
     ):
         super().__init__(
             sim=sim,
@@ -61,4 +62,5 @@ class CoroutineEnvironment(SoftwareEnvironment):
             costs=costs,
             task_scheduler=task_scheduler or RoundRobinTaskScheduler(),
             txn_scheduler=txn_scheduler or PriorityTxnScheduler(),
+            vendor=vendor,
         )

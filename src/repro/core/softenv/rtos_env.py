@@ -49,6 +49,7 @@ class RtosEnvironment(SoftwareEnvironment):
         task_scheduler: Optional[TaskScheduler] = None,
         txn_scheduler: Optional[TxnScheduler] = None,
         costs: RuntimeCosts = RTOS_COSTS,
+        vendor=None,
     ):
         super().__init__(
             sim=sim,
@@ -59,4 +60,5 @@ class RtosEnvironment(SoftwareEnvironment):
             costs=costs,
             task_scheduler=task_scheduler or FifoTaskScheduler(),
             txn_scheduler=txn_scheduler or FifoTxnScheduler(),
+            vendor=vendor,
         )

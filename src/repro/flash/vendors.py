@@ -10,8 +10,9 @@ need to be plausible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -54,6 +55,24 @@ class VendorProfile:
     factory_bad_rate: float = 0.0  # fraction of blocks shipped defective
     interfaces: tuple[str, ...] = ("SDR-mode0", "NV-DDR2-100", "NV-DDR2-200")
     jedec_id: int = 0x00
+    # Per-vendor operation programs: (op_name, program_builder) pairs.
+    # The op-IR registry consults these before its built-in table, so a
+    # package quirk is a profile change, not an edit to the op library
+    # (the paper's new-package bring-up story).  A tuple of pairs — not
+    # a dict — keeps the profile hashable for the lru_cache below.
+    op_overrides: tuple[tuple[str, Callable], ...] = ()
+
+    def with_op_override(self, name: str, builder: Callable) -> "VendorProfile":
+        """A copy of this profile with ``name`` resolved to ``builder``."""
+        kept = tuple(pair for pair in self.op_overrides if pair[0] != name)
+        return replace(self, op_overrides=kept + ((name, builder),))
+
+    def op_override(self, name: str) -> Optional[Callable]:
+        """The overriding program builder for ``name``, if any."""
+        for key, builder in self.op_overrides:
+            if key == name:
+                return builder
+        return None
 
     def id_bytes(self, area: int = 0x00) -> tuple[int, ...]:
         """READ ID response (address 0x00: JEDEC; 0x20: ONFI signature)."""

@@ -78,6 +78,15 @@ class AddressCodec:
         geometry.validate()
         self.geometry = geometry
 
+    # Value semantics: two codecs over equal geometries encode
+    # identically, so they compare (and hash) by geometry.  Serialized
+    # op programs rely on this to round-trip to an equal value.
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AddressCodec) and other.geometry == self.geometry
+
+    def __hash__(self) -> int:
+        return hash(self.geometry)
+
     # -- row/column packing --------------------------------------------
 
     def row_address(self, addr: PhysicalAddress) -> int:

@@ -1,0 +1,81 @@
+"""Frozen seed operation library (the golden reference).
+
+Byte-for-byte copies of ``repro.core.ops`` as of the pre-IR seed, with
+imports rewritten to stay inside this package.  The golden-equivalence
+tests (``test_opir_golden.py``) run these generators next to the
+IR-backed library and require identical waveforms, nanosecond timing,
+and results.  Do not modernize or refactor these modules.
+
+The operation library: ONFI operations written in software.
+
+Every operation here is a Python generator over the µFSM instruction
+set, mirroring the paper's Fig. 8 algorithms.  Operations compose by
+``yield from`` (READ invokes READ STATUS the way Algorithm 2 invokes
+Algorithm 1) and variations are small textual diffs (pSLC READ differs
+from READ exactly where Fig. 8 highlights in gray).
+"""
+
+from tests.seed_ops.base import (
+    poll_until_array_ready,
+    poll_until_ready,
+    single_latch_txn,
+)
+from tests.seed_ops.status import read_status_op, read_status_enhanced_op
+from tests.seed_ops.read import (
+    full_page_read_op,
+    partial_read_op,
+    read_page_op,
+    read_page_timed_wait_op,
+)
+from tests.seed_ops.program import program_page_op, partial_program_op
+from tests.seed_ops.erase import erase_block_op
+from tests.seed_ops.features import get_features_op, set_features_op
+from tests.seed_ops.reset import reset_op
+from tests.seed_ops.readid import read_id_op, read_parameter_page_op
+from tests.seed_ops.pslc import pslc_read_op, pslc_program_op, pslc_erase_op
+from tests.seed_ops.read_retry import read_with_retry_op
+from tests.seed_ops.cache import cache_read_sequential_op, cache_program_op
+from tests.seed_ops.multiplane import (
+    multiplane_erase_op,
+    multiplane_read_op,
+    multiplane_program_op,
+)
+from tests.seed_ops.suspend import (
+    erase_with_preemptive_read_op,
+    resume_op,
+    suspend_op,
+)
+from tests.seed_ops.gang import gang_read_op
+
+__all__ = [
+    "poll_until_array_ready",
+    "poll_until_ready",
+    "single_latch_txn",
+    "read_status_op",
+    "read_status_enhanced_op",
+    "full_page_read_op",
+    "partial_read_op",
+    "read_page_op",
+    "read_page_timed_wait_op",
+    "program_page_op",
+    "partial_program_op",
+    "erase_block_op",
+    "get_features_op",
+    "set_features_op",
+    "reset_op",
+    "read_id_op",
+    "read_parameter_page_op",
+    "pslc_read_op",
+    "pslc_program_op",
+    "pslc_erase_op",
+    "read_with_retry_op",
+    "cache_read_sequential_op",
+    "cache_program_op",
+    "multiplane_erase_op",
+    "multiplane_read_op",
+    "multiplane_program_op",
+    "erase_with_preemptive_read_op",
+    "resume_op",
+    "suspend_op",
+    "gang_read_op",
+]

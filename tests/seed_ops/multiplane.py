@@ -1,0 +1,158 @@
+"""Multi-plane operations: one array time covers several planes.
+
+ONFI multi-plane sequencing: each plane but the last is queued with its
+queue-cycle confirm (0x32 / 0x11 / 0xD1, short tDBSY busy), the last
+uses the normal confirm, and the array performs all queued planes
+together.  Reads then select each plane's register with CHANGE READ
+COLUMN ENHANCED (0x06 + full address + 0xE0) before transferring.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from tests.seed_ops.base import poll_until_ready
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
+
+
+def _check_distinct_planes(codec: AddressCodec, addresses: Sequence[PhysicalAddress]) -> None:
+    planes = [codec.plane_of(a) for a in addresses]
+    if len(set(planes)) != len(planes):
+        raise ValueError("multi-plane targets must address distinct planes")
+
+
+@traced_op
+def multiplane_read_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    addresses: Sequence[PhysicalAddress],
+    dram_addresses: Sequence[int],
+) -> Generator:
+    """Read one page per plane in a single array time.
+
+    Returns the DMA handles in the order of ``addresses``.
+    """
+    if len(addresses) != len(dram_addresses) or not addresses:
+        raise ValueError("need one DRAM destination per plane address")
+    _check_distinct_planes(codec, addresses)
+    bank = ctx.ufsm
+    page_bytes = codec.geometry.full_page_size
+
+    for index, address in enumerate(addresses):
+        final = index == len(addresses) - 1
+        confirm = CMD.READ_2ND if final else CMD.MP_READ_2ND
+        txn = ctx.transaction(TxnKind.CMD_ADDR, label="mp-read-queue")
+        txn.add_segment(
+            bank.ca_writer.emit(
+                [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(confirm)],
+                chip_mask=ctx.chip_mask,
+            )
+        )
+        yield from ctx.add_transaction(txn)
+        # Queue cycles incur a short tDBSY; the final confirm the full tR.
+        yield from poll_until_ready(ctx)
+
+    handles = []
+    for address, dram_address in zip(addresses, dram_addresses):
+        handle = ctx.packetizer.from_flash(dram_address, page_bytes)
+        transfer = ctx.transaction(TxnKind.DATA_OUT, label="mp-read-transfer")
+        transfer.add_segment(
+            bank.ca_writer.emit(
+                [
+                    cmd(CMD.CHANGE_READ_COL_ENH_1ST),
+                    addr(codec.encode(address)),
+                    cmd(CMD.CHANGE_READ_COL_2ND),
+                ],
+                chip_mask=ctx.chip_mask,
+            )
+        )
+        transfer.add_segment(
+            bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
+        )
+        transfer.add_segment(
+            bank.data_reader.emit(page_bytes, handle, chip_mask=ctx.chip_mask)
+        )
+        yield from ctx.add_transaction(transfer)
+        handles.append(handle)
+    return handles
+
+
+@traced_op
+def multiplane_program_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    pages: Sequence[tuple[PhysicalAddress, int]],
+) -> Generator:
+    """Program one page per plane in a single tPROG."""
+    if not pages:
+        raise ValueError("multi-plane program needs at least one page")
+    _check_distinct_planes(codec, [address for address, _ in pages])
+    bank = ctx.ufsm
+    page_bytes = codec.geometry.full_page_size
+
+    for index, (address, dram_address) in enumerate(pages):
+        final = index == len(pages) - 1
+        handle = ctx.packetizer.to_flash(dram_address, page_bytes)
+        load = ctx.transaction(TxnKind.DATA_IN, label="mp-program-load")
+        load.add_segment(
+            bank.ca_writer.emit(
+                [cmd(CMD.PROGRAM_1ST), addr(codec.encode(address))],
+                chip_mask=ctx.chip_mask,
+            )
+        )
+        load.add_segment(
+            bank.data_writer.emit(
+                page_bytes, handle, chip_mask=ctx.chip_mask, after_address=True
+            )
+        )
+        yield from ctx.add_transaction(load)
+
+        confirm = CMD.PROGRAM_2ND if final else CMD.MP_PROGRAM_2ND
+        commit = ctx.transaction(TxnKind.CMD_ADDR, label="mp-program-confirm")
+        commit.add_segment(
+            bank.ca_writer.emit([cmd(confirm)], chip_mask=ctx.chip_mask)
+        )
+        yield from ctx.add_transaction(commit)
+        if not final:
+            yield from poll_until_ready(ctx)  # tDBSY between queue cycles
+
+    status = yield from poll_until_ready(ctx)
+    return not StatusRegister.is_failed(status)
+
+
+@traced_op
+def multiplane_erase_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    blocks: Sequence[int],
+) -> Generator:
+    """Erase one block per plane in a single tBERS."""
+    if not blocks:
+        raise ValueError("multi-plane erase needs at least one block")
+    addresses = [PhysicalAddress(block=b, page=0) for b in blocks]
+    _check_distinct_planes(codec, addresses)
+    bank = ctx.ufsm
+
+    for index, address in enumerate(addresses):
+        final = index == len(addresses) - 1
+        confirm = CMD.ERASE_2ND if final else CMD.MP_ERASE_2ND
+        row = codec.row_address(address)
+        txn = ctx.transaction(TxnKind.CMD_ADDR, label="mp-erase")
+        txn.add_segment(
+            bank.ca_writer.emit(
+                [cmd(CMD.ERASE_1ST), addr(codec.encode_row(row)), cmd(confirm)],
+                chip_mask=ctx.chip_mask,
+            )
+        )
+        yield from ctx.add_transaction(txn)
+        if not final:
+            yield from poll_until_ready(ctx)
+
+    status = yield from poll_until_ready(ctx)
+    return not StatusRegister.is_failed(status)

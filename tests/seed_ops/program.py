@@ -1,0 +1,127 @@
+"""PROGRAM operations.
+
+``program_page_op`` is the standard three-phase PROGRAM: latch 0x80 and
+the address, stream the page into the register, confirm with 0x10, and
+poll for completion.  ``partial_program_op`` uses CHANGE WRITE COLUMN
+to fill disjoint chunks before confirming (sub-page host writes).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from tests.seed_ops.base import poll_until_ready
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def program_page_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: int | None = None,
+) -> Generator:
+    """Program one page from DRAM; returns True on success."""
+    bank = ctx.ufsm
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    handle = ctx.packetizer.to_flash(dram_address, nbytes)
+
+    # Transaction 1: 0x80 + address + the page data burst.
+    load = ctx.transaction(TxnKind.DATA_IN, label="program-load")
+    load.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.PROGRAM_1ST), addr(codec.encode(address))],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    load.add_segment(
+        bank.data_writer.emit(
+            nbytes, handle, column=address.column,
+            chip_mask=ctx.chip_mask, after_address=True,
+        )
+    )
+    yield from ctx.add_transaction(load)
+
+    # Transaction 2: the confirm cycle starts tPROG.
+    confirm = ctx.transaction(TxnKind.CMD_ADDR, label="program-confirm")
+    confirm.add_segment(
+        bank.ca_writer.emit([cmd(CMD.PROGRAM_2ND)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(confirm)
+
+    status = yield from poll_until_ready(ctx)
+    return not StatusRegister.is_failed(status)
+
+
+@traced_op
+def partial_program_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    chunks: Sequence[tuple[int, int, int]],
+) -> Generator:
+    """Program disjoint chunks ``(column, dram_address, nbytes)``.
+
+    Each chunk after the first is positioned with CHANGE WRITE COLUMN
+    (0x85) before its burst; a single confirm commits the register.
+    """
+    if not chunks:
+        raise ValueError("partial program needs at least one chunk")
+    bank = ctx.ufsm
+
+    first_column, first_dram, first_len = chunks[0]
+    load = ctx.transaction(TxnKind.DATA_IN, label="partial-program-load")
+    load.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.PROGRAM_1ST),
+                addr(
+                    codec.encode(
+                        PhysicalAddress(
+                            block=address.block, page=address.page, column=first_column
+                        )
+                    )
+                ),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    load.add_segment(
+        bank.data_writer.emit(
+            first_len, ctx.packetizer.to_flash(first_dram, first_len),
+            column=first_column, chip_mask=ctx.chip_mask, after_address=True,
+        )
+    )
+    yield from ctx.add_transaction(load)
+
+    for column, dram_address, nbytes in chunks[1:]:
+        move = ctx.transaction(TxnKind.DATA_IN, label="partial-program-chunk")
+        move.add_segment(
+            bank.ca_writer.emit(
+                [cmd(CMD.CHANGE_WRITE_COL), addr(codec.encode_column(column))],
+                chip_mask=ctx.chip_mask,
+            )
+        )
+        move.add_segment(
+            bank.data_writer.emit(
+                nbytes, ctx.packetizer.to_flash(dram_address, nbytes),
+                column=column, chip_mask=ctx.chip_mask, after_address=True,
+            )
+        )
+        yield from ctx.add_transaction(move)
+
+    confirm = ctx.transaction(TxnKind.CMD_ADDR, label="partial-program-confirm")
+    confirm.add_segment(
+        bank.ca_writer.emit([cmd(CMD.PROGRAM_2ND)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(confirm)
+
+    status = yield from poll_until_ready(ctx)
+    return not StatusRegister.is_failed(status)

@@ -1,0 +1,147 @@
+"""Pseudo-SLC operations (Fig. 8, Algorithm 3).
+
+The pSLC READ is Algorithm 2 with a vendor mode-entry latch prepended
+to the preamble and a mode-exit appended after the transfer — exactly
+the gray-highlighted diff of Fig. 8.  In hardware each variant would be
+a separate validated FSM; here it is a dozen-line wrapper, which is the
+paper's programmability argument in miniature.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from tests.seed_ops.base import poll_until_ready
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def pslc_read_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> Generator:
+    """pSLC PAGE READ: faster and far more reliable than native mode."""
+    bank = ctx.ufsm
+    nbytes = length if length is not None else codec.geometry.full_page_size
+
+    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="pslc-read-preamble")
+    preamble.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.VENDOR_PSLC_ENTER),          # <- the Alg. 3 diff
+                cmd(CMD.READ_1ST),
+                addr(codec.encode(address)),
+                cmd(CMD.READ_2ND),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    yield from ctx.add_transaction(preamble)
+
+    status = yield from poll_until_ready(ctx)
+
+    handle = ctx.packetizer.from_flash(dram_address, nbytes)
+    transfer = ctx.transaction(TxnKind.DATA_OUT, label="pslc-read-transfer")
+    transfer.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.CHANGE_READ_COL_1ST),
+                addr(codec.encode_column(address.column)),
+                cmd(CMD.CHANGE_READ_COL_2ND),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    transfer.add_segment(
+        bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
+    )
+    transfer.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
+    transfer.add_segment(
+        bank.ca_writer.emit([cmd(CMD.VENDOR_PSLC_EXIT)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(transfer)
+    return status, handle
+
+
+@traced_op
+def pslc_program_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> Generator:
+    """pSLC PROGRAM: the page is committed one-bit-per-cell."""
+    bank = ctx.ufsm
+    nbytes = length if length is not None else codec.geometry.full_page_size
+    handle = ctx.packetizer.to_flash(dram_address, nbytes)
+
+    load = ctx.transaction(TxnKind.DATA_IN, label="pslc-program-load")
+    load.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.VENDOR_PSLC_ENTER), cmd(CMD.PROGRAM_1ST), addr(codec.encode(address))],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    load.add_segment(
+        bank.data_writer.emit(
+            nbytes, handle, column=address.column,
+            chip_mask=ctx.chip_mask, after_address=True,
+        )
+    )
+    yield from ctx.add_transaction(load)
+
+    confirm = ctx.transaction(TxnKind.CMD_ADDR, label="pslc-program-confirm")
+    confirm.add_segment(
+        bank.ca_writer.emit([cmd(CMD.PROGRAM_2ND)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(confirm)
+
+    status = yield from poll_until_ready(ctx)
+
+    exit_txn = ctx.transaction(TxnKind.CONFIG, label="pslc-exit")
+    exit_txn.add_segment(
+        bank.ca_writer.emit([cmd(CMD.VENDOR_PSLC_EXIT)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(exit_txn)
+    return not StatusRegister.is_failed(status)
+
+
+@traced_op
+def pslc_erase_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    block: int,
+) -> Generator:
+    """pSLC ERASE: re-dedicates the block to pSLC duty."""
+    bank = ctx.ufsm
+    row = codec.row_address(PhysicalAddress(block=block, page=0))
+    txn = ctx.transaction(TxnKind.CMD_ADDR, label="pslc-erase")
+    txn.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.VENDOR_PSLC_ENTER),
+                cmd(CMD.ERASE_1ST),
+                addr(codec.encode_row(row)),
+                cmd(CMD.ERASE_2ND),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    yield from ctx.add_transaction(txn)
+    status = yield from poll_until_ready(ctx)
+    exit_txn = ctx.transaction(TxnKind.CONFIG, label="pslc-exit")
+    exit_txn.add_segment(
+        bank.ca_writer.emit([cmd(CMD.VENDOR_PSLC_EXIT)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(exit_txn)
+    return not StatusRegister.is_failed(status)

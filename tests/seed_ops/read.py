@@ -1,0 +1,154 @@
+"""READ operations (Algorithm 2 and variants).
+
+``read_page_op`` is the paper's READ with Column Address Change: latch
+command+address, *poll* for readiness instead of waiting a fixed tR
+(lines 7..9 — tR is highly variable), then trigger the transfer with a
+CHANGE READ COLUMN.  ``full_page_read_op`` is the degenerate column-0
+case; ``partial_read_op`` reads a sub-page chunk (the 16 KiB-page /
+4 KiB-subpage use case); ``read_page_timed_wait_op`` is the timed-wait
+alternative the polling ablation compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from tests.seed_ops.base import poll_until_ready
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusBits
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def read_page_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: Optional[int] = None,
+) -> Generator:
+    """READ with Column Address Change (Fig. 8, Algorithm 2).
+
+    Returns ``(status_byte, DmaHandle)``; the handle's DRAM window holds
+    the page bytes when the operation completes.
+    """
+    bank = ctx.ufsm
+    nbytes = length if length is not None else codec.geometry.full_page_size
+
+    # Transaction 1: command + page address latch (lines 1..6).
+    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="read-preamble")
+    preamble.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND)],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    yield from ctx.add_transaction(preamble)
+
+    # Poll for the end of tR instead of a timed wait (lines 7..9).
+    status = yield from poll_until_ready(ctx)
+
+    # Transaction 2: column select + data transfer (lines 10..17).
+    handle = ctx.packetizer.from_flash(dram_address, nbytes)
+    transfer = ctx.transaction(TxnKind.DATA_OUT, label="read-transfer")
+    transfer.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.CHANGE_READ_COL_1ST),
+                addr(codec.encode_column(address.column)),
+                cmd(CMD.CHANGE_READ_COL_2ND),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    transfer.add_segment(
+        bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
+    )
+    transfer.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(transfer)
+    return status, handle
+
+
+@traced_op
+def full_page_read_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+) -> Generator:
+    """Column-0 full-page READ — Algorithm 2's degenerate case."""
+    base = PhysicalAddress(block=address.block, page=address.page, column=0)
+    result = yield from read_page_op(ctx, codec, base, dram_address)
+    return result
+
+
+@traced_op
+def partial_read_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    length: int,
+) -> Generator:
+    """Sub-page READ: transfer ``length`` bytes from ``address.column``."""
+    if length <= 0:
+        raise ValueError("partial read length must be positive")
+    result = yield from read_page_op(ctx, codec, address, dram_address, length=length)
+    return result
+
+
+@traced_op
+def read_page_timed_wait_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    address: PhysicalAddress,
+    dram_address: int,
+    wait_ns: int,
+    length: Optional[int] = None,
+) -> Generator:
+    """READ using a fixed Timer wait instead of status polling.
+
+    ``wait_ns`` must cover the worst-case tR of the package; the
+    polling ablation quantifies what that margin costs versus
+    Algorithm 2's poll loop.
+    """
+    bank = ctx.ufsm
+    nbytes = length if length is not None else codec.geometry.full_page_size
+
+    preamble = ctx.transaction(TxnKind.CMD_ADDR, label="read-preamble-timed")
+    preamble.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.READ_1ST), addr(codec.encode(address)), cmd(CMD.READ_2ND)],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    yield from ctx.add_transaction(preamble)
+
+    # The category-3 wait, made explicit with the Timer µFSM.  Sleeping
+    # in software (not holding the channel) would also work; the Timer
+    # variant reproduces packages that require the bus-held form.
+    yield from ctx.sleep(wait_ns)
+
+    handle = ctx.packetizer.from_flash(dram_address, nbytes)
+    transfer = ctx.transaction(TxnKind.DATA_OUT, label="read-transfer-timed")
+    transfer.add_segment(
+        bank.ca_writer.emit(
+            [
+                cmd(CMD.CHANGE_READ_COL_1ST),
+                addr(codec.encode_column(address.column)),
+                cmd(CMD.CHANGE_READ_COL_2ND),
+            ],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    transfer.add_segment(
+        bank.timer.emit(bank.ca_writer.timing.tCCS, chip_mask=ctx.chip_mask)
+    )
+    transfer.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(transfer)
+    # No status was read on this path; report the nominal ready code.
+    return int(StatusBits.RDY), handle

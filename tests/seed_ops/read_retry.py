@@ -5,18 +5,18 @@ correct a page at the default read voltage, re-read it at shifted
 voltages (a vendor SET FEATURES register) until a level decodes.  The
 operation takes a ``validate`` callback — in a real controller that is
 the ECC engine; in this reproduction it is usually a
-:class:`~repro.ecc.BchEngine` closure.  The callback crosses into the
-op program as an interpreter *hook* (the program's data-dependent
-``BreakIf`` evaluates it per level).
+:class:`~repro.ecc.BchEngine` closure.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from typing import Callable, Generator, Optional
 
-from repro.core.opir.registry import run_op
+from tests.seed_ops.features import set_features_op
+from tests.seed_ops.read import read_page_op
 from repro.core.softenv.base import OperationContext
 from repro.dram import DmaHandle
+from repro.onfi.features import FeatureAddress
 from repro.onfi.geometry import AddressCodec, PhysicalAddress
 from repro.obs.instrument import traced_op
 
@@ -38,9 +38,27 @@ def read_with_retry_op(
     escalates to RAID/rebuild).  The retry register is restored to the
     default level before returning.
     """
-    result = yield from run_op(
-        ctx, "read_with_retry",
-        codec=codec, address=address, dram_address=dram_address,
-        validate=validate, max_levels=max_levels, feat_busy_ns=feat_busy_ns,
-    )
-    return result
+    level_used: Optional[int] = None
+    handle: Optional[DmaHandle] = None
+    for level in range(max_levels):
+        if level > 0:
+            yield from set_features_op(
+                ctx,
+                FeatureAddress.VENDOR_READ_RETRY,
+                (level, 0, 0, 0),
+                feat_busy_ns=feat_busy_ns,
+            )
+        _, handle = yield from read_page_op(ctx, codec, address, dram_address)
+        if validate(handle):
+            level_used = level
+            break
+    if level_used != 0:
+        # A non-default level was programmed (or the sweep exhausted);
+        # restore the factory default so later reads start clean.
+        yield from set_features_op(
+            ctx,
+            FeatureAddress.VENDOR_READ_RETRY,
+            (0, 0, 0, 0),
+            feat_busy_ns=feat_busy_ns,
+        )
+    return level_used, handle

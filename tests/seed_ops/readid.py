@@ -1,0 +1,63 @@
+"""Identification operations: READ ID and READ PARAMETER PAGE."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
+
+_PARAM_MARGIN_NS = 500
+
+
+@traced_op
+def read_id_op(
+    ctx: OperationContext,
+    area: int = 0x00,
+    nbytes: int = 5,
+) -> Generator:
+    """READ ID (0x90); area 0x00 = JEDEC bytes, 0x20 = ONFI signature."""
+    bank = ctx.ufsm
+    handle = ctx.packetizer.capture(nbytes)
+    txn = ctx.transaction(TxnKind.CONFIG, label="read-id")
+    txn.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.READ_ID), addr((area,))], chip_mask=ctx.chip_mask
+        )
+    )
+    txn.add_segment(
+        bank.timer.emit(bank.ca_writer.timing.tWHR, chip_mask=ctx.chip_mask)
+    )
+    txn.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(txn)
+    return tuple(int(b) for b in handle.delivered)
+
+
+@traced_op
+def read_parameter_page_op(
+    ctx: OperationContext,
+    param_busy_ns: int,
+    nbytes: int = 256,
+) -> Generator:
+    """READ PARAMETER PAGE (0xEC); returns the raw page bytes.
+
+    ``param_busy_ns`` is the package's parameter-page fetch time — a
+    category-3 wait the operation owns, expressed with the Timer µFSM.
+    """
+    bank = ctx.ufsm
+    handle = ctx.packetizer.capture(nbytes)
+    txn = ctx.transaction(TxnKind.CONFIG, label="read-parameter-page")
+    txn.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.READ_PARAMETER_PAGE), addr((0x00,))], chip_mask=ctx.chip_mask
+        )
+    )
+    txn.add_segment(
+        bank.timer.emit(param_busy_ns + _PARAM_MARGIN_NS, chip_mask=ctx.chip_mask)
+    )
+    txn.add_segment(bank.data_reader.emit(nbytes, handle, chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(txn)
+    return handle.delivered

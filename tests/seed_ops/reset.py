@@ -1,0 +1,23 @@
+"""RESET operations."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from tests.seed_ops.base import poll_until_ready
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import cmd
+from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def reset_op(ctx: OperationContext, synchronous: bool = False) -> Generator:
+    """RESET (0xFF) or SYNCHRONOUS RESET (0xFC); polls until ready."""
+    opcode = CMD.SYNCHRONOUS_RESET if synchronous else CMD.RESET
+    txn = ctx.transaction(TxnKind.CONFIG, label="reset")
+    txn.add_segment(ctx.ufsm.ca_writer.emit([cmd(opcode)], chip_mask=ctx.chip_mask))
+    yield from ctx.add_transaction(txn)
+    status = yield from poll_until_ready(ctx)
+    return status

@@ -1,0 +1,54 @@
+"""READ STATUS (Algorithm 1).
+
+The paper's listing, line for line: activate the chip, latch 0x70, read
+one byte back, deactivate.  Chip activation/deactivation is the Chip
+Control µFSM's doing — here it shows up as the chip mask stamped on
+each segment.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from tests.seed_ops.base import single_latch_txn  # noqa: F401  (re-export site)
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def read_status_op(
+    ctx: OperationContext,
+    chip_mask: Optional[int] = None,
+) -> Generator:
+    """One status poll; returns the status byte."""
+    mask = chip_mask if chip_mask is not None else ctx.chip_mask
+    handle = ctx.packetizer.capture(1)
+    txn = ctx.transaction(TxnKind.POLL, label="read-status")
+    txn.add_segment(ctx.ufsm.ca_writer.emit([cmd(CMD.READ_STATUS)], chip_mask=mask))
+    txn.add_segment(ctx.ufsm.data_reader.emit(1, handle, chip_mask=mask))
+    yield from ctx.add_transaction(txn)
+    return int(handle.delivered[0])
+
+
+@traced_op
+def read_status_enhanced_op(
+    ctx: OperationContext,
+    row_address_bytes: tuple[int, ...],
+    chip_mask: Optional[int] = None,
+) -> Generator:
+    """READ STATUS ENHANCED (0x78): per-LUN status on multi-die packages."""
+    mask = chip_mask if chip_mask is not None else ctx.chip_mask
+    handle = ctx.packetizer.capture(1)
+    txn = ctx.transaction(TxnKind.POLL, label="read-status-enhanced")
+    txn.add_segment(
+        ctx.ufsm.ca_writer.emit(
+            [cmd(CMD.READ_STATUS_ENHANCED), addr(row_address_bytes)],
+            chip_mask=mask,
+        )
+    )
+    txn.add_segment(ctx.ufsm.data_reader.emit(1, handle, chip_mask=mask))
+    yield from ctx.add_transaction(txn)
+    return int(handle.delivered[0])

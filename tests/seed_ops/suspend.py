@@ -1,0 +1,80 @@
+"""Suspend/resume operations (program/erase suspension).
+
+The literature optimizations the paper cites ([23], [54]): a long
+erase or program is paused so a latency-critical read can cut in, then
+resumed.  ``erase_with_preemptive_read_op`` is the composed form — the
+demonstration that BABOL expresses a multi-phase, literature-grade
+operation as straight-line software.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from tests.seed_ops.base import poll_until_ready
+from tests.seed_ops.read import read_page_op
+from repro.core.softenv.base import OperationContext
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import AddressCodec, PhysicalAddress
+from repro.onfi.status import StatusRegister
+from repro.obs.instrument import traced_op
+
+
+@traced_op
+def suspend_op(ctx: OperationContext) -> Generator:
+    """Suspend the in-flight program/erase on the target LUN."""
+    txn = ctx.transaction(TxnKind.CONFIG, label="suspend")
+    txn.add_segment(
+        ctx.ufsm.ca_writer.emit([cmd(CMD.VENDOR_SUSPEND)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(txn)
+    return True
+
+
+@traced_op
+def resume_op(ctx: OperationContext) -> Generator:
+    """Resume a previously suspended program/erase."""
+    txn = ctx.transaction(TxnKind.CONFIG, label="resume")
+    txn.add_segment(
+        ctx.ufsm.ca_writer.emit([cmd(CMD.VENDOR_RESUME)], chip_mask=ctx.chip_mask)
+    )
+    yield from ctx.add_transaction(txn)
+    return True
+
+
+@traced_op
+def erase_with_preemptive_read_op(
+    ctx: OperationContext,
+    codec: AddressCodec,
+    erase_block: int,
+    read_address: PhysicalAddress,
+    dram_address: int,
+    suspend_after_ns: int,
+) -> Generator:
+    """Start an erase, suspend it for an urgent read, resume, complete.
+
+    Returns ``(erase_ok, read_handle)``.
+    """
+    bank = ctx.ufsm
+    row = codec.row_address(PhysicalAddress(block=erase_block, page=0))
+
+    start = ctx.transaction(TxnKind.CMD_ADDR, label="erase-start")
+    start.add_segment(
+        bank.ca_writer.emit(
+            [cmd(CMD.ERASE_1ST), addr(codec.encode_row(row)), cmd(CMD.ERASE_2ND)],
+            chip_mask=ctx.chip_mask,
+        )
+    )
+    yield from ctx.add_transaction(start)
+
+    # Let the erase make progress, then preempt it.
+    yield from ctx.sleep(suspend_after_ns)
+    yield from suspend_op(ctx)
+
+    _, handle = yield from read_page_op(ctx, codec, read_address, dram_address)
+
+    yield from resume_op(ctx)
+    status = yield from poll_until_ready(ctx)
+    return not StatusRegister.is_failed(status), handle

@@ -1,0 +1,290 @@
+"""Op-program IR unit tests: JSON serialization, the registry and
+vendor overrides, the static linter, the C/A encode cache, and the
+``op-lint`` CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.analysis import LintFinding, lint_all, lint_program
+from repro.analysis.op_lint import sample_kwargs
+from repro.core import BabolController, ControllerConfig
+from repro.core.opir import (
+    DataXfer,
+    DeclareHandle,
+    HandleRef,
+    LatchSeq,
+    OpProgram,
+    PollStatus,
+    Return,
+    TimerWait,
+    Txn,
+    build_program,
+    from_json,
+    list_ops,
+    resolve_builder,
+    run_program,
+    to_json,
+)
+from repro.core.opir import registry
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.onfi.commands import CMD
+from repro.onfi.datamodes import NVDDR2_100, NVDDR2_200
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+from tests.test_ops_matrix import make_controller
+
+
+# --- serialization ----------------------------------------------------------
+
+
+def test_every_program_round_trips_through_json():
+    samples = sample_kwargs(TEST_PROFILE)
+    for name in list_ops():
+        program = build_program(name, **samples[name])
+        text = to_json(program)
+        again = from_json(text)
+        assert again == program, f"{name}: round trip changed the program"
+        assert to_json(again) == text, f"{name}: serialization not stable"
+
+
+def test_from_json_rejects_non_program_documents():
+    with pytest.raises(ValueError):
+        from_json(json.dumps({"not": "a program"}))
+
+
+def test_deserialized_program_replays_identically():
+    """A program rebuilt from its JSON must drive the exact waveform."""
+
+    def run(program):
+        from repro.analysis import LogicAnalyzer
+
+        sim, controller = make_controller("rtos")
+
+        def driver(ctx):
+            result = yield from run_program(ctx, program)
+            return result
+
+        analyzer = LogicAnalyzer(controller.channel)
+        controller.run_to_completion(controller.submit(driver, 0))
+        events = [(e.time_ns, e.kind, e.detail, e.opcode, e.chip_mask)
+                  for e in analyzer.events]
+        return sim.now, events
+
+    codec = BabolController(
+        Simulator(), ControllerConfig(vendor=TEST_PROFILE, lun_count=1)
+    ).codec
+    samples = sample_kwargs(TEST_PROFILE)
+    original = build_program("read_page", **{**samples["read_page"],
+                                             "codec": codec})
+    replayed = from_json(to_json(original))
+    assert run(replayed) == run(original)
+
+
+# --- registry / vendor overrides -------------------------------------------
+
+
+def test_resolve_builder_unknown_name():
+    with pytest.raises(KeyError, match="no operation program named"):
+        resolve_builder("definitely_not_an_op")
+
+
+def test_program_cache_reuses_hashable_builds():
+    builder = resolve_builder("read_status")
+    first = registry._cached_program(builder, {})
+    second = registry._cached_program(builder, {})
+    assert first is second
+
+
+def test_program_cache_skips_unhashable_kwargs():
+    codec = BabolController(
+        Simulator(), ControllerConfig(vendor=TEST_PROFILE, lun_count=1)
+    ).codec
+    builder = resolve_builder("partial_program")
+    kwargs = {"codec": codec,
+              "address": sample_kwargs(TEST_PROFILE)["partial_program"]["address"],
+              "chunks": [(0, 0, 128)]}  # list: unhashable cache key
+    first = registry._cached_program(builder, kwargs)
+    second = registry._cached_program(builder, kwargs)
+    assert first is not second
+
+
+def test_vendor_override_changes_the_emitted_waveform():
+    """A profile-level op override reroutes the library op wholesale —
+    the Section IV-C bring-up story, observed at the pins."""
+    from repro.analysis import LogicAnalyzer
+    from repro.core.ops import reset_op
+    from repro.core.opir.programs import reset_program
+
+    def sync_reset_program(synchronous: bool = False) -> OpProgram:
+        return reset_program(synchronous=True)  # always 0xFC
+
+    def capture(vendor):
+        sim = Simulator()
+        controller = BabolController(
+            sim, ControllerConfig(vendor=vendor, lun_count=1, runtime="rtos",
+                                  track_data=False, seed=6),
+        )
+        analyzer = LogicAnalyzer(controller.channel)
+        controller.run_to_completion(controller.submit(reset_op, 0))
+        return [e.opcode for e in analyzer.events if e.kind == "cmd"]
+
+    assert CMD.RESET in capture(TEST_PROFILE)
+    overridden = TEST_PROFILE.with_op_override("reset", sync_reset_program)
+    opcodes = capture(overridden)
+    assert CMD.SYNCHRONOUS_RESET in opcodes and CMD.RESET not in opcodes
+    # The override is targeted: other ops still resolve to built-ins.
+    assert overridden.op_override("reset") is sync_reset_program
+    assert overridden.op_override("read_page") is None
+
+
+# --- the C/A encode cache ---------------------------------------------------
+
+
+def test_ca_encode_cache_hits_on_hot_read_path():
+    sim, controller = make_controller("rtos")
+    ca_writer = controller.ufsm.ca_writer
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    misses_after_first = ca_writer.encode_cache_misses
+    hits_after_first = ca_writer.encode_cache_hits
+    assert misses_after_first > 0
+    assert hits_after_first > 0  # the poll loop repeats 0x70 immediately
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    # An identical read re-encodes nothing: every latch vector is hot.
+    assert ca_writer.encode_cache_misses == misses_after_first
+    assert ca_writer.encode_cache_hits > hits_after_first
+
+
+def test_ca_encode_cache_cleared_on_retarget():
+    sim, controller = make_controller("rtos")
+    ca_writer = controller.ufsm.ca_writer
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    assert ca_writer._encode_cache
+    ca_writer.retarget(NVDDR2_200 if ca_writer.timing is not NVDDR2_200
+                       else NVDDR2_100)
+    assert not ca_writer._encode_cache
+
+
+# --- the linter -------------------------------------------------------------
+
+
+def test_lint_all_builtin_programs_clean():
+    findings = lint_all()
+    assert [f for f in findings if f.severity == "error"] == []
+
+
+def _one(program_nodes) -> list:
+    return lint_program(OpProgram("bad", tuple(program_nodes)))
+
+
+def _rules(findings: list) -> set:
+    return {finding.rule for finding in findings}
+
+
+def test_lint_flags_missing_tccs():
+    findings = _one([
+        DeclareHandle("h", "capture", nbytes=16),
+        Txn(TxnKind.DATA_OUT, (
+            LatchSeq((cmd(CMD.CHANGE_READ_COL_1ST), addr((0, 0)),
+                      cmd(CMD.CHANGE_READ_COL_2ND))),
+            DataXfer("out", 16, HandleRef("h")),
+        )),
+        Return(),
+    ])
+    assert "OPL001" in _rules(findings)
+
+
+def test_lint_flags_data_in_without_after_address():
+    findings = _one([
+        DeclareHandle("h", "to_flash", nbytes=16, dram_address=0),
+        Txn(TxnKind.DATA_IN, (
+            LatchSeq((cmd(CMD.PROGRAM_1ST), addr((0, 0, 0, 0, 0)))),
+            DataXfer("in", 16, HandleRef("h")),
+        )),
+        PollStatus(until="ready"),
+    ])
+    assert "OPL002" in _rules(findings)
+
+
+def test_lint_flags_unterminated_confirm():
+    findings = _one([
+        Txn(TxnKind.CMD_ADDR, (
+            LatchSeq((cmd(CMD.ERASE_1ST), addr((0, 0, 0)),
+                      cmd(CMD.ERASE_2ND))),
+        )),
+        Return(),
+    ])
+    assert "OPL003" in _rules(findings)
+
+
+def test_lint_flags_unbounded_and_unknown_polls():
+    assert "OPL003" in _rules(_one([PollStatus(until="ready", max_polls=0)]))
+    assert "OPL003" in _rules(_one([PollStatus(until="sideways")]))
+
+
+def test_lint_flags_unexplained_channel_hold():
+    findings = _one([
+        Txn(TxnKind.CONFIG, (
+            LatchSeq((cmd(CMD.SET_FEATURES), addr((0x10,)))),
+            TimerWait(ns=50_000),
+        )),
+    ])
+    assert "OPL004" in _rules(findings)
+
+
+def test_lint_accepts_short_or_explained_holds():
+    clean = _one([
+        Txn(TxnKind.CONFIG, (
+            LatchSeq((cmd(CMD.SET_FEATURES), addr((0x10,)))),
+            TimerWait(ns=500),
+            TimerWait(ns=50_000, reason="tFEAT busy window"),
+        )),
+    ])
+    assert "OPL004" not in _rules(clean)
+
+
+def test_lint_flags_empty_transaction():
+    assert "OPL005" in _rules(_one([Txn(TxnKind.CMD_ADDR, ())]))
+
+
+def test_lint_flags_undeclared_handle():
+    findings = _one([
+        Txn(TxnKind.DATA_OUT, (DataXfer("out", 4, HandleRef("ghost")),)),
+    ])
+    assert "OPL006" in _rules(findings)
+
+
+def test_lint_flags_bad_timer_parameterization():
+    assert "OPL007" in _rules(_one([
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((cmd(CMD.READ_STATUS),)),
+                               TimerWait(param="tBOGUS"))),
+    ]))
+    assert "OPL007" in _rules(_one([
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((cmd(CMD.READ_STATUS),)),
+                               TimerWait())),
+    ]))
+
+
+def test_lint_finding_is_printable():
+    finding = LintFinding("OPL001", "error", "p", "nodes[0]", "msg")
+    assert "OPL001" in str(finding) and "nodes[0]" in str(finding)
+
+
+# --- CLI --------------------------------------------------------------------
+
+
+def test_cli_op_lint_exits_clean(capsys):
+    from repro.cli import main
+
+    assert main(["op-lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_cli_op_lint_json_mode(capsys):
+    from repro.cli import main
+
+    assert main(["op-lint", "--vendor", "hynix", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []
