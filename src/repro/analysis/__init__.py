@@ -6,19 +6,39 @@
 * :mod:`waveform_render` — ASCII timing diagrams (Figs. 2/9/11 style).
 * :mod:`loc` — source-line counting for the Table II comparison.
 * :mod:`op_lint` — static protocol linter for declarative op programs.
+* :mod:`diagnostics` — the unified Finding/DiagnosticReport engine the
+  linters and the runtime sanitizers (:mod:`repro.sanitize`) share.
 * :mod:`area` — the structural FPGA area model behind Table III.
 * :mod:`metrics` — shared throughput/latency summaries.
 """
 
+from repro.analysis.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    DiagnosticReport,
+    Finding,
+)
 from repro.analysis.logic_analyzer import AnalyzerEvent, LogicAnalyzer
 from repro.analysis.waveform_render import render_segment, render_timeline
 from repro.analysis.loc import count_source_lines, operation_loc_table
-from repro.analysis.op_lint import LintFinding, lint_all, lint_program
+from repro.analysis.op_lint import (
+    LintCoverage,
+    LintFinding,
+    lint_all,
+    lint_library,
+    lint_program,
+)
 from repro.analysis.area import AreaEstimate, estimate_area
 from repro.analysis.metrics import LatencyStats, summarize_latencies
 from repro.analysis.timing_check import TimingChecker, TimingViolation
 
 __all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_INTERNAL",
+    "DiagnosticReport",
+    "Finding",
     "TimingChecker",
     "TimingViolation",
     "AnalyzerEvent",
@@ -27,8 +47,10 @@ __all__ = [
     "render_timeline",
     "count_source_lines",
     "operation_loc_table",
+    "LintCoverage",
     "LintFinding",
     "lint_all",
+    "lint_library",
     "lint_program",
     "AreaEstimate",
     "estimate_area",

@@ -1,0 +1,143 @@
+"""Unified diagnostics engine shared by every checker in the repo.
+
+Three rule-id namespaces flow through here (INTERNALS §9):
+
+* ``OPL###`` — static op-program lint (:mod:`repro.analysis.op_lint`);
+* ``TCK###`` — capture-time ONFI timing/protocol rules
+  (:mod:`repro.analysis.timing_check`);
+* ``SAN###`` — runtime sanitizers (:mod:`repro.sanitize`), grouped by
+  hundreds: SAN1xx bus, SAN2xx flash, SAN3xx memory/DMA, SAN4xx
+  liveness.
+
+Every producer converts its native record into a :class:`Finding` and
+appends it to a :class:`DiagnosticReport`, which owns rendering (text
+and JSON), severity accounting, and the CLI exit-code policy: ``0``
+clean, ``1`` findings, ``2`` internal error — so "the linter found a
+bug" is never confused with "the linter crashed".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL = 2
+
+#: Severity names in decreasing order of badness.
+SEVERITIES = ("error", "warning", "info")
+
+#: Documentation map of rule-id prefixes to their producing layer.
+RULE_NAMESPACES = {
+    "OPL": "static op-program lint (repro.analysis.op_lint)",
+    "TCK": "logic-analyzer timing/protocol check (repro.analysis.timing_check)",
+    "SAN1": "bus sanitizer: channel races and arbitration (repro.sanitize.bus)",
+    "SAN2": "flash sanitizer: LUN state hazards (repro.sanitize.flash)",
+    "SAN3": "memory sanitizer: DRAM/DMA hazards (repro.sanitize.memory)",
+    "SAN4": "liveness sanitizer: deadlock and livelock (repro.sanitize.liveness)",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem, normalized across all checkers."""
+
+    rule: str                      # e.g. "SAN101", "OPL003", "TCK005"
+    severity: str                  # "error" | "warning" | "info"
+    message: str
+    component: str = ""            # e.g. "channel/ch0", "lun/3", "op/read_page"
+    time_ns: Optional[int] = None  # simulation timestamp, when applicable
+    hint: str = ""                 # remediation hint
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def describe(self) -> str:
+        stamp = f"t={self.time_ns}ns " if self.time_ns is not None else ""
+        where = f"{self.component}: " if self.component else ""
+        text = f"{self.severity.upper()} {self.rule} {stamp}{where}{self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class DiagnosticReport:
+    """An accumulating set of findings with rendering and exit policy."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "DiagnosticReport") -> None:
+        self.findings.extend(other.findings)
+
+    # -- accounting ----------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_severity(self) -> dict[str, int]:
+        counts = {severity: 0 for severity in SEVERITIES}
+        for finding in self.findings:
+            counts[finding.severity] += 1
+        return counts
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def counts_line(self) -> str:
+        counts = self.by_severity()
+        return (f"{len(self.findings)} finding(s): "
+                f"{counts['error']} error(s), {counts['warning']} warning(s), "
+                f"{counts['info']} info")
+
+    def exit_code(self) -> int:
+        """0 when no error-severity findings, 1 otherwise.
+
+        Internal failures never reach this path — callers map crashes
+        to :data:`EXIT_INTERNAL` themselves.
+        """
+        return EXIT_FINDINGS if self.errors() else EXIT_CLEAN
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self, title: str = "diagnostics", limit: int = 50) -> str:
+        lines = [f"{title}: {self.counts_line()}"]
+        ordered = sorted(
+            self.findings,
+            key=lambda f: (SEVERITIES.index(f.severity),
+                           f.time_ns if f.time_ns is not None else -1),
+        )
+        for finding in ordered[:limit]:
+            lines.append("  " + finding.describe())
+        if len(ordered) > limit:
+            lines.append(f"  ... and {len(ordered) - limit} more")
+        return "\n".join(lines)
+
+    def to_json_obj(self) -> dict:
+        return {
+            "schema": 1,
+            "counts": self.by_severity(),
+            "by_rule": self.by_rule(),
+            "findings": [asdict(f) for f in self.findings],
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json_obj(), indent=2, sort_keys=True)

@@ -30,11 +30,15 @@ class AnalyzerEvent:
     """One decoded channel event."""
 
     time_ns: int
-    kind: str            # "cmd" | "addr" | "data_out" | "data_in" | "wait"
+    kind: str            # "cmd" | "addr" | "data_out" | "data_in" | "wait" | "rb"
     detail: str
     opcode: Optional[int]
     chip_mask: int
-    duration_ns: int
+    duration_ns: int     # wire time of data bursts; 0 for latches/edges
+
+    @property
+    def end_ns(self) -> int:
+        return self.time_ns + self.duration_ns
 
 
 @dataclass
@@ -71,13 +75,21 @@ class LogicAnalyzer:
     segment occupancy exactly.
     """
 
-    def __init__(self, channel: Channel, tracer=None):
+    def __init__(self, channel: Channel, tracer=None, capture_rb: bool = False):
         self.channel = channel
         self.tracer = tracer  # explicit override; else the sim's tracer
         self.events: list[AnalyzerEvent] = []
         self.segments: list[WaveformSegment] = []
         self._armed = True
         channel.add_tap(self._on_segment)
+        if capture_rb:
+            # Probe the R/B# pin of every LUN.  Edge events are recorded
+            # when the pin toggles, so — unlike segment events, whose
+            # action offsets are known at transmit time — they can land
+            # out of order in ``events``; consumers that need a timeline
+            # (the timing checker) sort by time_ns first.
+            for lun in channel.luns:
+                lun.rb_taps.append(self._on_rb)
 
     # -- capture control --------------------------------------------------
 
@@ -111,12 +123,14 @@ class LogicAnalyzer:
             elif isinstance(action, DataOutAction):
                 self.events.append(AnalyzerEvent(
                     t, "data_out", f"{action.nbytes}B", None,
-                    segment.chip_mask, 0,
+                    segment.chip_mask,
+                    self.channel.interface.transfer_ns(action.nbytes),
                 ))
             elif isinstance(action, DataInAction):
                 self.events.append(AnalyzerEvent(
                     t, "data_in", f"{action.nbytes}B", None,
-                    segment.chip_mask, 0,
+                    segment.chip_mask,
+                    self.channel.interface.transfer_ns(action.nbytes),
                 ))
             else:
                 self.events.append(AnalyzerEvent(
@@ -131,6 +145,14 @@ class LogicAnalyzer:
                     "analyzer", track, f"{event.kind}:{event.detail}",
                     event.time_ns, {"chip_mask": event.chip_mask},
                 )
+
+    def _on_rb(self, lun, busy: bool) -> None:
+        if not self._armed:
+            return
+        self.events.append(AnalyzerEvent(
+            lun.sim.now, "rb", "busy" if busy else "ready", None,
+            1 << lun.position, 0,
+        ))
 
     # -- derived measurements --------------------------------------------
 

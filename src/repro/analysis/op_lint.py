@@ -30,6 +30,11 @@ Rules
   before a ``DataXfer`` references it.
 * **OPL007** — a ``TimerWait`` must specify exactly one of ``ns`` or
   ``param``, and ``param`` must name a real timing-set parameter.
+* **OPL008** — a ``PollStatus`` with an explicit pacing period must not
+  poll faster than the vendor's minimum status-poll interval (an
+  explicit ``period_ns=0`` hammers the channel with back-to-back
+  polls).  Requires vendor timing; pass ``timing=`` to
+  :func:`lint_program` or use the library sweep.
 """
 
 from __future__ import annotations
@@ -92,6 +97,17 @@ class LintFinding:
     def __str__(self) -> str:
         return (f"{self.severity.upper()} {self.rule} "
                 f"{self.program} @ {self.where}: {self.message}")
+
+    def to_finding(self):
+        """This lint result as a diagnostics Finding (OPL namespace)."""
+        from repro.analysis.diagnostics import Finding
+
+        return Finding(
+            rule=self.rule,
+            severity=self.severity,
+            message=self.message,
+            component=f"{self.program} @ {self.where}",
+        )
 
 
 def _iter_steps(nodes: Iterable, prefix: str) -> Iterator[tuple[str, object]]:
@@ -198,8 +214,13 @@ def _lint_timer(program: str, where: str, node: TimerWait,
                 f"{CHANNEL_HOLD_THRESHOLD_NS} ns) needs a reason="))
 
 
-def lint_program(program: OpProgram) -> list[LintFinding]:
-    """All findings for one built program (empty list == clean)."""
+def lint_program(program: OpProgram, timing=None) -> list[LintFinding]:
+    """All findings for one built program (empty list == clean).
+
+    ``timing`` is a vendor :class:`~repro.flash.vendors.VendorTiming`;
+    when given, poll pacing is checked against its minimum poll
+    interval (OPL008).
+    """
     findings: list[LintFinding] = []
     declared: set = set()
     # (path, class) of the most recent confirm not yet terminated.
@@ -225,6 +246,15 @@ def lint_program(program: OpProgram) -> list[LintFinding]:
                 findings.append(LintFinding(
                     "OPL003", "error", program.name, path,
                     "poll must be bounded (max_polls > 0)"))
+            period = getattr(node, "period_ns", None)
+            if timing is not None and period is not None \
+                    and period < timing.t_poll_min_ns:
+                findings.append(LintFinding(
+                    "OPL008", "warning", program.name, path,
+                    f"poll period {period} ns is below the vendor minimum "
+                    f"poll interval ({timing.t_poll_min_ns} ns)"
+                    + (" — back-to-back polls monopolize the channel"
+                       if period == 0 else "")))
             pending = None
         elif isinstance(node, SelectFirstReady):
             if not isinstance(node.max_rounds, int) or node.max_rounds <= 0:
@@ -343,27 +373,77 @@ def sample_kwargs(vendor) -> dict[str, dict]:
     }
 
 
-def lint_all(
+@dataclasses.dataclass(frozen=True)
+class LintCoverage:
+    """What the library sweep actually linted vs. what is registered.
+
+    A builder silently dropped from :func:`sample_kwargs` would
+    otherwise vanish from the sweep without failing anything; CI gates
+    on :attr:`complete`.
+    """
+
+    registered: tuple[str, ...]
+    linted: tuple[str, ...]
+    skipped: tuple[str, ...]
+    vendors: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+    def describe(self) -> str:
+        line = (f"coverage: {len(self.linted)}/{len(self.registered)} "
+                f"registered programs linted across {self.vendors} vendor(s)")
+        if self.skipped:
+            line += f"; skipped: {', '.join(self.skipped)}"
+        return line
+
+
+def lint_library(
     vendors: Optional[Iterable] = None,
     kwargs_for: Callable[[object], dict] = sample_kwargs,
-) -> list[LintFinding]:
+) -> tuple[list[LintFinding], LintCoverage]:
     """Build and lint every registered op for every vendor profile
-    (honouring each vendor's ``op_overrides``)."""
+    (honouring each vendor's ``op_overrides``), with coverage."""
     from repro.core.opir.registry import list_ops, resolve_builder
     from repro.flash.vendors import VENDOR_PROFILES
 
     if vendors is None:
-        vendors = VENDOR_PROFILES.values()
+        vendors = list(VENDOR_PROFILES.values())
+    else:
+        vendors = list(vendors)
     findings: list[LintFinding] = []
+    registered = tuple(sorted(list_ops()))
+    linted: set[str] = set()
+    skipped: set[str] = set()
     for vendor in vendors:
         samples = kwargs_for(vendor)
         for name in list_ops():
             if name not in samples:
+                skipped.add(name)
                 findings.append(LintFinding(
                     "OPL000", "warning", name, "-",
                     f"no sample kwargs for {name!r}; not linted for "
                     f"{vendor.name}"))
                 continue
             builder = resolve_builder(name, vendor)
-            findings.extend(lint_program(builder(**samples[name])))
-    return findings
+            findings.extend(
+                lint_program(builder(**samples[name]), timing=vendor.timing)
+            )
+            linted.add(name)
+    coverage = LintCoverage(
+        registered=registered,
+        linted=tuple(sorted(linted)),
+        skipped=tuple(sorted(skipped)),
+        vendors=len(vendors),
+    )
+    return findings, coverage
+
+
+def lint_all(
+    vendors: Optional[Iterable] = None,
+    kwargs_for: Callable[[object], dict] = sample_kwargs,
+) -> list[LintFinding]:
+    """Flat-findings variant of :func:`lint_library` (kept for callers
+    that do not need coverage)."""
+    return lint_library(vendors, kwargs_for)[0]

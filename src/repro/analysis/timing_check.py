@@ -9,7 +9,13 @@ verifies per-LUN ONFI sequencing and inter-event timing rules:
 * a CHANGE READ COLUMN confirm is separated from the following data-out
   burst by at least tCCS;
 * address latches immediately follow an address-bearing command;
-* data-out bursts only occur after something armed a data source.
+* data-out bursts only occur after something armed a data source;
+* a data-out burst directly following a command latch waits tWHR
+  (WE# high to RE# low — the status-read turnaround);
+* a multi-byte data-out burst after an R/B# ready edge waits tRR
+  (captures taken with ``LogicAnalyzer(capture_rb=True)``);
+* a command latch directly following a data-out burst waits tRHW
+  (RE# high to WE# low — the data-to-command turnaround).
 
 The checker runs over *decoded events*, so it validates any controller
 on the channel — BABOL or the hardware baselines — which is how the
@@ -47,6 +53,14 @@ _ARMS_DATA_OUT = {
 }
 
 
+def _burst_bytes(event: AnalyzerEvent) -> int:
+    """Byte count of a data event (detail is rendered as '<N>B')."""
+    detail = event.detail
+    if detail.endswith("B") and detail[:-1].isdigit():
+        return int(detail[:-1])
+    return 0
+
+
 @dataclass(frozen=True)
 class TimingViolation:
     """One detected protocol/timing problem."""
@@ -59,6 +73,32 @@ class TimingViolation:
     def describe(self) -> str:
         return f"t={self.time_ns}ns mask=0b{self.lun_mask:b} [{self.rule}] {self.detail}"
 
+    def to_finding(self, component: str = ""):
+        """This violation as a TCK-namespaced diagnostics Finding."""
+        from repro.analysis.diagnostics import Finding
+
+        rule_id = _RULE_IDS.get(self.rule, "TCK000")
+        return Finding(
+            rule=rule_id,
+            severity="error",
+            message=f"[{self.rule}] {self.detail}",
+            component=component or f"lun_mask=0b{self.lun_mask:b}",
+            time_ns=self.time_ns,
+        )
+
+
+#: Stable diagnostics rule ids for the checker's named rules.
+_RULE_IDS = {
+    "confirm-without-address": "TCK001",
+    "tWB": "TCK002",
+    "orphan-address": "TCK003",
+    "unarmed-data-out": "TCK004",
+    "tCCS": "TCK005",
+    "tWHR": "TCK006",
+    "tRR": "TCK007",
+    "tRHW": "TCK008",
+}
+
 
 @dataclass
 class _LunTrack:
@@ -67,6 +107,12 @@ class _LunTrack:
     awaiting_address: Optional[int] = None  # opcode expecting address next
     data_armed: bool = False
     read_pending: bool = False
+    # Previous wire event (cmd/addr/data) for turnaround rules; R/B#
+    # edges and idle waits do not count as wire activity.
+    prev_kind: Optional[str] = None
+    prev_time_ns: int = 0
+    prev_end_ns: int = 0
+    last_ready_ns: Optional[int] = None  # R/B# low->high edge, if captured
 
 
 class TimingChecker:
@@ -84,7 +130,12 @@ class TimingChecker:
         return self.check_events(analyzer.events)
 
     def check_events(self, events: list[AnalyzerEvent]) -> list[TimingViolation]:
-        for event in events:
+        # R/B# edge events are recorded when the pin toggles, while
+        # segment events are recorded at transmit time with future
+        # offsets — so a capture that includes both is not globally
+        # time-ordered.  A stable sort restores the pin-level timeline
+        # (and is a no-op for segment-only captures).
+        for event in sorted(events, key=lambda e: e.time_ns):
             for lun in range(self.lun_count):
                 if event.chip_mask >> lun & 1:
                     self._feed(lun, event)
@@ -110,10 +161,35 @@ class TimingChecker:
             self._on_data_out(track, event)
         elif event.kind == "data_in":
             track.awaiting_address = None
+        elif event.kind == "rb":
+            # R/B# edges inform tRR but are not wire activity: they must
+            # not disturb the cmd/data adjacency the turnaround rules use.
+            if event.detail == "ready":
+                track.last_ready_ns = event.time_ns
+            else:
+                track.last_ready_ns = None
+            return
+        if event.kind in ("cmd", "addr", "data_out", "data_in"):
+            track.prev_kind = event.kind
+            track.prev_time_ns = event.time_ns
+            track.prev_end_ns = event.end_ns
 
     def _on_command(self, track: _LunTrack, event: AnalyzerEvent) -> None:
         opcode = event.opcode
         cls = classify_opcode(opcode) if opcode is not None else CommandClass.UNKNOWN
+
+        # tRHW: after a data-out burst, WE# must not fall until the
+        # RE#-to-WE# turnaround has elapsed.
+        if (
+            track.prev_kind == "data_out"
+            and event.time_ns - track.prev_end_ns < self.timing.tRHW
+        ):
+            self._flag(
+                event, "tRHW",
+                f"{opcode_name(opcode) if opcode is not None else 'cmd'} "
+                f"latched {event.time_ns - track.prev_end_ns}ns after data out "
+                f"(tRHW={self.timing.tRHW}ns)",
+            )
 
         if track.awaiting_address is not None and cls is not CommandClass.UNKNOWN:
             expecting = track.awaiting_address
@@ -172,6 +248,31 @@ class TimingChecker:
                 event, "unarmed-data-out",
                 f"data burst {event.detail} with no arming command",
             )
+        # tWHR: RE# must not fall until the WE#-to-RE# turnaround after
+        # the command latch has elapsed.  Scoped to bursts *directly*
+        # following a command latch (status/ID-style reads): an address
+        # phase in between means the burst is paced by other rules.
+        if (
+            track.prev_kind == "cmd"
+            and event.time_ns - track.prev_time_ns < self.timing.tWHR
+        ):
+            self._flag(
+                event, "tWHR",
+                f"data out {event.time_ns - track.prev_time_ns}ns after "
+                f"command latch (tWHR={self.timing.tWHR}ns)",
+            )
+        # tRR: after R/B# rises, RE# must stay high for tRR before the
+        # page data streams out.  Single-byte bursts are status reads,
+        # which are paced by tWHR, not tRR.
+        if track.last_ready_ns is not None and _burst_bytes(event) > 1:
+            gap = event.time_ns - track.last_ready_ns
+            if gap < self.timing.tRR:
+                self._flag(
+                    event, "tRR",
+                    f"data out {gap}ns after R/B# ready "
+                    f"(tRR={self.timing.tRR}ns)",
+                )
+            track.last_ready_ns = None
         # tCCS between a column-change confirm and the burst.
         if (
             track.last_ccol_confirm_ns is not None

@@ -77,6 +77,7 @@ class Channel:
         self.mutex = Mutex(sim)
         self.stats = ChannelStats()
         self._taps: list[Callable[[int, WaveformSegment], None]] = []
+        self._san_bus = None  # BusSanitizer when attached (repro.sanitize)
         if phy is not None:
             self.phy = phy
         else:
@@ -109,6 +110,8 @@ class Channel:
         yield from self.mutex.acquire(owner)
 
     def release(self) -> None:
+        if self._san_bus is not None:
+            self._san_bus.on_release(self.sim.now)
         self.mutex.release()
 
     @property
@@ -138,6 +141,8 @@ class Channel:
             )
         for tap in self._taps:
             tap(self.sim.now, segment)
+        if self._san_bus is not None:
+            self._san_bus.on_transmit(self.sim.now, segment, self.mutex.owner)
         targets = segment.targets(self.width)
         if not targets and segment.kind is not SegmentKind.TIMER:
             raise ValueError(f"segment {segment.describe()} selects no LUN")

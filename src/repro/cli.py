@@ -11,7 +11,12 @@ Usage examples::
     python -m repro.cli demo
     python -m repro.cli trace --out trace.json    # observability capture
     python -m repro.cli op-lint                   # static op-program lint
+    python -m repro.cli sanitize                  # runtime sanitizer sweep
     python -m repro.cli bench-smoke --out BENCH_smoke.json
+
+Diagnostics-producing commands (``op-lint``, ``sanitize``) share the
+exit-code convention of :mod:`repro.analysis.diagnostics`: 0 clean,
+1 error findings, 2 internal failure (the tool itself broke).
 
 ``demo``/``fig10``/``fig11``/``fig12`` accept ``--trace out.json`` to
 capture a Chrome ``trace_event`` file of every simulated run (open it
@@ -74,7 +79,8 @@ def cmd_demo(args) -> int:
     sim.set_tracer(tracer)
     controller = BabolController(
         sim, ControllerConfig(vendor=profile_by_name(args.vendor),
-                              lun_count=args.luns, runtime=args.runtime)
+                              lun_count=args.luns, runtime=args.runtime),
+        sanitizers=args.sanitize,
     )
     page = controller.codec.geometry.full_page_size
     payload = (np.arange(page) % 251).astype(np.uint8)
@@ -90,6 +96,9 @@ def cmd_demo(args) -> int:
 
         _write_trace(args, tracer,
                      register_controller_metrics(MetricsRegistry(), controller))
+    if controller.diagnostics is not None and not controller.diagnostics.clean:
+        print(controller.diagnostics.render_text(title="sanitize"))
+        return controller.diagnostics.exit_code()
     return 0
 
 
@@ -272,6 +281,7 @@ def cmd_trace(args) -> int:
         sim, ControllerConfig(vendor=profile_by_name(args.vendor),
                               lun_count=args.luns, runtime=args.runtime,
                               track_data=False),
+        sanitizers=args.sanitize,
     )
     analyzer = LogicAnalyzer(controller.channel)
     registry = register_controller_metrics(MetricsRegistry(), controller)
@@ -280,6 +290,9 @@ def cmd_trace(args) -> int:
     # A read/program mix fanned across every LUN: enough concurrency to
     # make the channel-occupancy and queue-depth tracks interesting.
     page = controller.codec.geometry.full_page_size
+    import numpy as np
+
+    controller.dram.write(0, (np.arange(page) % 251).astype(np.uint8))
     tasks = []
     for i in range(args.ops):
         lun = i % args.luns
@@ -298,30 +311,77 @@ def cmd_trace(args) -> int:
     print(registry.render_text("metrics:"))
     count = write_chrome_trace(args.out, tracer, metrics=registry)
     print(f"trace: {count} events -> {args.out}")
+    if controller.diagnostics is not None and not controller.diagnostics.clean:
+        print(controller.diagnostics.render_text(title="sanitize"))
+        return controller.diagnostics.exit_code()
     return 0
 
 
 def cmd_op_lint(args) -> int:
     """Statically lint every op program (built-ins x vendor profiles,
-    honouring vendor overrides); non-zero exit on any error finding."""
-    from repro.analysis import lint_all
-    from repro.core.opir import list_ops
+    honouring vendor overrides).  Exit 0 clean / 1 error findings (or
+    incomplete coverage) / 2 internal error."""
+    from repro.analysis.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_INTERNAL,
+        DiagnosticReport,
+    )
 
-    vendors = ([profile_by_name(args.vendor)] if args.vendor
-               else list(VENDOR_PROFILES.values()))
-    findings = lint_all(vendors=vendors)
-    errors = [f for f in findings if f.severity == "error"]
-    if args.json:
-        print(json.dumps([f.__dict__ for f in findings],
-                         indent=2, sort_keys=True))
-    else:
-        for finding in findings:
-            print(finding)
-        print(f"op-lint: {len(list_ops())} programs x "
-              f"{len(vendors)} vendor profile(s): "
-              f"{len(errors)} error(s), {len(findings) - len(errors)} "
-              f"warning(s)")
-    return 1 if errors else 0
+    try:
+        from repro.analysis import lint_library
+
+        vendors = ([profile_by_name(args.vendor)] if args.vendor
+                   else list(VENDOR_PROFILES.values()))
+        findings, coverage = lint_library(vendors=vendors)
+        report = DiagnosticReport([f.to_finding() for f in findings])
+        if args.json:
+            obj = report.to_json_obj()
+            obj["coverage"] = {
+                "registered": list(coverage.registered),
+                "linted": list(coverage.linted),
+                "skipped": list(coverage.skipped),
+                "complete": coverage.complete,
+            }
+            print(json.dumps(obj, indent=2, sort_keys=True))
+        else:
+            for finding in findings:
+                print(finding)
+            print(f"op-lint: {coverage.describe()}")
+            print(f"op-lint: {report.counts_line()}")
+    except Exception as exc:  # the linter itself broke — not a finding
+        print(f"op-lint: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    if not coverage.complete:
+        # A builder nobody lints is a silent hole in the CI gate.
+        return EXIT_FINDINGS
+    return EXIT_FINDINGS if report.exit_code() else EXIT_CLEAN
+
+
+def cmd_sanitize(args) -> int:
+    """Run workloads (BABOL and, by default, both hardware baselines)
+    under every runtime sanitizer plus the capture-time timing checker.
+    Exit 0 clean / 1 findings / 2 internal error."""
+    from repro.analysis.diagnostics import EXIT_INTERNAL
+    from repro.sanitize import run_all_sanitized
+
+    try:
+        report = run_all_sanitized(
+            profile_by_name(args.vendor),
+            lun_count=args.luns,
+            ops=args.ops,
+            runtime=args.runtime,
+            baselines=not args.no_baselines,
+        )
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(report.render_json() + "\n")
+            print(f"sanitize: findings -> {args.json}")
+        print(report.render_text(title="sanitize"))
+    except Exception as exc:  # the harness broke — not a finding
+        print(f"sanitize: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    return report.exit_code()
 
 
 def cmd_bench_smoke(args) -> int:
@@ -418,11 +478,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome trace_event capture of the "
                             "run(s) (open in Perfetto)")
 
+    def sanitize_opt(p):
+        p.add_argument("--sanitize", default=None, metavar="NAMES",
+                       help="attach runtime sanitizers (\"all\" or a "
+                            "comma list of bus,flash,memory,liveness); "
+                            "exit 1 if any fires")
+
     p = sub.add_parser("demo", help="program+read roundtrip demo")
     common(p)
     p.add_argument("--luns", type=int, default=8)
     p.add_argument("--runtime", default="coroutine",
                    choices=["coroutine", "rtos"])
+    sanitize_opt(p)
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser("table1", help="flash parameters")
@@ -459,6 +526,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["coroutine", "rtos"])
     p.add_argument("--kernel", action="store_true",
                    help="also record the kernel event firehose")
+    sanitize_opt(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("op-lint",
@@ -468,6 +536,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit findings as JSON")
     p.set_defaults(func=cmd_op_lint)
+
+    p = sub.add_parser("sanitize",
+                       help="run workloads under the runtime sanitizers")
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--luns", type=int, default=4)
+    p.add_argument("--ops", type=int, default=18,
+                   help="operations in the BABOL workload")
+    p.add_argument("--runtime", default="coroutine",
+                   choices=["coroutine", "rtos"])
+    p.add_argument("--no-baselines", action="store_true",
+                   help="skip the sync/async hardware baselines")
+    p.add_argument("--json", metavar="OUT.json", default=None,
+                   help="also write the findings report as JSON")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("bench-smoke",
                        help="fast benchmark cells as JSON (CI artifact)")

@@ -74,6 +74,9 @@ class ControllerConfig:
     executor_queue_depth: int = 1
     track_data: bool = True
     seed: int = 0
+    # Sanitizer names ("all", "bus,flash", a tuple, ...) attached at
+    # construction; empty means no runtime checking and zero overhead.
+    sanitizers: object = ()
 
     def validate(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -92,6 +95,8 @@ class BabolController:
         task_scheduler: Optional[TaskScheduler] = None,
         txn_scheduler: Optional[TxnScheduler] = None,
         phy: Optional[ChannelPhy] = None,
+        sanitizers=None,
+        diagnostics=None,
     ):
         self.sim = sim
         self.config = config or ControllerConfig()
@@ -124,6 +129,19 @@ class BabolController:
             vendor=cfg.vendor,
         )
         self.codec = AddressCodec(cfg.vendor.geometry)
+
+        # Runtime sanitizers: `sanitizers=` kwarg wins, else the config
+        # field; anything falsy leaves every hook None (zero overhead).
+        spec = sanitizers if sanitizers is not None else cfg.sanitizers
+        self.diagnostics = diagnostics
+        self.sanitizers: tuple = ()
+        if spec:
+            from repro.analysis.diagnostics import DiagnosticReport
+            from repro.sanitize import attach_sanitizers
+
+            if self.diagnostics is None:
+                self.diagnostics = DiagnosticReport()
+            self.sanitizers = attach_sanitizers(self, spec, self.diagnostics)
 
     # ------------------------------------------------------------------
     # Generic submission

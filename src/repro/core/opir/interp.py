@@ -121,13 +121,14 @@ def _poll(ctx, node: PollStatus, state: EvalState):
     poll_until_ready, poll_until_array_ready = _POLL_FNS
 
     mask = None if node.chip_mask is None else eval_expr(node.chip_mask, state)
+    period = node.period_ns or 0
     if node.until == "ready":
         status = yield from poll_until_ready(
-            ctx, chip_mask=mask, max_polls=node.max_polls
+            ctx, chip_mask=mask, max_polls=node.max_polls, period_ns=period
         )
     elif node.until == "array_ready":
         status = yield from poll_until_array_ready(
-            ctx, chip_mask=mask, max_polls=node.max_polls
+            ctx, chip_mask=mask, max_polls=node.max_polls, period_ns=period
         )
     else:
         raise ValueError(f"PollStatus until must be 'ready' or 'array_ready', got {node.until!r}")

@@ -264,12 +264,18 @@ class PollStatus:
     ``"array_ready"`` (ARDY — the cache ops' inner readiness).  The
     final status byte lands in register ``dest`` when given.  A finite
     ``max_polls`` is mandatory — the linter rejects unbounded polls.
+
+    ``period_ns`` paces the loop: the task soft-sleeps that long
+    between polls (channel released) instead of re-polling back to
+    back.  ``None`` keeps the historical unpaced loop; the linter
+    (OPL008) flags explicit periods below the vendor minimum.
     """
 
     until: str = "ready"
     dest: Optional[str] = None
     chip_mask: Any = None
     max_polls: int = 100_000
+    period_ns: Optional[int] = None
 
 
 @dataclass(frozen=True)

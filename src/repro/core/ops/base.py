@@ -30,12 +30,15 @@ def _poll_status(
     chip_mask: Optional[int],
     max_polls: int,
     what: str,
+    period_ns: int = 0,
 ) -> Generator:
     """Poll READ STATUS until ``predicate`` accepts the status byte.
 
     Each iteration is a full software round trip — this loop is exactly
     what the Fig. 11 logic-analyzer experiment measures the period of.
-    The two public polls below differ only in the predicate.
+    A non-zero ``period_ns`` soft-sleeps between polls (the channel is
+    free meanwhile); zero keeps the historical unpaced loop.  The two
+    public polls below differ only in the predicate.
     """
     from repro.core.ops.status import read_status_op
 
@@ -43,6 +46,8 @@ def _poll_status(
         status = yield from read_status_op(ctx, chip_mask=chip_mask)
         if predicate(status):
             return status
+        if period_ns:
+            yield from ctx.sleep(period_ns)
     raise RuntimeError(f"{what} poll budget exhausted — stuck LUN?")
 
 
@@ -50,10 +55,12 @@ def poll_until_ready(
     ctx: OperationContext,
     chip_mask: Optional[int] = None,
     max_polls: int = 100_000,
+    period_ns: int = 0,
 ) -> Generator:
     """Poll until RDY (Algorithm 2, lines 7..9); returns the status byte."""
     status = yield from _poll_status(
-        ctx, StatusRegister.is_ready, chip_mask, max_polls, "status"
+        ctx, StatusRegister.is_ready, chip_mask, max_polls, "status",
+        period_ns=period_ns,
     )
     return status
 
@@ -62,9 +69,11 @@ def poll_until_array_ready(
     ctx: OperationContext,
     chip_mask: Optional[int] = None,
     max_polls: int = 100_000,
+    period_ns: int = 0,
 ) -> Generator:
     """Poll until ARDY: cache operations' inner readiness."""
     status = yield from _poll_status(
-        ctx, StatusRegister.is_array_ready, chip_mask, max_polls, "array-ready"
+        ctx, StatusRegister.is_array_ready, chip_mask, max_polls, "array-ready",
+        period_ns=period_ns,
     )
     return status

@@ -26,6 +26,7 @@ class DramBuffer:
         self.data = np.zeros(size, dtype=np.uint8)
         self._next = 0
         self._free_list: list[tuple[int, int]] = []
+        self._sanitizer = None  # MemorySanitizer when attached
 
     def alloc(self, nbytes: int) -> int:
         """Allocate a region; returns its base address."""
@@ -37,6 +38,8 @@ class DramBuffer:
                     self._free_list.pop(i)
                 else:
                     self._free_list[i] = (base + nbytes, length - nbytes)
+                if self._sanitizer is not None:
+                    self._sanitizer.on_alloc(base, nbytes)
                 return base
         if self._next + nbytes > self.size:
             raise AllocationError(
@@ -44,26 +47,37 @@ class DramBuffer:
             )
         base = self._next
         self._next += nbytes
+        if self._sanitizer is not None:
+            self._sanitizer.on_alloc(base, nbytes)
         return base
 
     def free(self, base: int, nbytes: int) -> None:
         """Return a region to the allocator (no coalescing; bounded reuse)."""
         if not 0 <= base <= self.size - nbytes:
             raise AllocationError(f"bad free of [{base}, {base + nbytes})")
+        if self._sanitizer is not None:
+            self._sanitizer.on_free(base, nbytes)
         self._free_list.append((base, nbytes))
 
     def write(self, address: int, data: np.ndarray) -> None:
         data = np.asarray(data, dtype=np.uint8)
         self._check(address, len(data))
+        if self._sanitizer is not None:
+            self._sanitizer.on_write(address, len(data))
         self.data[address:address + len(data)] = data
 
     def read(self, address: int, nbytes: int) -> np.ndarray:
         self._check(address, nbytes)
+        if self._sanitizer is not None:
+            self._sanitizer.on_read(address, nbytes)
         return self.data[address:address + nbytes].copy()
 
     def view(self, address: int, nbytes: int) -> np.ndarray:
         """Zero-copy window (mutations are visible; used by the DMA path)."""
         self._check(address, nbytes)
+        if self._sanitizer is not None:
+            # A view hands out mutable storage; treat it as initialized.
+            self._sanitizer.on_write(address, nbytes)
         return self.data[address:address + nbytes]
 
     def _check(self, address: int, nbytes: int) -> None:

@@ -34,6 +34,8 @@ class DmaHandle:
 
     def deliver(self, data: np.ndarray) -> None:
         data = np.asarray(data, dtype=np.uint8).copy()
+        if self.dram is not None and self.dram._sanitizer is not None:
+            self.dram._sanitizer.on_transfer(self, "deliver", len(data))
         if self.corrupt_seed is not None:
             rng = np.random.default_rng(self.corrupt_seed)
             noise = rng.integers(0, 256, size=len(data), dtype=np.uint8)
@@ -50,6 +52,8 @@ class DmaHandle:
         n = min(nbytes, self.nbytes)
         if self.dram is None:
             return np.zeros(n, dtype=np.uint8)
+        if self.dram._sanitizer is not None:
+            self.dram._sanitizer.on_transfer(self, "fetch", nbytes)
         data = self.dram.read(self.address, n)
         self.bytes_moved += n
         return data

@@ -101,6 +101,9 @@ class Lun:
         self.status = StatusRegister()
         self.features = FeatureStore()
         self.rb_trigger = Trigger(sim)  # fires on busy->ready transitions
+        self.rb_taps: list = []  # probes called with (lun, busy) on R/B# edges
+        self._san_flash = None      # FlashSanitizer when attached
+        self._san_liveness = None   # LivenessSanitizer when attached
         self._rng = np.random.default_rng(seed ^ 0x5A5A)
 
         self.state = LunState.IDLE
@@ -190,11 +193,15 @@ class Lun:
             CommandClass.STATUS,
             CommandClass.RESET,
         ) and opcode != CMD.VENDOR_SUSPEND:
+            if self._san_flash is not None:
+                self._san_flash.on_busy_violation(self, opcode)
             raise LunProtocolError(
                 f"opcode {opcode_name(opcode)} latched while LUN {self.position} is busy"
             )
 
         if cls is CommandClass.STATUS:
+            if self._san_liveness is not None:
+                self._san_liveness.on_status_poll(self)
             self._data_source = _DataSource.STATUS
             # READ STATUS ENHANCED carries a row address (die select on
             # multi-LUN packages); it is legal while the array is busy,
@@ -348,6 +355,10 @@ class Lun:
         if source is _DataSource.REGISTER:
             register = self._page_register[self._active_plane]
             if register is None:
+                if self._san_flash is not None:
+                    self._san_flash.on_unarmed_read(
+                        self, "data out with an empty page register"
+                    )
                 raise LunProtocolError("data out with an empty page register")
             end = min(self._column + nbytes, len(register))
             chunk = register[self._column:end]
@@ -365,6 +376,10 @@ class Lun:
             page = self.profile.parameter_page()
             reps = -(-nbytes // len(page))  # parameter page repeats per ONFI
             return np.tile(page, reps)[:nbytes]
+        if self._san_flash is not None:
+            self._san_flash.on_unarmed_read(
+                self, "data out requested with no data source armed"
+            )
         raise LunProtocolError("data out requested with no data source armed")
 
     def _on_data_in(self, action: DataInAction) -> None:
@@ -457,6 +472,10 @@ class Lun:
         plane = self._active_plane
         register = self._page_register[plane]
         if register is None:
+            if self._san_flash is not None:
+                self._san_flash.on_unarmed_read(
+                    self, "cache read before the first tR completed"
+                )
             raise LunProtocolError("cache read before the first tR completed")
         # Move current page data to the cache register; it is immediately
         # readable while the array fetches the next sequential page.
@@ -494,6 +513,7 @@ class Lun:
             self.state = LunState.IDLE
             self.status.finish_operation()
             self.rb_trigger.fire(self)
+            self._notify_rb(False)
 
     def _next_sequential(self, addr: PhysicalAddress) -> Optional[PhysicalAddress]:
         if addr.page + 1 < self.geometry.pages_per_block:
@@ -545,6 +565,7 @@ class Lun:
                 self._cache_program_active = False
                 finish()
                 self.rb_trigger.fire(self)
+                self._notify_rb(False)
 
             self.sim.schedule(duration, cache_done)
         else:
@@ -597,6 +618,14 @@ class Lun:
         self.busy_ns_total += duration
         self._sets_status = sets_status
         self._busy_event = self.sim.schedule(duration, self._finish_busy)
+        self._notify_rb(True)
+
+    def _notify_rb(self, busy: bool) -> None:
+        """R/B# pin edge: reset liveness poll budget, feed analyzer taps."""
+        if self._san_liveness is not None:
+            self._san_liveness.on_progress(self)
+        for tap in self.rb_taps:
+            tap(self, busy)
 
     def _finish_busy(self) -> None:
         finish, self._busy_finish = self._busy_finish, None
@@ -613,6 +642,7 @@ class Lun:
             # finish() forgot to settle status; settle it defensively.
             self.status.finish_operation()
         self.rb_trigger.fire(self)
+        self._notify_rb(False)
 
     def _do_reset(self) -> None:
         if self._busy_event is not None and self._busy_event.pending:
@@ -645,6 +675,7 @@ class Lun:
         self.status.ardy = True
         self.status.suspended = True
         self.rb_trigger.fire(self)
+        self._notify_rb(False)
 
     def _do_resume(self) -> None:
         if not self._suspend_pending or self.state is LunState.ARRAY_BUSY:

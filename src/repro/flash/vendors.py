@@ -34,6 +34,7 @@ class VendorTiming:
     t_reset_ns: int = 5_000        # idle RESET
     t_resume_ns: int = 5_000       # suspend->resume penalty
     t_feat_ns: int = 1_000         # SET/GET FEATURES busy
+    t_poll_min_ns: int = 200       # minimum legal READ STATUS poll period
     jitter: float = 0.08           # bounded uniform tR/tPROG variation
 
 
@@ -61,6 +62,21 @@ class VendorProfile:
     # (the paper's new-package bring-up story).  A tuple of pairs — not
     # a dict — keeps the profile hashable for the lru_cache below.
     op_overrides: tuple[tuple[str, Callable], ...] = ()
+    # Per-vendor interface-timing tightening: (TimingSet field, ns)
+    # pairs applied on top of the ONFI mode values by ``timing_set``.
+    # Vendors may demand *more* margin than the mode minimum (a slow
+    # tWHR on a budget die); they can never relax below the mode.
+    timing_overrides: tuple[tuple[str, int], ...] = ()
+
+    def timing_set(self, mode_name: str):
+        """The ONFI mode's :class:`TimingSet`, tightened per vendor."""
+        from repro.onfi.timing import timing_for_mode
+
+        timing = timing_for_mode(mode_name)
+        for name, value in self.timing_overrides:
+            if value > getattr(timing, name):
+                timing = replace(timing, **{name: value})
+        return timing
 
     def with_op_override(self, name: str, builder: Callable) -> "VendorProfile":
         """A copy of this profile with ``name`` resolved to ``builder``."""

@@ -1,0 +1,84 @@
+"""Bus sanitizer — SAN1xx: channel races and arbitration hazards.
+
+The channel model itself only verifies that *someone* holds the mutex
+when a segment is driven (``transmit`` raises otherwise); it cannot see
+whether the driver is the rightful owner or whether a previous segment
+is still occupying the wire.  On a real board these bugs are shorted
+drivers and garbled waveforms; here they become findings:
+
+* **SAN101** — overlapping waveform segments: a segment starts while a
+  previous segment from the *same* bus master is still on the wire
+  (two µFSM emissions of one program racing each other).
+* **SAN102** — drive-while-held: a segment starts while a previous
+  segment is still on the wire and the mutex owner has changed — a
+  different master is driving over the first one's waveform.
+* **SAN103** — mid-segment arbitration violation: the channel mutex is
+  released (handing ownership to the next waiter) while a segment is
+  still in flight.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.base import Sanitizer
+
+
+class BusSanitizer(Sanitizer):
+    """Watches `Channel.transmit`/`Channel.release` for wire conflicts."""
+
+    name = "bus"
+
+    def attach(self, target, report) -> None:
+        super().attach(target, report)
+        channel = getattr(target, "channel", None)
+        if channel is None:
+            raise ValueError(f"{target!r} has no channel to sanitize")
+        self.channel = channel
+        if self.sim is None:
+            self.sim = channel.sim
+        self._component = f"channel/{channel.name}"
+        self._wire_end = -1          # sim time the in-flight segment ends
+        self._wire_owner = None      # mutex owner that drove it
+        self._wire_label = ""
+        channel._san_bus = self
+
+    # -- hooks (called from Channel; guarded by `is not None`) ----------
+
+    def on_transmit(self, now: int, segment, owner) -> None:
+        label = segment.label or segment.kind.value
+        if now < self._wire_end:
+            overlap = self._wire_end - now
+            if owner is not self._wire_owner:
+                self.emit(
+                    "SAN102",
+                    f"segment {label!r} driven while {self._wire_label!r} "
+                    f"from a different master still occupies the wire for "
+                    f"{overlap} ns",
+                    component=self._component, time_ns=now,
+                    hint="hold the channel mutex across the whole "
+                         "transaction; do not release between segments",
+                )
+            else:
+                self.emit(
+                    "SAN101",
+                    f"segment {label!r} overlaps in-flight segment "
+                    f"{self._wire_label!r} by {overlap} ns",
+                    component=self._component, time_ns=now,
+                    hint="yield from transmit() so the bus hold elapses "
+                         "before emitting the next segment",
+                )
+        end = now + segment.duration_ns
+        if end > self._wire_end:
+            self._wire_end = end
+        self._wire_owner = owner
+        self._wire_label = label
+
+    def on_release(self, now: int) -> None:
+        if now < self._wire_end:
+            self.emit(
+                "SAN103",
+                f"channel released {self._wire_end - now} ns before segment "
+                f"{self._wire_label!r} leaves the wire",
+                component=self._component, time_ns=now,
+                hint="release the channel only after the final segment's "
+                     "duration has elapsed",
+            )

@@ -1,0 +1,103 @@
+"""Liveness sanitizer — SAN4xx: deadlock and poll-livelock detection.
+
+* **SAN401** — sim-kernel deadlock: the event heap drained (no runnable
+  events anywhere) while submitted operations are still outstanding.
+  The classic cause is a process parked on a trigger nobody will ever
+  fire — e.g. an executor waiting on a channel mutex whose owner died.
+* **SAN402** — poll-livelock: a LUN's status register was polled more
+  than ``max_stalled_polls`` times without any R/B# progress on that
+  LUN.  A correct poll loop observes progress within a bounded number
+  of iterations; a runaway loop (wrong chip mask, wrong predicate, a
+  die that lost its operation) spins forever.
+
+Outstanding-work probes are discovered from the attach target: a BABOL
+controller exposes task counters on its software environment; extra
+probes can be registered with :meth:`add_outstanding_probe`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sanitize.base import Sanitizer
+
+#: Default poll budget per busy period.  Sized from the slowest array op:
+#: an erase is a few ms and a software poll round-trip about a µs, so a
+#: healthy loop sees progress within a few thousand polls.
+DEFAULT_MAX_STALLED_POLLS = 20_000
+
+
+class LivenessSanitizer(Sanitizer):
+    """Watches the kernel's quiescent point and per-LUN poll trains."""
+
+    name = "liveness"
+
+    def __init__(self, max_stalled_polls: int = DEFAULT_MAX_STALLED_POLLS):
+        super().__init__()
+        self.max_stalled_polls = max_stalled_polls
+        self._polls: dict[int, int] = {}
+        self._probes: list[tuple[str, Callable[[], int]]] = []
+        self._quiescent_seen: set[tuple[str, int, int]] = set()
+
+    def attach(self, target, report) -> None:
+        super().attach(target, report)
+        sim = self.sim
+        if sim is None:
+            channel = getattr(target, "channel", None)
+            sim = self.sim = channel.sim if channel is not None else None
+        if sim is None:
+            raise ValueError(f"{target!r} has no simulator to sanitize")
+        sim._san_liveness = self
+        for lun in getattr(target, "luns", []) or []:
+            lun._san_liveness = self
+        env = getattr(target, "env", None)
+        if env is not None:
+            self.add_outstanding_probe(
+                "tasks",
+                lambda: env.tasks_submitted - env.tasks_completed,
+            )
+
+    def add_outstanding_probe(self, label: str,
+                              probe: Callable[[], int]) -> None:
+        """Register a counter of operations still in flight; checked
+        whenever the kernel runs out of events."""
+        self._probes.append((label, probe))
+
+    # -- hooks from the LUN model --------------------------------------
+
+    def on_status_poll(self, lun) -> None:
+        count = self._polls.get(lun.position, 0) + 1
+        self._polls[lun.position] = count
+        if count == self.max_stalled_polls:
+            self.emit(
+                "SAN402",
+                f"status register polled {count} times with no R/B# "
+                f"progress on LUN {lun.position} (state {lun.state.value})",
+                component=f"lun/{lun.position}",
+                hint="check the poll's chip mask and predicate; pace polls "
+                     "with PollStatus(period_ns=...) to stop burning the "
+                     "channel",
+            )
+
+    def on_progress(self, lun) -> None:
+        self._polls[lun.position] = 0
+
+    # -- hook from the kernel (heap drained) ---------------------------
+
+    def on_quiescent(self, now: int) -> None:
+        for label, probe in self._probes:
+            outstanding = probe()
+            if outstanding > 0:
+                key = (label, now, outstanding)
+                if key in self._quiescent_seen:
+                    continue  # repeated run() calls at the same stall point
+                self._quiescent_seen.add(key)
+                self.emit(
+                    "SAN401",
+                    f"simulation went quiescent at {now} ns with "
+                    f"{outstanding} outstanding {label} — deadlock",
+                    component="sim", time_ns=now,
+                    hint="something is parked on a trigger or mutex that "
+                         "will never fire; check channel ownership and "
+                         "unfired completions",
+                )

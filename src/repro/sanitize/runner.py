@@ -1,0 +1,131 @@
+"""Sanitized workload runner behind ``repro sanitize``.
+
+Runs a representative mixed workload on the BABOL controller and on
+both hardware baselines with every sanitizer attached, plus a
+logic-analyzer capture fed through the ONFI timing checker — one
+command-line gate over all four runtime rule families (SAN1xx–SAN4xx) and
+the capture-time rules (TCK).  All findings land in a single
+:class:`~repro.analysis.diagnostics.DiagnosticReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.logic_analyzer import LogicAnalyzer
+from repro.analysis.timing_check import TimingChecker
+from repro.sanitize.base import attach_sanitizers
+
+
+def _timing_check(analyzer: LogicAnalyzer, vendor, lun_count: int,
+                  report: DiagnosticReport, component: str) -> None:
+    checker = TimingChecker(
+        vendor.timing_set(analyzer.channel.interface.name),
+        lun_count=lun_count,
+    )
+    checker.check_analyzer(analyzer)
+    for violation in checker.violations:
+        report.add(violation.to_finding(component=component))
+
+
+def run_babol_sanitized(
+    vendor,
+    lun_count: int = 4,
+    ops: int = 18,
+    runtime: str = "coroutine",
+    sanitizers="all",
+    report: Optional[DiagnosticReport] = None,
+) -> DiagnosticReport:
+    """Mixed read/program/erase workload under all sanitizers."""
+    from repro.core import BabolController, ControllerConfig
+    from repro.sim import Simulator
+
+    report = report if report is not None else DiagnosticReport()
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=vendor, lun_count=lun_count, runtime=runtime,
+                         track_data=False),
+        sanitizers=sanitizers,
+        diagnostics=report,
+    )
+    analyzer = LogicAnalyzer(controller.channel, capture_rb=True)
+
+    page = controller.codec.geometry.full_page_size
+    payload = (np.arange(page) % 251).astype(np.uint8)
+    controller.dram.write(0, payload)
+
+    tasks = []
+    for i in range(ops):
+        lun = i % lun_count
+        if i % 3 == 2:
+            tasks.append(controller.program_page(lun, 1, i // lun_count, 0))
+        else:
+            tasks.append(controller.read_page(lun, 1, i // lun_count,
+                                              page * (1 + lun)))
+    tasks.append(controller.erase_block(0, 2))
+    for task in tasks:
+        controller.run_to_completion(task)
+
+    _timing_check(analyzer, vendor, lun_count, report,
+                  component=f"babol/{runtime}")
+    return report
+
+
+def run_baseline_sanitized(
+    kind: str,
+    vendor,
+    lun_count: int = 2,
+    reads: int = 4,
+    sanitizers="all",
+    report: Optional[DiagnosticReport] = None,
+) -> DiagnosticReport:
+    """Read/program/erase sweep on one hardware baseline, sanitized."""
+    from repro.baselines import AsyncHwController, SyncHwController
+    from repro.sim import Simulator
+
+    report = report if report is not None else DiagnosticReport()
+    sim = Simulator()
+    cls = {"sync": SyncHwController, "async": AsyncHwController}[kind]
+    controller = cls(sim, vendor=vendor, lun_count=lun_count, track_data=False)
+    attach_sanitizers(controller, sanitizers, report)
+    analyzer = LogicAnalyzer(controller.channel, capture_rb=True)
+
+    page = vendor.geometry.full_page_size
+    payload = (np.arange(page) % 249).astype(np.uint8)
+    controller.dram.write(0, payload)
+
+    for i in range(reads):
+        controller.run_to_completion(
+            controller.read_page(i % lun_count, 1, i, page * (1 + i % lun_count))
+        )
+    controller.run_to_completion(controller.program_page(0, 2, 0, 0))
+    controller.run_to_completion(controller.erase_block(0, 3))
+
+    _timing_check(analyzer, vendor, lun_count, report,
+                  component=f"{kind}-hw")
+    return report
+
+
+def run_all_sanitized(
+    vendor,
+    lun_count: int = 4,
+    ops: int = 18,
+    runtime: str = "coroutine",
+    baselines: bool = True,
+    report: Optional[DiagnosticReport] = None,
+) -> DiagnosticReport:
+    """The full `repro sanitize` sweep: BABOL plus both baselines."""
+    report = report if report is not None else DiagnosticReport()
+    run_babol_sanitized(vendor, lun_count=lun_count, ops=ops,
+                        runtime=runtime, report=report)
+    if baselines:
+        baseline_luns = min(lun_count, 2)
+        run_baseline_sanitized("sync", vendor, lun_count=baseline_luns,
+                               report=report)
+        run_baseline_sanitized("async", vendor, lun_count=baseline_luns,
+                               report=report)
+    return report

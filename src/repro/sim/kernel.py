@@ -188,6 +188,9 @@ class Simulator:
         # call site guards with a single `is not None` check so the
         # untraced fast path stays one attribute load per event.
         self._tracer = None
+        # Optional liveness sanitizer (repro.sanitize).  Consulted only
+        # when the heap drains, so the hot loop is untouched.
+        self._san_liveness = None
 
     # -- observability -------------------------------------------------
 
@@ -257,6 +260,10 @@ class Simulator:
             if self._tracer is not None:
                 self._tracer.kernel_event("fire", self.now, event.time)
             event.callback()
+        if self._san_liveness is not None and not heap:
+            # Quiescent point: nothing left to run anywhere.  If work is
+            # still outstanding, that is a deadlock, not completion.
+            self._san_liveness.on_quiescent(self.now)
         if until is not None and self.now < until:
             self.now = until
         self._running = False

@@ -57,3 +57,65 @@ def test_table3_area(capsys):
 def test_unknown_vendor_rejected():
     with pytest.raises(SystemExit):
         main(["fig11", "--vendor", "samsung"])
+
+
+# -- diagnostics exit codes (0 clean / 1 findings / 2 internal) ------------
+
+
+def test_demo_with_sanitizers_stays_clean(capsys):
+    assert main(["demo", "--luns", "2", "--sanitize", "all"]) == 0
+    out = capsys.readouterr().out
+    assert "roundtrip" in out
+
+
+def test_sanitize_subcommand_clean_run(capsys):
+    assert main(["sanitize", "--vendor", "micron", "--luns", "2",
+                 "--ops", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "sanitize: 0 finding(s)" in out
+
+
+def test_sanitize_writes_json_findings(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "findings.json"
+    assert main(["sanitize", "--vendor", "micron", "--luns", "2", "--ops", "3",
+                 "--no-baselines", "--json", str(out_path)]) == 0
+    obj = json.loads(out_path.read_text())
+    assert obj["schema"] == 1
+    assert obj["findings"] == []
+
+
+def test_sanitize_internal_error_exits_two(monkeypatch, capsys):
+    def broken(*args, **kwargs):
+        raise RuntimeError("harness exploded")
+
+    monkeypatch.setattr("repro.sanitize.run_all_sanitized", broken)
+    assert main(["sanitize", "--luns", "2"]) == 2
+    assert "internal error" in capsys.readouterr().out
+
+
+def test_sanitize_findings_exit_one(monkeypatch, capsys):
+    from repro.analysis.diagnostics import DiagnosticReport, Finding
+
+    def found(*args, **kwargs):
+        return DiagnosticReport([Finding(rule="SAN101", severity="error",
+                                         message="injected")])
+
+    monkeypatch.setattr("repro.sanitize.run_all_sanitized", found)
+    assert main(["sanitize", "--luns", "2"]) == 1
+    assert "SAN101" in capsys.readouterr().out
+
+
+def test_op_lint_internal_error_exits_two(monkeypatch, capsys):
+    def broken(*args, **kwargs):
+        raise RuntimeError("linter exploded")
+
+    monkeypatch.setattr("repro.analysis.lint_library", broken)
+    assert main(["op-lint"]) == 2
+    assert "internal error" in capsys.readouterr().out
+
+
+def test_unknown_sanitizer_name_is_rejected():
+    with pytest.raises(ValueError, match="unknown sanitizer"):
+        main(["demo", "--luns", "2", "--sanitize", "tsan"])

@@ -1,0 +1,112 @@
+"""Unit tests for the unified diagnostics engine: Finding validation,
+report accounting, rendering, and the 0/1/2 exit-code policy."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_INTERNAL,
+    RULE_NAMESPACES,
+    SEVERITIES,
+    DiagnosticReport,
+    Finding,
+)
+
+
+def finding(rule="SAN101", severity="error", **kwargs):
+    return Finding(rule=rule, severity=severity,
+                   message=kwargs.pop("message", "boom"), **kwargs)
+
+
+def test_severity_is_validated():
+    with pytest.raises(ValueError, match="severity"):
+        Finding(rule="SAN101", severity="fatal", message="x")
+
+
+def test_describe_carries_rule_time_component_and_hint():
+    text = finding(component="channel/ch0", time_ns=420,
+                   hint="hold the mutex").describe()
+    assert "ERROR SAN101" in text
+    assert "t=420ns" in text
+    assert "channel/ch0" in text
+    assert "hint: hold the mutex" in text
+
+
+def test_describe_without_timestamp_omits_the_stamp():
+    assert "t=" not in finding().describe()
+
+
+def test_empty_report_is_clean_and_exits_zero():
+    report = DiagnosticReport()
+    assert report.clean
+    assert report.exit_code() == EXIT_CLEAN
+    assert report.counts_line().startswith("0 finding(s)")
+
+
+def test_warnings_alone_do_not_set_the_exit_code():
+    report = DiagnosticReport()
+    report.add(finding(rule="OPL008", severity="warning"))
+    assert not report.clean
+    assert report.errors() == []
+    assert report.exit_code() == EXIT_CLEAN
+
+
+def test_any_error_sets_exit_findings():
+    report = DiagnosticReport()
+    report.add(finding(severity="warning", rule="OPL008"))
+    report.add(finding(severity="error", rule="SAN301"))
+    assert report.exit_code() == EXIT_FINDINGS
+    assert [f.rule for f in report.errors()] == ["SAN301"]
+
+
+def test_severity_and_rule_accounting():
+    report = DiagnosticReport()
+    report.extend([
+        finding(rule="SAN101"),
+        finding(rule="SAN101"),
+        finding(rule="TCK006", severity="warning"),
+    ])
+    assert report.by_severity() == {"error": 2, "warning": 1, "info": 0}
+    assert report.by_rule() == {"SAN101": 2, "TCK006": 1}
+    assert "3 finding(s): 2 error(s), 1 warning(s), 0 info" == report.counts_line()
+
+
+def test_merge_pools_findings_across_reports():
+    first = DiagnosticReport([finding(rule="SAN101")])
+    second = DiagnosticReport([finding(rule="SAN402")])
+    first.merge(second)
+    assert [f.rule for f in first.findings] == ["SAN101", "SAN402"]
+
+
+def test_render_text_orders_errors_first_and_caps_output():
+    report = DiagnosticReport()
+    report.add(finding(severity="info", rule="SAN999", time_ns=1))
+    for i in range(4):
+        report.add(finding(rule="SAN101", time_ns=i))
+    text = report.render_text(title="sanitize", limit=3)
+    lines = text.splitlines()
+    assert lines[0].startswith("sanitize: 5 finding(s)")
+    assert all("SAN101" in line for line in lines[1:4])  # errors lead
+    assert lines[-1] == "  ... and 2 more"
+
+
+def test_json_render_matches_the_schema():
+    report = DiagnosticReport([finding(time_ns=7, component="lun/0")])
+    obj = json.loads(report.render_json())
+    assert obj["schema"] == 1
+    assert obj["counts"]["error"] == 1
+    assert obj["by_rule"] == {"SAN101": 1}
+    entry = obj["findings"][0]
+    assert entry["rule"] == "SAN101"
+    assert entry["time_ns"] == 7
+    assert entry["component"] == "lun/0"
+
+
+def test_rule_namespaces_cover_every_family():
+    for prefix in ("OPL", "TCK", "SAN1", "SAN2", "SAN3", "SAN4"):
+        assert prefix in RULE_NAMESPACES
+    assert SEVERITIES == ("error", "warning", "info")
+    assert (EXIT_CLEAN, EXIT_FINDINGS, EXIT_INTERNAL) == (0, 1, 2)

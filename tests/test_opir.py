@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.analysis import LintFinding, lint_all, lint_program
+from repro.analysis import LintFinding, lint_all, lint_library, lint_program
 from repro.analysis.op_lint import sample_kwargs
 from repro.core import BabolController, ControllerConfig
 from repro.core.opir import (
@@ -287,4 +287,101 @@ def test_cli_op_lint_json_mode(capsys):
     from repro.cli import main
 
     assert main(["op-lint", "--vendor", "hynix", "--json"]) == 0
-    assert json.loads(capsys.readouterr().out) == []
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == 1
+    assert report["counts"]["error"] == 0
+    assert report["findings"] == []
+    assert report["coverage"]["complete"] is True
+    assert report["coverage"]["skipped"] == []
+
+
+# --- poll pacing (PollStatus.period_ns) and OPL008 ---------------------------
+
+
+def _poll_only_program(period_ns):
+    return OpProgram("poll_demo", (PollStatus(until="ready",
+                                              period_ns=period_ns),))
+
+
+def test_opl008_flags_poll_period_below_the_vendor_minimum():
+    findings = lint_program(_poll_only_program(100),
+                            timing=TEST_PROFILE.timing)
+    assert [f.rule for f in findings] == ["OPL008"]
+    assert findings[0].severity == "warning"
+    assert "below the vendor minimum" in findings[0].message
+
+
+def test_opl008_explicit_zero_period_calls_out_channel_hammering():
+    findings = lint_program(_poll_only_program(0),
+                            timing=TEST_PROFILE.timing)
+    assert [f.rule for f in findings] == ["OPL008"]
+    assert "back-to-back" in findings[0].message
+
+
+def test_opl008_silent_for_legal_default_and_unknown_timing():
+    legal = TEST_PROFILE.timing.t_poll_min_ns
+    assert lint_program(_poll_only_program(legal),
+                        timing=TEST_PROFILE.timing) == []
+    # None keeps the historical unpaced loop: nothing explicit to flag.
+    assert lint_program(_poll_only_program(None),
+                        timing=TEST_PROFILE.timing) == []
+    # Without vendor timing the rule cannot run.
+    assert lint_program(_poll_only_program(100)) == []
+
+
+def test_opl008_findings_convert_to_diagnostics():
+    (finding,) = lint_program(_poll_only_program(0),
+                              timing=TEST_PROFILE.timing)
+    converted = finding.to_finding()
+    assert converted.rule == "OPL008"
+    assert converted.severity == "warning"
+    assert "poll_demo" in converted.component
+
+
+def test_paced_poll_issues_far_fewer_status_reads():
+    from dataclasses import replace as dc_replace
+
+    from repro.analysis import LogicAnalyzer
+
+    def erase_polls(period_ns):
+        sim, controller = make_controller("rtos")
+        samples = sample_kwargs(TEST_PROFILE)
+        kwargs = {**samples["erase_block"], "codec": controller.codec}
+        program = build_program("erase_block", **kwargs)
+        if period_ns is not None:
+            program = OpProgram(program.name, tuple(
+                dc_replace(node, period_ns=period_ns)
+                if isinstance(node, PollStatus) else node
+                for node in program.nodes))
+
+        def driver(ctx):
+            result = yield from run_program(ctx, program)
+            return result
+
+        analyzer = LogicAnalyzer(controller.channel)
+        controller.run_to_completion(controller.submit(driver, 0))
+        return len(analyzer.command_times(CMD.READ_STATUS)), sim.now
+
+    unpaced_polls, unpaced_ns = erase_polls(None)
+    paced_polls, paced_ns = erase_polls(20_000)
+    assert 0 < paced_polls < unpaced_polls / 5
+    # Pacing trades poll traffic, not completion time: the erase still
+    # finishes within one extra period of the unpaced run.
+    assert paced_ns <= unpaced_ns + 20_000
+
+
+def test_lint_library_reports_coverage_holes():
+    findings, coverage = lint_library(vendors=[TEST_PROFILE],
+                                      kwargs_for=lambda vendor: {})
+    assert not coverage.complete
+    assert coverage.linted == ()
+    assert set(coverage.skipped) == set(coverage.registered)
+    assert all(f.rule == "OPL000" for f in findings)
+    assert "skipped" in coverage.describe()
+
+
+def test_lint_library_full_sweep_is_clean_and_complete():
+    findings, coverage = lint_library(vendors=[TEST_PROFILE])
+    assert findings == []
+    assert coverage.complete
+    assert coverage.skipped == ()

@@ -1,0 +1,105 @@
+"""Injected-fault tests for the liveness sanitizer (SAN4xx):
+a parked-forever process for the deadlock rule and a runaway status
+poll train for the livelock rule.
+"""
+
+from types import SimpleNamespace
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.bus import Channel
+from repro.flash.package import build_channel_population
+from repro.onfi.commands import CMD
+from repro.sanitize import LivenessSanitizer
+from repro.sim import Simulator
+from repro.sim.sync import Trigger
+
+from tests.helpers import TEST_PROFILE
+
+
+def make_rig(lun_count=1, max_stalled_polls=5, env=None):
+    sim = Simulator()
+    luns = build_channel_population(sim, TEST_PROFILE, lun_count, seed=1)
+    channel = Channel(sim, luns, name="ch0")
+    rig = SimpleNamespace(sim=sim, channel=channel, luns=luns, env=env)
+    report = DiagnosticReport()
+    sanitizer = LivenessSanitizer(max_stalled_polls=max_stalled_polls)
+    sanitizer.attach(rig, report)
+    return sim, channel, sanitizer, report
+
+
+# -- SAN402: poll-livelock ------------------------------------------------
+
+
+def test_san402_fires_exactly_once_at_the_poll_budget():
+    sim, channel, sanitizer, report = make_rig(max_stalled_polls=5)
+    lun = channel.luns[0]
+    for _ in range(8):  # budget is 5; the finding must not repeat
+        lun._on_command(CMD.READ_STATUS)
+    (found,) = report.findings
+    assert found.rule == "SAN402"
+    assert "polled 5 times" in found.message
+    assert found.component == "lun/0"
+
+
+def test_rb_progress_resets_the_poll_budget():
+    sim, channel, sanitizer, report = make_rig(max_stalled_polls=5)
+    lun = channel.luns[0]
+    for _ in range(4):
+        lun._on_command(CMD.READ_STATUS)
+    lun._notify_rb(False)  # R/B# edge: the operation made progress
+    for _ in range(4):
+        lun._on_command(CMD.READ_STATUS)
+    assert report.clean
+
+
+def test_poll_budgets_are_per_lun():
+    sim, channel, sanitizer, report = make_rig(lun_count=2,
+                                               max_stalled_polls=5)
+    for lun in channel.luns:
+        for _ in range(4):
+            lun._on_command(CMD.READ_STATUS)
+    assert report.clean  # 8 polls total, but neither LUN crossed 5
+
+
+# -- SAN401: quiescent deadlock -------------------------------------------
+
+
+def test_san401_parked_process_with_outstanding_work():
+    sim, channel, sanitizer, report = make_rig()
+    sanitizer.add_outstanding_probe("ops", lambda: 2)
+
+    def waiter():
+        gate = Trigger(sim)
+        yield from gate.wait()  # nobody will ever fire this
+
+    sim.spawn(waiter())
+    sim.run()
+    (found,) = report.findings
+    assert found.rule == "SAN401"
+    assert "2 outstanding ops" in found.message
+    assert "deadlock" in found.message
+
+
+def test_san401_deduplicates_repeated_runs_at_the_same_stall():
+    sim, channel, sanitizer, report = make_rig()
+    sanitizer.add_outstanding_probe("ops", lambda: 1)
+    sim.run()
+    sim.run()  # same quiescent point observed again
+    assert len(report.findings) == 1
+
+
+def test_san401_env_task_counters_are_probed_automatically():
+    env = SimpleNamespace(tasks_submitted=3, tasks_completed=1)
+    sim, channel, sanitizer, report = make_rig(env=env)
+    sim.run()
+    (found,) = report.findings
+    assert found.rule == "SAN401"
+    assert "2 outstanding tasks" in found.message
+
+
+def test_quiescent_with_no_outstanding_work_is_clean():
+    env = SimpleNamespace(tasks_submitted=4, tasks_completed=4)
+    sim, channel, sanitizer, report = make_rig(env=env)
+    sanitizer.add_outstanding_probe("ops", lambda: 0)
+    sim.run()
+    assert report.clean

@@ -1,6 +1,5 @@
 """Tests for the ONFI timing linter and the preemptive-read manager."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import LogicAnalyzer, TimingChecker
@@ -8,12 +7,11 @@ from repro.analysis.logic_analyzer import AnalyzerEvent
 from repro.baselines import AsyncHwController, SyncHwController
 from repro.core import BabolController, ControllerConfig
 from repro.core.preempt import PreemptiveLunManager
-from repro.flash.errors import ErrorModelConfig
 from repro.onfi.commands import CMD
 from repro.onfi.timing import timing_for_mode
 from repro.sim import Simulator, Timeout
 
-from tests.helpers import TEST_PROFILE, page_pattern
+from tests.helpers import TEST_PROFILE
 
 PAGE = TEST_PROFILE.geometry.full_page_size
 TIMING = timing_for_mode("NV-DDR2-200")
@@ -245,3 +243,151 @@ def test_preemptive_program_supports_preemption():
     sim.run()
     assert outcome["ok"] is True
     assert controller.luns[0].programs_completed == 1
+
+
+# --- turnaround rules: tWHR / tRR / tRHW --------------------------------------
+
+
+def test_checker_flags_fast_status_turnaround_twhr():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(10, "data_out", "1B", None, 0b1, 0),  # < tWHR
+    ]
+    violations = checker.check_events(events)
+    assert [v.rule for v in violations] == ["tWHR"]
+
+
+def test_twhr_scoped_to_direct_command_data_adjacency():
+    # An address phase between the command and the burst (READ ID style)
+    # means the burst is paced by other rules, not tWHR.
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_ID", CMD.READ_ID, 0b1, 0),
+        AnalyzerEvent(25, "addr", "00", None, 0b1, 0),
+        AnalyzerEvent(35, "data_out", "5B", None, 0b1, 0),
+    ]
+    assert checker.check_events(events) == []
+
+
+def test_checker_flags_fast_data_after_ready_trr():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS_ENHANCED",
+                      CMD.READ_STATUS_ENHANCED, 0b1, 0),
+        AnalyzerEvent(30, "addr", "00,00,00", None, 0b1, 0),
+        AnalyzerEvent(55, "rb", "ready", None, 0b1, 0),
+        AnalyzerEvent(60, "data_out", "2048B", None, 0b1, 0),  # 5ns < tRR
+    ]
+    violations = checker.check_events(events)
+    assert [v.rule for v in violations] == ["tRR"]
+
+
+def test_single_byte_status_burst_is_exempt_from_trr():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(100, "rb", "ready", None, 0b1, 0),
+        AnalyzerEvent(105, "data_out", "1B", None, 0b1, 0),
+    ]
+    assert checker.check_events(events) == []
+
+
+def test_rb_events_recorded_out_of_order_are_resorted():
+    # R/B# edges are timestamped at toggle time while segment events are
+    # recorded at transmit time, so capture order is not timeline order.
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS_ENHANCED",
+                      CMD.READ_STATUS_ENHANCED, 0b1, 0),
+        AnalyzerEvent(30, "addr", "00,00,00", None, 0b1, 0),
+        AnalyzerEvent(60, "data_out", "2048B", None, 0b1, 0),
+        AnalyzerEvent(55, "rb", "ready", None, 0b1, 0),  # logged late
+    ]
+    violations = checker.check_events(events)
+    assert [v.rule for v in violations] == ["tRR"]
+
+
+def test_checker_flags_fast_command_after_data_trhw():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(100, "data_out", "1B", None, 0b1, 500),
+        # The burst occupies [100, 600); 50ns after its end is < tRHW.
+        AnalyzerEvent(650, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+    ]
+    violations = checker.check_events(events)
+    assert [v.rule for v in violations] == ["tRHW"]
+    assert "50ns after data out" in violations[0].detail
+
+
+def test_trhw_measured_from_burst_end_not_start():
+    checker = TimingChecker(TIMING, lun_count=1)
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(100, "data_out", "1B", None, 0b1, 500),
+        AnalyzerEvent(700, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+    ]
+    assert checker.check_events(events) == []  # 100ns gap from the end
+
+
+def test_violations_convert_to_tck_findings():
+    checker = TimingChecker(TIMING, lun_count=1)
+    checker.check_events([
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(10, "data_out", "1B", None, 0b1, 0),
+    ])
+    finding = checker.violations[0].to_finding(component="babol/rtos")
+    assert finding.rule == "TCK006"
+    assert finding.severity == "error"
+    assert finding.component == "babol/rtos"
+    assert "[tWHR]" in finding.message
+
+
+# --- R/B# capture and vendor-tightened timing sets ----------------------------
+
+
+def test_analyzer_captures_rb_edges_and_data_durations():
+    sim, controller = make_babol()
+    analyzer = LogicAnalyzer(controller.channel, capture_rb=True)
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    rb = [e for e in analyzer.events if e.kind == "rb"]
+    assert {e.detail for e in rb} == {"busy", "ready"}
+    data = [e for e in analyzer.events if e.kind in ("data_out", "data_in")]
+    assert data and all(e.duration_ns > 0 for e in data)
+    assert all(e.end_ns == e.time_ns + e.duration_ns for e in data)
+
+
+def test_rb_capture_stays_timing_clean():
+    sim, controller = make_babol()
+    analyzer = LogicAnalyzer(controller.channel, capture_rb=True)
+    controller.run_to_completion(controller.read_page(0, 1, 0, 0))
+    controller.run_to_completion(controller.erase_block(1, 1))
+    checker = TimingChecker(TIMING, lun_count=2)
+    checker.check_analyzer(analyzer)
+    assert checker.clean, checker.report()
+
+
+def test_vendor_timing_overrides_only_tighten():
+    from dataclasses import replace
+
+    profile = replace(TEST_PROFILE,
+                      timing_overrides=(("tWHR", 300), ("tRR", 1)))
+    tightened = profile.timing_set("NV-DDR2-200")
+    assert tightened.tWHR == 300          # above the mode value: applied
+    assert tightened.tRR == TIMING.tRR    # below the mode value: ignored
+    # Stock profiles keep the plain mode timing.
+    assert TEST_PROFILE.timing_set("NV-DDR2-200") == TIMING
+
+
+def test_tightened_timing_set_flags_what_the_mode_allows():
+    from dataclasses import replace
+
+    events = [
+        AnalyzerEvent(0, "cmd", "READ_STATUS", CMD.READ_STATUS, 0b1, 0),
+        AnalyzerEvent(150, "data_out", "1B", None, 0b1, 0),  # > mode tWHR
+    ]
+    assert TimingChecker(TIMING, lun_count=1).check_events(events) == []
+    slow_die = replace(TEST_PROFILE, timing_overrides=(("tWHR", 300),))
+    checker = TimingChecker(slow_die.timing_set("NV-DDR2-200"), lun_count=1)
+    assert [v.rule for v in checker.check_events(events)] == ["tWHR"]
