@@ -78,6 +78,7 @@ class Channel:
         self.stats = ChannelStats()
         self._taps: list[Callable[[int, WaveformSegment], None]] = []
         self._san_bus = None  # BusSanitizer when attached (repro.sanitize)
+        self._fault_hook = None  # FaultInjector when attached (repro.faults)
         if phy is not None:
             self.phy = phy
         else:
@@ -147,6 +148,8 @@ class Channel:
         if not targets and segment.kind is not SegmentKind.TIMER:
             raise ValueError(f"segment {segment.describe()} selects no LUN")
         self._apply_phy(segment, targets)
+        if self._fault_hook is not None:
+            self._fault_hook.on_transmit(self.sim.now, segment, targets)
         for position in targets:
             self.luns[position].deliver_segment(segment)
         if segment.duration_ns:

@@ -12,11 +12,12 @@ Usage examples::
     python -m repro.cli trace --out trace.json    # observability capture
     python -m repro.cli op-lint                   # static op-program lint
     python -m repro.cli sanitize                  # runtime sanitizer sweep
+    python -m repro.cli chaos --seed 4 --json chaos_report.json
     python -m repro.cli bench-smoke --out BENCH_smoke.json
 
-Diagnostics-producing commands (``op-lint``, ``sanitize``) share the
-exit-code convention of :mod:`repro.analysis.diagnostics`: 0 clean,
-1 error findings, 2 internal failure (the tool itself broke).
+Diagnostics-producing commands (``op-lint``, ``sanitize``, ``chaos``)
+share the exit-code convention of :mod:`repro.analysis.diagnostics`:
+0 clean, 1 error findings, 2 internal failure (the tool itself broke).
 
 ``demo``/``fig10``/``fig11``/``fig12`` accept ``--trace out.json`` to
 capture a Chrome ``trace_event`` file of every simulated run (open it
@@ -384,6 +385,49 @@ def cmd_sanitize(args) -> int:
     return report.exit_code()
 
 
+def cmd_chaos(args) -> int:
+    """Run a seeded fault-injection campaign against BABOL (and, by
+    default, both hardware baselines) and report what was injected,
+    what recovered, and the added tail latency.  Exit 0 when every
+    recoverable fault recovered, 1 when any did not, 2 when the chaos
+    harness itself broke."""
+    from repro.faults import (
+        EXIT_INTERNAL,
+        FaultCampaign,
+        run_chaos,
+    )
+
+    try:
+        campaign = None
+        if args.campaign:
+            campaign = FaultCampaign.load(args.campaign)
+        report = run_chaos(
+            seed=args.seed,
+            vendor=args.vendor,
+            campaign=campaign,
+            baselines=not args.no_baselines,
+        )
+        text = json.dumps(report, indent=2, sort_keys=True)
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(text + "\n")
+            print(f"chaos: report -> {args.json}")
+        summary = report["summary"]
+        print(
+            f"chaos[{report['campaign']['name']} seed={report['campaign']['seed']}]"
+            f" injected={summary['injected_total']}"
+            f" recovered={summary['recovered_total']}"
+            f" unrecovered={summary['unrecovered_total']}"
+            f" degraded_luns={summary['degraded_luns']}"
+        )
+        for key, count in sorted(summary["unrecovered"].items()):
+            print(f"  UNRECOVERED {key}: {count}")
+    except Exception as exc:  # the harness broke — not a finding
+        print(f"chaos: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    return report["exit_code"]
+
+
 def cmd_bench_smoke(args) -> int:
     """CI benchmark smoke: tiny, fast cells of Table I and Fig. 11 with
     wall-clock timings, serialized to JSON so the perf trajectory of the
@@ -550,6 +594,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="OUT.json", default=None,
                    help="also write the findings report as JSON")
     p.set_defaults(func=cmd_sanitize)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault-injection campaign "
+                            "(exit 0 recovered / 1 unrecovered / 2 internal)")
+    p.add_argument("--seed", type=int, default=4)
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--campaign", default=None,
+                   help="campaign JSON file (default: built-in campaign)")
+    p.add_argument("--json", default=None, help="write the full report here")
+    p.add_argument("--no-baselines", action="store_true",
+                   help="run the FTL phase against BABOL only")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("bench-smoke",
                        help="fast benchmark cells as JSON (CI artifact)")

@@ -17,12 +17,30 @@ The core package implements the software-defined controller of Fig. 5:
 """
 
 from repro.core.controller import BabolController, ControllerConfig
+from repro.core.recovery import (
+    DieDegraded,
+    OpFailed,
+    OpTimeout,
+    RecoverableOpError,
+    RecoveryManager,
+    RecoveryPolicy,
+    RecoveryStats,
+    Watchdog,
+)
 from repro.core.storage import StorageConfig, StorageController, build_storage
 from repro.core.transaction import Transaction, TxnKind
 
 __all__ = [
     "BabolController",
     "ControllerConfig",
+    "DieDegraded",
+    "OpFailed",
+    "OpTimeout",
+    "RecoverableOpError",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RecoveryStats",
+    "Watchdog",
     "StorageConfig",
     "StorageController",
     "build_storage",

@@ -77,6 +77,9 @@ class ControllerConfig:
     # Sanitizer names ("all", "bus,flash", a tuple, ...) attached at
     # construction; empty means no runtime checking and zero overhead.
     sanitizers: object = ()
+    # Optional repro.core.recovery.Watchdog bounding every busy-wait in
+    # nanoseconds; None keeps the historical unbounded poll loops.
+    watchdog: object = None
 
     def validate(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -128,6 +131,8 @@ class BabolController:
             txn_scheduler=txn_scheduler,
             vendor=cfg.vendor,
         )
+        if cfg.watchdog is not None:
+            self.env.watchdog = cfg.watchdog
         self.codec = AddressCodec(cfg.vendor.geometry)
 
         # Runtime sanitizers: `sanitizers=` kwarg wins, else the config

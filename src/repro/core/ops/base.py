@@ -39,13 +39,25 @@ def _poll_status(
     A non-zero ``period_ns`` soft-sleeps between polls (the channel is
     free meanwhile); zero keeps the historical unpaced loop.  The two
     public polls below differ only in the predicate.
+
+    When the environment carries a :class:`~repro.core.recovery.Watchdog`
+    the loop is additionally bounded in *nanoseconds*: once the budget
+    elapses on the simulated clock, :class:`OpTimeout` is raised — a
+    recoverable error the environment attaches to the task instead of
+    crashing the scheduler, so a hung die can be escalated (retry →
+    RESET → degrade) while the rest of the package keeps serving.
     """
     from repro.core.ops.status import read_status_op
+    from repro.core.recovery import OpTimeout
 
+    watchdog = ctx.watchdog
+    deadline = None if watchdog is None else ctx.sim.now + watchdog.budget_ns
     for _ in range(max_polls):
         status = yield from read_status_op(ctx, chip_mask=chip_mask)
         if predicate(status):
             return status
+        if deadline is not None and ctx.sim.now >= deadline:
+            raise OpTimeout(what, ctx.lun_position, watchdog.budget_ns)
         if period_ns:
             yield from ctx.sleep(period_ns)
     raise RuntimeError(f"{what} poll budget exhausted — stuck LUN?")

@@ -37,6 +37,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.core.executor import Executor
 from repro.core.packetizer import Packetizer
+from repro.core.recovery import RecoverableOpError
 from repro.core.softenv.cpu import Cpu
 from repro.core.softenv.task_scheduler import RoundRobinTaskScheduler, TaskScheduler
 from repro.core.softenv.txn_scheduler import FifoTxnScheduler, TxnScheduler
@@ -129,7 +130,7 @@ class Task:
     __slots__ = (
         "id", "gen", "lun_position", "priority", "state", "result",
         "completed", "submitted_at", "admitted_at", "finished_at",
-        "last_resumed_at", "ready_since", "send_value", "label",
+        "last_resumed_at", "ready_since", "send_value", "label", "error",
     )
 
     def __init__(
@@ -154,6 +155,9 @@ class Task:
         self.ready_since = sim.now
         self.send_value: Any = None
         self.label = label or getattr(gen, "__name__", "op")
+        # A RecoverableOpError the operation raised (watchdog timeout,
+        # FAIL status surfaced as an exception); None on the happy path.
+        self.error: Optional[BaseException] = None
 
     def describe(self) -> str:
         return f"task#{self.id} {self.label} lun{self.lun_position} {self.state.value}"
@@ -180,6 +184,10 @@ class OperationContext:
         self.chip_mask = chip_mask if chip_mask is not None else (1 << lun_position)
         self.ufsm: UfsmBank = env.ufsm
         self.packetizer: Packetizer = env.packetizer
+        # Nanosecond poll budget (repro.core.recovery.Watchdog) shared
+        # by every busy-wait this op performs; None = unbounded (the
+        # historical behaviour, byte-identical paths).
+        self.watchdog = env.watchdog
         # The vendor profile of the attached package, if known: op-IR
         # programs resolve per-vendor overrides through it.
         self.vendor = getattr(env, "vendor", None)
@@ -242,6 +250,9 @@ class SoftwareEnvironment:
         self.task_scheduler = task_scheduler or RoundRobinTaskScheduler()
         self.txn_scheduler = txn_scheduler or FifoTxnScheduler()
         self.max_tasks_per_lun = max_tasks_per_lun
+        # Optional Watchdog giving every busy-wait an ns budget; the
+        # controller installs it from its config (None = off).
+        self.watchdog = None
 
         self._ready: list[Task] = []
         self._pending_txns: list[Transaction] = []
@@ -254,6 +265,7 @@ class SoftwareEnvironment:
 
         self.tasks_submitted = 0
         self.tasks_completed = 0
+        self.tasks_failed = 0
         self.txns_enqueued = 0
         self.txns_dispatched = 0
 
@@ -363,6 +375,17 @@ class SoftwareEnvironment:
                 command = task.gen.send(send)
             except StopIteration as stop:
                 self._finish_task(task, stop.value)
+                return
+            except RecoverableOpError as exc:
+                # Watchdog timeouts / surfaced FAIL bits are policy
+                # events, not runtime bugs: attach the error and finish
+                # the task (result None) so waiters unblock and a
+                # recovery manager can escalate.  Anything else still
+                # propagates — a protocol violation must stay loud.
+                task.error = exc
+                task.gen.close()
+                self.tasks_failed += 1
+                self._finish_task(task, None)
                 return
             send = None
             if isinstance(command, EnvAwait):

@@ -1,0 +1,42 @@
+"""Deterministic fault injection and chaos campaigns.
+
+Declarative :class:`FaultCampaign` plans (JSON round-trippable, seeded)
+attach to live component models through the nullable-hook idiom — one
+``is not None`` check per site, zero overhead and byte-identical
+behavior when detached.  :func:`run_chaos` runs a campaign against the
+BABOL stack and the hardware baselines and reports what was injected,
+what recovered, and what it cost in tail latency.
+"""
+
+from repro.faults.chaos import (
+    EXIT_INTERNAL,
+    EXIT_OK,
+    EXIT_UNRECOVERED,
+    FTL_KINDS,
+    OPS_KINDS,
+    default_campaign,
+    run_chaos,
+)
+from repro.faults.injector import FaultInjector, InjectionRecord
+from repro.faults.plan import (
+    RECOVERABLE_KINDS,
+    FaultCampaign,
+    FaultKind,
+    FaultSpec,
+)
+
+__all__ = [
+    "EXIT_INTERNAL",
+    "EXIT_OK",
+    "EXIT_UNRECOVERED",
+    "FTL_KINDS",
+    "OPS_KINDS",
+    "FaultCampaign",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "InjectionRecord",
+    "RECOVERABLE_KINDS",
+    "default_campaign",
+    "run_chaos",
+]

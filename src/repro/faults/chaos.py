@@ -1,0 +1,449 @@
+"""The chaos campaign runner: faults in, recovery evidence out.
+
+:func:`run_chaos` runs one seeded :class:`FaultCampaign` against the
+BABOL stack (and, optionally, both hardware baselines) and produces a
+deterministic JSON-ready report.  Two phases per run, each on a fresh
+simulator so fault state never leaks between them:
+
+* **ftl** — a page-mapped FTL pushing an overwrite-heavy workload
+  while ``program_fail`` / ``erase_fail`` / ``grown_bad_block`` faults
+  fire underneath it.  Recovery evidence is the grown-bad-block
+  journal plus the rewrite counter.  Runs against every target: the
+  failure/recovery contract is the LUN model's, not BABOL's.
+* **ops** — BABOL only.  Four LUNs run concurrent program/read
+  workers behind a :class:`RecoveryManager` (watchdog + escalation)
+  and a :class:`ReliableReader` (ECC + retry) while ``stuck_busy`` /
+  ``die_hang`` / ``transfer_corrupt`` / ``feature_drop`` faults fire.
+  Recovery evidence is the recovery and reliability counters, and the
+  hung die degrading while its neighbours finish their work.
+
+Each phase also runs fault-free (injector never attached) so the
+report can state the *added* tail latency of recovery.  Every number
+in the report derives from simulated time and seeded RNGs — two runs
+with the same seed produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Generator, Optional, Union
+
+import numpy as np
+
+from repro.baselines.async_hw import AsyncHwController
+from repro.baselines.sync_hw import SyncHwController
+from repro.core import (
+    BabolController,
+    ControllerConfig,
+    DieDegraded,
+    OpFailed,
+    RecoveryManager,
+    Watchdog,
+)
+from repro.core.reliability import ReliableReader
+from repro.ecc import BchConfig, BchEngine
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    RECOVERABLE_KINDS,
+    FaultCampaign,
+    FaultKind,
+    FaultSpec,
+)
+from repro.flash.errors import ErrorModelConfig
+from repro.flash.vendors import VendorProfile, profile_by_name
+from repro.ftl import FtlConfig, PageMappedFtl
+from repro.ftl.badblocks import REASON_ERASE_FAIL, REASON_FACTORY, REASON_PROGRAM_FAIL
+from repro.sim import Simulator, WaitProcess
+
+# Kinds exercised through the FTL (media failures the translation layer
+# must absorb) vs. through raw controller ops (protocol/bus failures the
+# recovery manager and reliable reader must absorb).
+FTL_KINDS = frozenset({
+    FaultKind.PROGRAM_FAIL,
+    FaultKind.ERASE_FAIL,
+    FaultKind.GROWN_BAD_BLOCK,
+})
+OPS_KINDS = frozenset(FaultKind) - FTL_KINDS
+
+# Chaos runs use a shrunken geometry (full code paths, small state) so
+# a three-target campaign finishes in seconds.
+_FTL_LUNS = 2
+_OPS_LUNS = 4
+_OPS_PAGES = 3
+_FEATURE_LUN = 3
+_FEATURE_ADDR = 0x89
+_FEATURE_PARAMS = (2, 0, 0, 0)
+
+EXIT_OK = 0
+EXIT_UNRECOVERED = 1
+EXIT_INTERNAL = 2
+
+
+def default_campaign(seed: int = 4) -> FaultCampaign:
+    """The stock campaign: every fault kind, one per layer it tests."""
+    return FaultCampaign(
+        name="chaos-default",
+        seed=seed,
+        description=(
+            "One of every fault kind against a two-phase workload: "
+            "media failures through the FTL, protocol failures through "
+            "the recovery manager and reliable reader."
+        ),
+        faults=[
+            # -- ftl phase (lun numbering: 0..1) --
+            FaultSpec(kind=FaultKind.PROGRAM_FAIL, lun=0, count=1, after_op=6),
+            FaultSpec(kind=FaultKind.ERASE_FAIL, lun=0, count=1),
+            FaultSpec(kind=FaultKind.GROWN_BAD_BLOCK, lun=1, block=2,
+                      pe_threshold=1, count=1),
+            # -- ops phase (lun numbering: 0..3) --
+            FaultSpec(kind=FaultKind.TRANSFER_CORRUPT, lun=0, count=1,
+                      direction="out"),
+            FaultSpec(kind=FaultKind.STUCK_BUSY, lun=1, count=1),
+            FaultSpec(kind=FaultKind.DIE_HANG, lun=2, count=None),
+            FaultSpec(kind=FaultKind.FEATURE_DROP, lun=_FEATURE_LUN, count=1),
+        ],
+    )
+
+
+def _chaos_profile(vendor: VendorProfile) -> VendorProfile:
+    """The vendor with a small array: real timing, tiny state."""
+    geometry = dataclasses.replace(
+        vendor.geometry,
+        page_size=2048,
+        spare_size=64,
+        pages_per_block=16,
+        blocks_per_plane=16,
+        planes=2,
+    )
+    return dataclasses.replace(
+        vendor, geometry=geometry, factory_bad_rate=0.0,
+    )
+
+
+def _percentiles(latencies: list[int]) -> dict:
+    if not latencies:
+        return {"count": 0, "p50_ns": 0, "p99_ns": 0, "max_ns": 0}
+    ordered = sorted(latencies)
+    last = len(ordered) - 1
+
+    def pct(q: float) -> int:
+        return int(ordered[min(last, int(len(ordered) * q))])
+
+    return {
+        "count": len(ordered),
+        "p50_ns": pct(0.50),
+        "p99_ns": pct(0.99),
+        "max_ns": int(ordered[last]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Phase 1: media faults through the FTL
+# ----------------------------------------------------------------------
+
+def _make_target(name: str, sim: Simulator, profile: VendorProfile,
+                 seed: int):
+    if name == "babol":
+        return BabolController(sim, ControllerConfig(
+            vendor=profile, lun_count=_FTL_LUNS, track_data=False, seed=seed,
+        ))
+    if name == "sync-hw":
+        return SyncHwController(sim, vendor=profile, lun_count=_FTL_LUNS,
+                                track_data=False, seed=seed)
+    if name == "async-hw":
+        return AsyncHwController(sim, vendor=profile, lun_count=_FTL_LUNS,
+                                 track_data=False, seed=seed)
+    raise ValueError(f"unknown chaos target {name!r}")
+
+
+def _run_ftl_phase(target: str, profile: VendorProfile,
+                   campaign: FaultCampaign, inject: bool) -> dict:
+    sim = Simulator()
+    controller = _make_target(target, sim, profile, campaign.seed)
+    ftl = PageMappedFtl(sim, controller, FtlConfig(
+        blocks_per_lun=8, overprovision_blocks=4,
+    ))
+    injector: Optional[FaultInjector] = None
+    if inject:
+        injector = FaultInjector(campaign, kinds=FTL_KINDS).attach(controller)
+
+    # Enough overwrite passes that GC recycles every block at least
+    # once — a grown_bad_block fault needs its block back in rotation
+    # past the P/E threshold before it can strike.
+    span = max(1, ftl.logical_pages // 2)
+    writes = 8 * span
+    latencies: list[int] = []
+    error = ""
+
+    def workload() -> Generator:
+        for i in range(writes):
+            start = sim.now
+            yield from ftl.write(i % span, 0)
+            latencies.append(sim.now - start)
+
+    try:
+        sim.run_process(workload())
+    except Exception as exc:  # the report carries the failure
+        error = f"{type(exc).__name__}: {exc}"
+    if injector is not None:
+        injector.detach()
+
+    phase = {
+        "writes_completed": len(latencies),
+        "writes_attempted": writes,
+        "latency": _percentiles(latencies),
+        "bad_blocks": ftl.bad_blocks.as_dict(),
+        "counters": {
+            "program_fail_rewrites": ftl.program_fail_rewrites,
+            "gc_page_moves": ftl.gc_page_moves,
+            "host_writes": ftl.host_writes,
+        },
+    }
+    if error:
+        phase["error"] = error
+    if injector is not None:
+        phase["injected"] = [r.as_dict() for r in injector.records]
+        phase["fires_by_kind"] = injector.fires_by_kind()
+        phase.update(_ftl_recovery_accounting(ftl, campaign, injector, error))
+    return phase
+
+
+def _ftl_recovery_accounting(ftl: PageMappedFtl, campaign: FaultCampaign,
+                             injector: FaultInjector, error: str) -> dict:
+    fires = injector.fires_by_kind()
+    grown_keys = {
+        (spec.lun, spec.block)
+        for spec in campaign.faults
+        if spec.kind is FaultKind.GROWN_BAD_BLOCK
+    }
+    recovered = {kind.value: 0 for kind in FTL_KINDS}
+    for record in ftl.bad_blocks.journal:
+        if record.reason == REASON_FACTORY:
+            continue
+        if (record.lun, record.block) in grown_keys:
+            recovered[FaultKind.GROWN_BAD_BLOCK.value] += 1
+        elif record.reason == REASON_PROGRAM_FAIL:
+            recovered[FaultKind.PROGRAM_FAIL.value] += 1
+        elif record.reason == REASON_ERASE_FAIL:
+            recovered[FaultKind.ERASE_FAIL.value] += 1
+    recovered = {
+        kind: min(count, fires.get(kind, 0))
+        for kind, count in sorted(recovered.items())
+    }
+    # A workload that died mid-flight recovered nothing, whatever the
+    # journal says (a retirement that crashed the FTL is not recovery).
+    if error:
+        recovered = {kind: 0 for kind in recovered}
+    unrecovered = {
+        kind: fires.get(kind, 0) - recovered[kind] for kind in recovered
+    }
+    return {"recovered_by_kind": recovered, "unrecovered_by_kind": unrecovered}
+
+
+# ----------------------------------------------------------------------
+# Phase 2: protocol faults through the recovery stack (BABOL only)
+# ----------------------------------------------------------------------
+
+def _run_ops_phase(profile: VendorProfile, campaign: FaultCampaign,
+                   inject: bool) -> dict:
+    sim = Simulator()
+    controller = BabolController(sim, ControllerConfig(
+        vendor=profile, lun_count=_OPS_LUNS, track_data=True,
+        seed=campaign.seed, watchdog=Watchdog.for_vendor(profile),
+    ))
+    # The reliable reader's job here is recovering *injected* bus
+    # corruption; background RBER noise would blur the accounting.
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    reader = ReliableReader(
+        controller, BchEngine(BchConfig(codeword_bytes=256, t=4)))
+    recovery = RecoveryManager(controller)
+    injector: Optional[FaultInjector] = None
+    if inject:
+        injector = FaultInjector(campaign, kinds=OPS_KINDS).attach(controller)
+
+    page_bytes = profile.geometry.full_page_size
+    outs = [
+        {"programs": 0, "reads": 0, "op_failed": 0, "degraded": False,
+         "latencies": []}
+        for _ in range(_OPS_LUNS)
+    ]
+    feature_state = {"readback": None}
+
+    def worker(lun: int, out: dict) -> Generator:
+        base = lun * page_bytes
+        read_base = (_OPS_LUNS + lun) * page_bytes
+        pattern = ((np.arange(page_bytes) * (lun + 3)) % 251).astype(np.uint8)
+        if lun == _FEATURE_LUN:
+            task = controller.set_features(lun, _FEATURE_ADDR, _FEATURE_PARAMS)
+            yield from controller.wait(task)
+            task = controller.get_features(lun, _FEATURE_ADDR)
+            readback = yield from controller.wait(task)
+            if readback is not None:
+                feature_state["readback"] = [int(b) for b in readback]
+        for page in range(_OPS_PAGES):
+            controller.dram.write(base, pattern)
+            start = sim.now
+            try:
+                yield from recovery.program_page(lun, 1, page, base)
+            except DieDegraded:
+                out["degraded"] = True
+                return
+            except OpFailed:
+                out["op_failed"] += 1
+                continue
+            out["latencies"].append(sim.now - start)
+            out["programs"] += 1
+        for page in range(_OPS_PAGES):
+            start = sim.now
+            try:
+                yield from reader.read(lun, 1, page, read_base)
+            except DieDegraded:
+                out["degraded"] = True
+                return
+            out["latencies"].append(sim.now - start)
+            out["reads"] += 1
+
+    procs = [
+        sim.spawn(worker(lun, outs[lun]), name=f"chaos-lun{lun}")
+        for lun in range(_OPS_LUNS)
+    ]
+
+    def join() -> Generator:
+        for proc in procs:
+            yield WaitProcess(proc)
+
+    sim.run_process(join())
+    if injector is not None:
+        injector.detach()
+
+    latencies = [ns for out in outs for ns in out["latencies"]]
+    phase = {
+        "per_lun": [
+            {"lun": i, "programs": out["programs"], "reads": out["reads"],
+             "op_failed": out["op_failed"], "degraded": out["degraded"]}
+            for i, out in enumerate(outs)
+        ],
+        "degraded_luns": sorted(recovery.degraded_luns),
+        "feature_readback": feature_state["readback"],
+        "latency": _percentiles(latencies),
+        "counters": {
+            "recovery": recovery.stats.as_dict(),
+            "reliability": {
+                "reads": reader.stats.reads,
+                "clean": reader.stats.clean,
+                "retried": reader.stats.retried,
+                "replica": reader.stats.replica,
+                "uncorrectable": reader.stats.uncorrectable,
+            },
+        },
+    }
+    if injector is not None:
+        phase["injected"] = [r.as_dict() for r in injector.records]
+        phase["fires_by_kind"] = injector.fires_by_kind()
+        phase.update(_ops_recovery_accounting(recovery, reader, injector,
+                                              feature_state["readback"]))
+    return phase
+
+
+def _ops_recovery_accounting(recovery: RecoveryManager,
+                             reader: ReliableReader,
+                             injector: FaultInjector,
+                             feature_readback) -> dict:
+    fires = injector.fires_by_kind()
+    rstats = recovery.stats
+    recovered = {}
+    stuck = fires.get(FaultKind.STUCK_BUSY.value, 0)
+    recovered[FaultKind.STUCK_BUSY.value] = min(
+        stuck, rstats.recovered_by_retry + rstats.recovered_by_reset)
+    corrupt = fires.get(FaultKind.TRANSFER_CORRUPT.value, 0)
+    recovered[FaultKind.TRANSFER_CORRUPT.value] = min(
+        corrupt, reader.stats.retried + reader.stats.replica)
+    # A dropped SET FEATURES counts as recovered when it was *observed*
+    # (the read-back disagrees with what was written) and no read went
+    # uncorrectable because of the stale register.
+    drops = fires.get(FaultKind.FEATURE_DROP.value, 0)
+    observed = drops > 0 and feature_readback != list(_FEATURE_PARAMS)
+    recovered[FaultKind.FEATURE_DROP.value] = (
+        drops if observed and reader.stats.uncorrectable == 0 else 0)
+    # die_hang is deliberately unrecoverable: the pass criterion is
+    # graceful degradation, tallied separately via degraded_luns.
+    recovered[FaultKind.DIE_HANG.value] = 0
+    unrecovered = {
+        kind: fires.get(kind, 0) - count
+        for kind, count in sorted(recovered.items())
+        if FaultKind(kind) in RECOVERABLE_KINDS
+    }
+    return {"recovered_by_kind": recovered, "unrecovered_by_kind": unrecovered}
+
+
+# ----------------------------------------------------------------------
+# The campaign runner
+# ----------------------------------------------------------------------
+
+def run_chaos(
+    seed: int = 4,
+    vendor: Union[str, VendorProfile] = "hynix",
+    campaign: Optional[FaultCampaign] = None,
+    baselines: bool = True,
+) -> dict:
+    """Run one campaign; returns the JSON-ready report dict."""
+    if isinstance(vendor, str):
+        vendor = profile_by_name(vendor)
+    profile = _chaos_profile(vendor)
+    if campaign is None:
+        campaign = default_campaign(seed)
+    campaign.validate()
+
+    targets = ["babol"] + (["sync-hw", "async-hw"] if baselines else [])
+    report: dict = {
+        "schema": 1,
+        "campaign": campaign.to_dict(),
+        "vendor": vendor.name,
+        "targets": {},
+    }
+    injected_total = 0
+    recovered_total = 0
+    unrecovered: dict[str, int] = {}
+    degraded_luns: list[int] = []
+
+    for target in targets:
+        entry: dict = {}
+        faulted = _run_ftl_phase(target, profile, campaign, inject=True)
+        clean = _run_ftl_phase(target, profile, campaign, inject=False)
+        faulted["latency_clean"] = clean["latency"]
+        faulted["added_p99_ns"] = (
+            faulted["latency"]["p99_ns"] - clean["latency"]["p99_ns"])
+        entry["ftl"] = faulted
+        injected_total += len(faulted.get("injected", ()))
+        recovered_total += sum(faulted.get("recovered_by_kind", {}).values())
+        for kind, count in faulted.get("unrecovered_by_kind", {}).items():
+            if count:
+                unrecovered[f"{target}/ftl/{kind}"] = count
+
+        if target == "babol":
+            ops = _run_ops_phase(profile, campaign, inject=True)
+            ops_clean = _run_ops_phase(profile, campaign, inject=False)
+            ops["latency_clean"] = ops_clean["latency"]
+            ops["added_p99_ns"] = (
+                ops["latency"]["p99_ns"] - ops_clean["latency"]["p99_ns"])
+            entry["ops"] = ops
+            injected_total += len(ops.get("injected", ()))
+            recovered_total += sum(ops.get("recovered_by_kind", {}).values())
+            for kind, count in ops.get("unrecovered_by_kind", {}).items():
+                if count:
+                    unrecovered[f"{target}/ops/{kind}"] = count
+            degraded_luns = ops["degraded_luns"]
+
+        report["targets"][target] = entry
+
+    report["summary"] = {
+        "injected_total": injected_total,
+        "recovered_total": recovered_total,
+        "unrecovered_total": sum(unrecovered.values()),
+        "unrecovered": unrecovered,
+        "degraded_luns": degraded_luns,
+    }
+    report["exit_code"] = (
+        EXIT_UNRECOVERED if unrecovered else EXIT_OK)
+    return report

@@ -1,0 +1,157 @@
+"""Fault plans and campaigns: the declarative side of `repro.faults`.
+
+A :class:`FaultSpec` describes one fault to arm — its kind, where it
+strikes (LUN/block), when it triggers (op count, simulated time, a
+seeded probability per opportunity), and how often it may fire.  A
+:class:`FaultCampaign` is a named, seeded collection of specs,
+round-trippable through JSON so campaigns are artifacts you can check
+in, diff, and replay byte-for-byte.
+
+The kinds span the stack's layers:
+
+=================   ========================================================
+``program_fail``    PROGRAM completes with the ONFI FAIL bit; nothing commits
+``erase_fail``      ERASE completes with FAIL (classic worn-block symptom)
+``stuck_busy``      R/B# never deasserts (``stretch=0``) or deasserts after
+                    ``stretch``× the nominal array time (slow die)
+``die_hang``        every busy — including RESET — hangs: the die is dead
+``transfer_corrupt`` bytes flipped on a bus data segment (DMA corruption)
+``grown_bad_block`` a block starts failing program/erase once its erase
+                    count reaches ``pe_threshold``
+``feature_drop``    SET FEATURES silently ignored (breaks read-retry)
+=================   ========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class FaultKind(str, enum.Enum):
+    PROGRAM_FAIL = "program_fail"
+    ERASE_FAIL = "erase_fail"
+    STUCK_BUSY = "stuck_busy"
+    DIE_HANG = "die_hang"
+    TRANSFER_CORRUPT = "transfer_corrupt"
+    GROWN_BAD_BLOCK = "grown_bad_block"
+    FEATURE_DROP = "feature_drop"
+
+
+# Kinds the recovery stack is expected to fully absorb.  A die hang is
+# deliberately unrecoverable: the success criterion there is *graceful
+# degradation* (the die goes offline, the package keeps serving).
+RECOVERABLE_KINDS = frozenset(
+    k for k in FaultKind if k is not FaultKind.DIE_HANG
+)
+
+# Which busy kinds a stuck_busy fault may strike (a die_hang strikes
+# everything, RESET included — that is what makes it terminal).
+_STUCK_BUSY_KINDS = frozenset({"read", "program", "erase"})
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault."""
+
+    kind: FaultKind
+    lun: Optional[int] = None       # None = any LUN
+    block: Optional[int] = None     # address trigger (None = any block)
+    count: Optional[int] = 1        # max fires; None = unlimited
+    after_op: int = 0               # skip the first N matching ops per LUN
+    after_ns: int = 0               # dormant before this simulated time
+    probability: float = 1.0        # seeded coin per opportunity
+    stretch: float = 0.0            # stuck_busy: 0 = hang, >0 = N× nominal
+    pe_threshold: int = 0           # grown_bad_block: arm at this erase count
+    direction: Optional[str] = None  # transfer_corrupt: "in", "out", or both
+
+    def __post_init__(self) -> None:
+        self.kind = FaultKind(self.kind)
+        self.validate()
+
+    def validate(self) -> None:
+        if self.count is not None and self.count < 1:
+            raise ValueError("count must be >= 1 (or None for unlimited)")
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.after_op < 0 or self.after_ns < 0:
+            raise ValueError("triggers cannot be negative")
+        if self.stretch < 0:
+            raise ValueError("stretch must be >= 0")
+        if self.kind is FaultKind.GROWN_BAD_BLOCK and self.block is None:
+            raise ValueError("grown_bad_block needs a target block")
+        if self.direction not in (None, "in", "out"):
+            raise ValueError("direction must be 'in', 'out', or None")
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind.value}
+        defaults = {
+            "lun": None, "block": None, "count": 1, "after_op": 0,
+            "after_ns": 0, "probability": 1.0, "stretch": 0.0,
+            "pe_threshold": 0, "direction": None,
+        }
+        for key, default in defaults.items():
+            value = getattr(self, key)
+            if value != default:
+                data[key] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**data)
+
+
+@dataclass
+class FaultCampaign:
+    """A named, seeded, JSON-round-trippable set of fault specs."""
+
+    name: str
+    seed: int
+    faults: list[FaultSpec] = field(default_factory=list)
+    description: str = ""
+
+    def validate(self) -> None:
+        for spec in self.faults:
+            spec.validate()
+
+    def kinds(self) -> set[FaultKind]:
+        return {spec.kind for spec in self.faults}
+
+    # -- JSON round trip ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.faults],
+        }
+        if self.description:
+            data["description"] = self.description
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultCampaign":
+        return cls(
+            name=data["name"],
+            seed=int(data["seed"]),
+            faults=[FaultSpec.from_dict(item) for item in data.get("faults", [])],
+            description=data.get("description", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultCampaign":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultCampaign":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")

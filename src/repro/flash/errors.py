@@ -34,7 +34,9 @@ class ErrorModelConfig:
     max_retry_distance: int = 8
 
     def validate(self) -> None:
-        if self.base_rber < 0 or self.wear_rber_per_kcycle < 0:
+        if (self.base_rber < 0 or self.wear_rber_per_kcycle < 0
+                or self.retention_rber_per_hour < 0
+                or self.retry_penalty_per_step < 0):
             raise ValueError("error-rate constants must be non-negative")
 
     @classmethod

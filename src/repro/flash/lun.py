@@ -104,6 +104,7 @@ class Lun:
         self.rb_taps: list = []  # probes called with (lun, busy) on R/B# edges
         self._san_flash = None      # FlashSanitizer when attached
         self._san_liveness = None   # LivenessSanitizer when attached
+        self._fault_hook = None     # FaultInjector when attached (repro.faults)
         self._rng = np.random.default_rng(seed ^ 0x5A5A)
 
         self.state = LunState.IDLE
@@ -386,10 +387,17 @@ class Lun:
         if self._pending_opcode == CMD.SET_FEATURES:
             data = self._fetch(action, 4)
             params = tuple(int(b) for b in data[:4])
+            finish = lambda: self.features.set(self._feature_addr, params)  # noqa: E731
+            if self._fault_hook is not None and self._fault_hook.on_set_features(
+                self, self._feature_addr, params
+            ):
+                # Injected FEATURE DROP: the die goes busy for tFEAT and
+                # acknowledges, but the register write is silently lost.
+                finish = None
             self._begin_busy(
                 _BusyKind.FEATURE,
                 self.profile.timing.t_feat_ns,
-                finish=lambda: self.features.set(self._feature_addr, params),
+                finish=finish,
             )
             return
         # Program path: fill the page register at the given column.
@@ -542,12 +550,20 @@ class Lun:
 
         def finish() -> None:
             failed = False
-            for target in targets:
-                plane = self.codec.plane_of(target)
-                ok = self.array.program(
-                    target, registers[plane], now_ns=self.sim.now, cell_mode=mode
-                )
-                failed = failed or not ok
+            if self._fault_hook is not None and self._fault_hook.on_program(
+                self, targets
+            ):
+                # Injected PROGRAM FAIL: the array never commits and the
+                # die raises the ONFI FAIL bit, exactly like a grown-bad
+                # page refusing to verify.
+                failed = True
+            else:
+                for target in targets:
+                    plane = self.codec.plane_of(target)
+                    ok = self.array.program(
+                        target, registers[plane], now_ns=self.sim.now, cell_mode=mode
+                    )
+                    failed = failed or not ok
             self.programs_completed += len(targets)
             self.status.finish_operation(failed=failed)
 
@@ -586,9 +602,14 @@ class Lun:
 
         def finish() -> None:
             failed = False
-            for target in targets:
-                ok = self.array.erase(target.block, cell_mode=mode)
-                failed = failed or not ok
+            if self._fault_hook is not None and self._fault_hook.on_erase(
+                self, targets
+            ):
+                failed = True
+            else:
+                for target in targets:
+                    ok = self.array.erase(target.block, cell_mode=mode)
+                    failed = failed or not ok
             self.erases_completed += len(targets)
             self.status.finish_operation(failed=failed)
 
@@ -610,13 +631,23 @@ class Lun:
         finish=None,
         sets_status: bool = True,
     ) -> None:
+        if self._fault_hook is not None:
+            duration = self._fault_hook.on_busy(self, kind.value, duration)
         self.status.begin_operation()
         self.state = LunState.ARRAY_BUSY
         self._busy_kind = kind
         self._busy_finish = finish
+        self._sets_status = sets_status
+        if duration is None:
+            # Injected die hang: R/B# stays low forever.  No completion
+            # is scheduled; only a RESET (legal while busy) cancels the
+            # operation — which never committed — and revives the die.
+            self._busy_until = -1
+            self._busy_event = None
+            self._notify_rb(True)
+            return
         self._busy_until = self.sim.now + duration
         self.busy_ns_total += duration
-        self._sets_status = sets_status
         self._busy_event = self.sim.schedule(duration, self._finish_busy)
         self._notify_rb(True)
 
@@ -662,8 +693,8 @@ class Lun:
             raise LunProtocolError(f"{self.profile.name} has no suspend opcode")
         if self.state is not LunState.ARRAY_BUSY or self._busy_kind not in _SUSPENDABLE:
             raise LunProtocolError("suspend latched with no suspendable operation")
-        assert self._busy_event is not None
-        self._busy_event.cancel()
+        if self._busy_event is not None:  # a hung busy has no event
+            self._busy_event.cancel()
         self._suspend_remaining = max(self._busy_until - self.sim.now, 0)
         self._suspended_kind = self._busy_kind
         self._suspended_finish = self._busy_finish

@@ -6,12 +6,15 @@ end-to-end experiment runs against a full SSD stack rather than bare
 channel injection.
 """
 
+from repro.ftl.badblocks import GrownBadBlockTable, RetirementRecord
 from repro.ftl.mapping import MapEntry, PageMapTable
 from repro.ftl.gc import CostBenefitPolicy, GreedyPolicy, VictimPolicy
 from repro.ftl.ftl import FtlConfig, PageMappedFtl
 from repro.ftl.wear import WearTracker
 
 __all__ = [
+    "GrownBadBlockTable",
+    "RetirementRecord",
     "MapEntry",
     "PageMapTable",
     "CostBenefitPolicy",

@@ -1,0 +1,105 @@
+"""Grown-bad-block table with a retirement journal.
+
+Real controllers persist two things about bad blocks: the *table*
+(which blocks are out of rotation, consulted on every allocation) and
+the *journal* (when and why each one left, consulted by fleet
+telemetry).  This module models both: :class:`GrownBadBlockTable`
+answers membership queries in O(1) and keeps an append-only list of
+:class:`RetirementRecord` entries — factory marks, program-fail
+retirements from the write path, and erase-fail retirements from GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+# Canonical retirement reasons (free-form strings are accepted, but the
+# FTL and the chaos reporter use these).
+REASON_FACTORY = "factory"
+REASON_PROGRAM_FAIL = "program-fail"
+REASON_ERASE_FAIL = "erase-fail"
+
+
+@dataclass(frozen=True)
+class RetirementRecord:
+    """One journal entry: a block leaving the rotation forever."""
+
+    time_ns: int
+    lun: int
+    block: int
+    reason: str
+    pe_cycles: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "time_ns": self.time_ns,
+            "lun": self.lun,
+            "block": self.block,
+            "reason": self.reason,
+            "pe_cycles": self.pe_cycles,
+        }
+
+
+class GrownBadBlockTable:
+    """Membership set + journal of retired blocks."""
+
+    def __init__(self) -> None:
+        self._journal: list[RetirementRecord] = []
+        self._blocks: dict[tuple[int, int], RetirementRecord] = {}
+
+    def retire(self, time_ns: int, lun: int, block: int, reason: str,
+               pe_cycles: int = 0) -> RetirementRecord:
+        """Journal a retirement; re-retiring a block is a no-op (the
+        first record wins — a block only dies once)."""
+        key = (lun, block)
+        existing = self._blocks.get(key)
+        if existing is not None:
+            return existing
+        record = RetirementRecord(
+            time_ns=time_ns, lun=lun, block=block,
+            reason=reason, pe_cycles=pe_cycles,
+        )
+        self._journal.append(record)
+        self._blocks[key] = record
+        return record
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Blocks in retirement order (journal order)."""
+        return iter((r.lun, r.block) for r in self._journal)
+
+    def record_for(self, lun: int, block: int) -> Optional[RetirementRecord]:
+        return self._blocks.get((lun, block))
+
+    @property
+    def journal(self) -> tuple[RetirementRecord, ...]:
+        return tuple(self._journal)
+
+    def blocks(self) -> list[tuple[int, int]]:
+        return [(r.lun, r.block) for r in self._journal]
+
+    def counts_by_reason(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self._journal:
+            counts[record.reason] = counts.get(record.reason, 0) + 1
+        return counts
+
+    def as_dict(self) -> list[dict]:
+        """JSON-ready journal (deterministic: journal order)."""
+        return [record.as_dict() for record in self._journal]
+
+    def describe(self) -> str:
+        by_reason = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.counts_by_reason().items())
+        )
+        return f"GrownBadBlockTable: {len(self)} blocks ({by_reason or 'empty'})"

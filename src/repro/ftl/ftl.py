@@ -22,6 +22,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from repro.ftl.badblocks import (
+    GrownBadBlockTable,
+    REASON_ERASE_FAIL,
+    REASON_FACTORY,
+    REASON_PROGRAM_FAIL,
+)
 from repro.ftl.gc import GreedyPolicy, VictimPolicy
 from repro.ftl.mapping import MapEntry, PageMapTable
 from repro.ftl.wear import WearTracker
@@ -101,6 +107,9 @@ class PageMappedFtl:
         self._active: list[Optional[BlockInfo]] = [None] * self.lun_count
         self._closed: list[list[BlockInfo]] = [[] for _ in range(self.lun_count)]
         self._info: dict[tuple[int, int], BlockInfo] = {}
+        # ``bad_blocks`` is the journaled table; ``retired_blocks`` is a
+        # plain (lun, block) list kept as the historical view of it.
+        self.bad_blocks = GrownBadBlockTable()
         self.retired_blocks: list[tuple[int, int]] = []
         for lun in range(self.lun_count):
             # Factory bad-block scan: defective blocks never enter the
@@ -117,7 +126,8 @@ class PageMappedFtl:
                     f"LUN {lun}: only {len(usable)} good blocks for "
                     f"{usable_blocks} logical blocks"
                 )
-            self.retired_blocks.extend((lun, b) for b in sorted(bad))
+            for b in sorted(bad):
+                self._retire_block(lun, b, REASON_FACTORY)
             self._free.append(deque(usable))
 
         self._write_rotor = 0
@@ -127,6 +137,7 @@ class PageMappedFtl:
         self.host_writes = 0
         self.gc_runs = 0
         self.gc_page_moves = 0
+        self.program_fail_rewrites = 0
 
     # ------------------------------------------------------------------
     # Host-facing I/O (generators: drive from a simulation process)
@@ -167,6 +178,7 @@ class PageMappedFtl:
             info.inflight -= 1
             yield from self._retire(info)
             entry = yield from self.write(lpn, dram_address)
+            self.program_fail_rewrites += 1
             return entry
         entry = MapEntry(lun=lun, block=info.block, page=page)
         old = self.map.bind(lpn, entry)
@@ -304,7 +316,7 @@ class PageMappedFtl:
         if not ok:
             # The block wore out: retire it; the pool shrinks into the
             # overprovisioning budget.
-            self.retired_blocks.append((lun, victim.block))
+            self._retire_block(lun, victim.block, REASON_ERASE_FAIL)
             return
         self.wear.record_erase(lun, victim.block)
         self._free[lun].append(victim.block)
@@ -340,7 +352,17 @@ class PageMappedFtl:
             self.gc_page_moves += 1
         victim.valid.clear()
         self._info.pop((lun, victim.block), None)
-        self.retired_blocks.append((lun, victim.block))
+        self._retire_block(lun, victim.block, REASON_PROGRAM_FAIL)
+
+    def _retire_block(self, lun: int, block: int, reason: str) -> None:
+        """Journal a retirement and drop the block from wear tracking
+        (a dead block must not skew the leveling statistics)."""
+        pe = self.wear.erase_count(lun, block)
+        if not pe:
+            pe = self.controller.luns[lun].array.block(block).erase_count
+        self.bad_blocks.retire(self.sim.now, lun, block, reason, pe_cycles=pe)
+        self.retired_blocks.append((lun, block))
+        self.wear.counts.pop((lun, block), None)
 
     # ------------------------------------------------------------------
     # Static wear leveling

@@ -27,7 +27,13 @@ from repro.obs.chrome import (
     render_text_summary,
     write_chrome_trace,
 )
-from repro.obs.instrument import register_controller_metrics, traced_op
+from repro.obs.instrument import (
+    register_controller_metrics,
+    register_ftl_health_metrics,
+    register_recovery_metrics,
+    register_reliability_metrics,
+    traced_op,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
     ALL_CATEGORIES,
@@ -49,6 +55,9 @@ __all__ = [
     "Tracer",
     "chrome_trace_events",
     "register_controller_metrics",
+    "register_ftl_health_metrics",
+    "register_recovery_metrics",
+    "register_reliability_metrics",
     "render_text_summary",
     "traced_op",
     "write_chrome_trace",

@@ -118,3 +118,58 @@ def register_controller_metrics(registry: MetricsRegistry, controller,
     registry.register_collector(f"{p}env.{env.runtime_name}", env_stats)
     registry.register_collector(f"{p}cpu.{cpu.name}", cpu_stats)
     return registry
+
+
+def register_reliability_metrics(registry: MetricsRegistry, reader,
+                                 prefix: str = "") -> MetricsRegistry:
+    """Expose a :class:`~repro.core.reliability.ReliableReader`'s
+    counters (reads, retries, replica fallbacks, uncorrectables) as a
+    pull collector.  Returns the registry for chaining."""
+    p = f"{prefix}." if prefix else ""
+    stats = reader.stats
+
+    def reliability_stats() -> dict:
+        return {
+            "reads": stats.reads,
+            "clean": stats.clean,
+            "retried": stats.retried,
+            "replica": stats.replica,
+            "uncorrectable": stats.uncorrectable,
+            "bits_corrected": stats.bits_corrected,
+        }
+
+    registry.register_collector(f"{p}reliability", reliability_stats)
+    return registry
+
+
+def register_recovery_metrics(registry: MetricsRegistry, manager,
+                              prefix: str = "") -> MetricsRegistry:
+    """Expose a :class:`~repro.core.recovery.RecoveryManager`'s
+    escalation counters (timeouts, retries, RESETs, degraded dies) as a
+    pull collector.  Returns the registry for chaining."""
+    p = f"{prefix}." if prefix else ""
+
+    def recovery_stats() -> dict:
+        snapshot = dict(manager.stats.as_dict())
+        snapshot["degraded_luns"] = sorted(manager.degraded_luns)
+        return snapshot
+
+    registry.register_collector(f"{p}recovery", recovery_stats)
+    return registry
+
+
+def register_ftl_health_metrics(registry: MetricsRegistry, ftl,
+                                prefix: str = "") -> MetricsRegistry:
+    """Expose a :class:`~repro.ftl.PageMappedFtl`'s failure-handling
+    state: the grown-bad-block table and the rewrite counter."""
+    p = f"{prefix}." if prefix else ""
+
+    def ftl_health() -> dict:
+        return {
+            "bad_blocks": len(ftl.bad_blocks),
+            "bad_blocks_by_reason": ftl.bad_blocks.counts_by_reason(),
+            "program_fail_rewrites": ftl.program_fail_rewrites,
+        }
+
+    registry.register_collector(f"{p}ftl_health", ftl_health)
+    return registry

@@ -170,6 +170,12 @@ def test_injection_deterministic_per_seed():
 def test_error_config_validation():
     with pytest.raises(ValueError):
         ErrorModelConfig(base_rber=-1).validate()
+    with pytest.raises(ValueError):
+        ErrorModelConfig(wear_rber_per_kcycle=-1e-6).validate()
+    with pytest.raises(ValueError):
+        ErrorModelConfig(retention_rber_per_hour=-1e-9).validate()
+    with pytest.raises(ValueError):
+        ErrorModelConfig(retry_penalty_per_step=-1e-9).validate()
 
 
 def test_cell_mode_profiles_are_consistent():

@@ -251,6 +251,25 @@ def test_uncorrectable_when_everything_fails():
     assert "lost 1" in reader.describe()
 
 
+def test_uncorrectable_counts_and_restores_retry_register():
+    # No replica registered, every retry level hopeless: the full sweep
+    # must run, every counter must land on the uncorrectable column,
+    # and the vendor retry register must be back at the default level.
+    sim, controller, reader = make_reliable(retry_penalty=5e-2, optimal_level=20)
+    program(controller, 0, 2, 0)
+    result = sim.run_process(reader.read(0, 2, 0, 100_000))
+    assert result.outcome is ReadOutcome.UNCORRECTABLE
+    assert reader.stats.reads == 1
+    assert reader.stats.clean == 0
+    assert reader.stats.retried == 0
+    assert reader.stats.replica == 0
+    assert reader.stats.uncorrectable == 1
+    # The failed sweep swept levels 1..max on LUN 0; the op program
+    # restores the SET FEATURES retry register before returning, so a
+    # later read is not silently biased by the last-tried voltage.
+    assert controller.luns[0].features.read_retry_level == 0
+
+
 def test_stats_accumulate_latency_ordering():
     sim, controller, reader = make_reliable(retry_penalty=3e-3, optimal_level=2)
     program(controller, 0, 2, 0)

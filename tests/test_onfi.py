@@ -137,6 +137,33 @@ def test_status_fail_shifts_to_failc():
     assert not reg.value() & StatusBits.FAIL
 
 
+def test_status_failc_ages_out_after_clean_cycle():
+    reg = StatusRegister()
+    reg.begin_operation()
+    reg.finish_operation(failed=True)
+    # The old failure shifts into FAILC on the next launch...
+    reg.begin_operation()
+    reg.finish_operation(failed=False)
+    assert reg.value() & StatusBits.FAILC
+    # ...and disappears entirely one clean cycle later.
+    reg.begin_operation()
+    value = reg.value()
+    assert not value & StatusBits.FAIL
+    assert not value & StatusBits.FAILC
+
+
+def test_status_back_to_back_failures_set_both_bits():
+    reg = StatusRegister()
+    reg.begin_operation()
+    reg.finish_operation(failed=True)
+    reg.begin_operation()
+    reg.finish_operation(failed=True)
+    value = reg.value()
+    assert value & StatusBits.FAIL
+    assert value & StatusBits.FAILC
+    assert StatusRegister.is_failed(value)
+
+
 def test_status_cache_phase_rdy_without_ardy():
     reg = StatusRegister()
     reg.begin_operation()
