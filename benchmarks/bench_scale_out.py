@@ -1,0 +1,61 @@
+"""Scale-out sweep — multi-channel array throughput vs channels × QD.
+
+Beyond the paper's single-channel figures: one BABOL channel controller
+per channel, LPNs striped round-robin by :class:`ShardedFtl`, and the
+queue-depth host engine keeping every channel's queue pair full.  The
+table shows simulated bandwidth scaling as channels grow (near-linear —
+channels share nothing) and how queue depth trades bandwidth for tail
+latency within a channel.
+"""
+
+import pytest
+
+from repro.host import ScaleEngine, ScaleJob, build_scale_stack, run_scale_workload
+from repro.sim import Simulator
+
+from benchmarks.conftest import print_table
+
+CHANNELS = [1, 2, 4, 8]
+DEPTHS = [8, 32]
+IOS = 192
+
+
+def run_cell(channels: int, depth: int):
+    sim = Simulator()
+    _, ftl = build_scale_stack(sim, channels=channels, luns_per_channel=4,
+                               vendor="hynix")
+    engine = ScaleEngine(sim, ftl, queue_depth=depth)
+    return run_scale_workload(sim, engine, ScaleJob(io_count=IOS))
+
+
+def run_experiment():
+    return {
+        (ch, qd): run_cell(ch, qd)
+        for ch in CHANNELS
+        for qd in DEPTHS
+    }
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_out_sweep(benchmark):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for qd in DEPTHS:
+        base = data[(1, qd)].throughput_mb_s
+        rows = []
+        for ch in CHANNELS:
+            result = data[(ch, qd)]
+            rows.append([
+                str(ch), f"{result.throughput_mb_s:.1f}",
+                f"{result.iops:.0f}",
+                f"{result.p99_latency_ns / 1000:.1f}",
+                f"{result.throughput_mb_s / base:.2f}x",
+            ])
+        print_table(
+            f"Scale-out: {IOS} sequential READs, 4 LUNs/channel, QD{qd}",
+            ["channels", "MB/s (sim)", "IOPS", "p99 µs", "scaling"],
+            rows,
+        )
+
+    benchmark.extra_info["qd32_scaling_1to4"] = round(
+        data[(4, 32)].throughput_mb_s / data[(1, 32)].throughput_mb_s, 2)

@@ -1,0 +1,231 @@
+"""Scale-out performance sweep and the perf-regression gate.
+
+``repro perf`` sweeps channel count × queue depth over the
+:class:`~repro.host.engine.ScaleEngine` stack and serializes two kinds
+of numbers into one report (``BENCH_scale.json``):
+
+* **simulated** throughput/latency — a pure function of the topology
+  and job, identical on every machine, so the CI gate can hold them to
+  a tight tolerance;
+* **host wall-clock** dispatch cost (µs of host CPU per simulated
+  command, ``time.process_time`` so co-tenant noise is excluded) plus
+  kernel primitive microbenchmarks — machine-dependent, gated only by a
+  generous ceiling.
+
+:func:`compare_reports` is the gate itself: it diffs a fresh report
+against the checked-in baseline and returns human-readable regression
+lines (empty means pass).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.sim import Simulator
+from repro.sim.kernel import Timeout
+
+DEFAULT_THROUGHPUT_TOLERANCE = 0.10
+# Host-CPU ceiling headroom over the machine that generated a baseline.
+# Wide on purpose: the gate should catch a hot path going off a cliff
+# (an accidental O(n) scan per event), not CI-runner generation gaps.
+DISPATCH_CEILING_FACTOR = 8.0
+DISPATCH_CEILING_FLOOR_US = 400.0
+
+
+def kernel_microbench(events: int = 20_000, rounds: int = 3) -> dict:
+    """Isolated cost of the two hottest kernel primitives, in ns of host
+    CPU per simulated event (min over ``rounds`` to shed scheduler noise).
+    """
+    from repro.sim.sync import Trigger
+
+    def timed_chain() -> float:
+        sim = Simulator()
+
+        def chain():
+            for _ in range(events):
+                yield Timeout(10)
+
+        started = time.process_time()
+        sim.run_process(chain(), name="kbench-timeout")
+        return (time.process_time() - started) / events * 1e9
+
+    def trigger_fanout() -> float:
+        sim = Simulator()
+        trigger = Trigger(sim)
+        fires = max(events // 2, 1)
+
+        def waiter():
+            for _ in range(fires):
+                yield from trigger.wait()
+
+        def firer():
+            for _ in range(fires):
+                trigger.fire()
+                yield Timeout(1)
+
+        sim.spawn(waiter(), name="kbench-waiter")
+        started = time.process_time()
+        sim.run_process(firer(), name="kbench-firer")
+        return (time.process_time() - started) / fires * 1e9
+
+    return {
+        "events": events,
+        "timeout_ns_per_event": round(min(timed_chain() for _ in range(rounds)), 1),
+        "trigger_ns_per_fire": round(min(trigger_fanout() for _ in range(rounds)), 1),
+    }
+
+
+def cell_key(channels: int, queue_depth: int) -> str:
+    return f"c{channels}_qd{queue_depth}"
+
+
+def run_scale_cell(
+    channels: int,
+    queue_depth: int,
+    luns_per_channel: int = 4,
+    io_count: int = 192,
+    vendor: str = "hynix",
+    pattern: str = "sequential",
+    doorbell_batch: int = 4,
+) -> dict:
+    """One sweep cell: build the stack, run the job, report both the
+    simulated outcome and the host CPU cost of driving it."""
+    from repro.host.engine import (
+        ScaleEngine,
+        ScaleJob,
+        build_scale_stack,
+        run_scale_workload,
+    )
+
+    sim = Simulator()
+    _, ftl = build_scale_stack(
+        sim, channels=channels, luns_per_channel=luns_per_channel,
+        vendor=vendor,
+    )
+    engine = ScaleEngine(sim, ftl, queue_depth=queue_depth,
+                         doorbell_batch=doorbell_batch)
+    job = ScaleJob(pattern=pattern, io_count=io_count)
+    started = time.process_time()
+    result = run_scale_workload(sim, engine, job)
+    wall_s = time.process_time() - started
+    cell = result.to_json_obj()
+    cell["host"] = {
+        "dispatch_us_per_op": round(wall_s / max(result.commands, 1) * 1e6, 1),
+        "wall_s": round(wall_s, 4),
+    }
+    return cell
+
+
+def run_perf_sweep(
+    channel_counts=(1, 2, 4),
+    queue_depths=(8, 32),
+    luns_per_channel: int = 4,
+    io_count: int = 192,
+    vendor: str = "hynix",
+    pattern: str = "sequential",
+    quick: bool = False,
+    microbench_events: Optional[int] = None,
+) -> dict:
+    """The full ``repro perf`` report.
+
+    ``quick`` narrows the sweep to its corner cells (1 and max channels
+    at max QD) with the same per-cell parameters, so every quick cell is
+    key-compatible with a full-sweep baseline.
+    """
+    channel_counts = sorted(set(channel_counts))
+    queue_depths = sorted(set(queue_depths))
+    if quick:
+        channel_counts = sorted({channel_counts[0], channel_counts[-1]})
+        queue_depths = [queue_depths[-1]]
+    if microbench_events is None:
+        microbench_events = 4_000 if quick else 20_000
+
+    cells = {}
+    for ch in channel_counts:
+        for qd in queue_depths:
+            cells[cell_key(ch, qd)] = run_scale_cell(
+                ch, qd, luns_per_channel=luns_per_channel,
+                io_count=io_count, vendor=vendor, pattern=pattern,
+            )
+
+    scaling = {}
+    top_qd = queue_depths[-1]
+    base_cell = cells.get(cell_key(channel_counts[0], top_qd))
+    for ch in channel_counts[1:]:
+        cell = cells.get(cell_key(ch, top_qd))
+        if base_cell and cell and base_cell["throughput_mb_s"]:
+            scaling[f"qd{top_qd}_{channel_counts[0]}to{ch}"] = round(
+                cell["throughput_mb_s"] / base_cell["throughput_mb_s"], 2
+            )
+
+    worst_dispatch = max(
+        cell["host"]["dispatch_us_per_op"] for cell in cells.values()
+    )
+    return {
+        "bench": "scale",
+        "cells": cells,
+        "gates": {
+            "dispatch_us_per_op_ceiling": round(
+                max(worst_dispatch * DISPATCH_CEILING_FACTOR,
+                    DISPATCH_CEILING_FLOOR_US), 1
+            ),
+            "throughput_tolerance": DEFAULT_THROUGHPUT_TOLERANCE,
+        },
+        "kernel": kernel_microbench(events=microbench_events),
+        "params": {
+            "io_count": io_count,
+            "luns_per_channel": luns_per_channel,
+            "pattern": pattern,
+            "vendor": vendor,
+        },
+        "quick": quick,
+        "scaling": scaling,
+        "schema": 1,
+    }
+
+
+def compare_reports(current: dict, baseline: dict) -> list[str]:
+    """The perf-regression gate.  Returns one line per violation.
+
+    * Simulated throughput of every shared cell must stay within the
+      baseline's ``throughput_tolerance`` (simulated numbers are
+      deterministic — drift means the simulated machine changed).
+    * Host dispatch µs/op must stay under the baseline's recorded
+      ceiling (wall-clock, so only a hard ceiling — not a tolerance).
+    * Cell parameters must match, else the comparison is meaningless.
+    """
+    problems: list[str] = []
+    if current.get("params") != baseline.get("params"):
+        problems.append(
+            f"params mismatch: current {current.get('params')} "
+            f"vs baseline {baseline.get('params')} — regenerate the baseline"
+        )
+        return problems
+
+    gates = baseline.get("gates", {})
+    tolerance = gates.get("throughput_tolerance", DEFAULT_THROUGHPUT_TOLERANCE)
+    ceiling = gates.get("dispatch_us_per_op_ceiling")
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+
+    shared = sorted(set(base_cells) & set(cur_cells))
+    if not shared:
+        problems.append("no comparable cells between current run and baseline")
+    for key in shared:
+        base = base_cells[key]["throughput_mb_s"]
+        cur = cur_cells[key]["throughput_mb_s"]
+        if base and abs(cur - base) / base > tolerance:
+            problems.append(
+                f"{key}: simulated throughput {cur:.2f} MB/s drifted "
+                f"{abs(cur - base) / base:+.1%} from baseline {base:.2f} MB/s "
+                f"(tolerance {tolerance:.0%})"
+            )
+        if ceiling is not None:
+            dispatch = cur_cells[key]["host"]["dispatch_us_per_op"]
+            if dispatch > ceiling:
+                problems.append(
+                    f"{key}: host dispatch {dispatch:.1f} µs/op exceeds "
+                    f"ceiling {ceiling:.1f} µs/op"
+                )
+    return problems

@@ -14,6 +14,7 @@ Usage examples::
     python -m repro.cli sanitize                  # runtime sanitizer sweep
     python -m repro.cli chaos --seed 4 --json chaos_report.json
     python -m repro.cli bench-smoke --out BENCH_smoke.json
+    python -m repro.cli perf --quick --check BENCH_scale.json
 
 Diagnostics-producing commands (``op-lint``, ``sanitize``, ``chaos``)
 share the exit-code convention of :mod:`repro.analysis.diagnostics`:
@@ -508,6 +509,57 @@ def cmd_bench_smoke(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """Scale-out perf sweep (channels × queue depth) with the
+    perf-regression gate.  Writes ``BENCH_scale.json``; with
+    ``--check BASELINE`` exits 1 when the fresh run regresses past the
+    baseline's tolerances."""
+    from repro.analysis.perfbench import compare_reports, run_perf_sweep
+
+    report = run_perf_sweep(
+        channel_counts=args.channels,
+        queue_depths=args.qd,
+        luns_per_channel=args.luns,
+        io_count=args.ios,
+        vendor=args.vendor,
+        pattern=args.pattern,
+        quick=args.quick,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+        print(f"perf -> {args.out}")
+    else:
+        print(rendered)
+
+    rows = []
+    for key in sorted(report["cells"]):
+        cell = report["cells"][key]
+        rows.append([
+            key, f"{cell['throughput_mb_s']:.1f}", f"{cell['iops']:.0f}",
+            f"{cell['latency_us']['p99']:.1f}",
+            f"{cell['host']['dispatch_us_per_op']:.1f}",
+        ])
+    _print_rows(
+        ["cell", "MB/s (sim)", "IOPS (sim)", "p99 µs (sim)", "host µs/op"],
+        rows,
+    )
+    for label, ratio in sorted(report["scaling"].items()):
+        print(f"scaling {label}: {ratio}x")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        problems = compare_reports(report, baseline)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}")
+            return 1
+        print(f"perf: within tolerance of baseline {args.check}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="babol-repro",
@@ -613,6 +665,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reads", type=int, default=4)
     p.add_argument("--out", default=None, help="JSON output path")
     p.set_defaults(func=cmd_bench_smoke)
+
+    p = sub.add_parser("perf",
+                       help="multi-channel scale sweep + perf-regression "
+                            "gate (exit 1 on regression vs --check baseline)")
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--channels", type=int, nargs="+", default=[1, 2, 4],
+                   help="channel counts to sweep")
+    p.add_argument("--qd", type=int, nargs="+", default=[8, 32],
+                   help="queue depths to sweep")
+    p.add_argument("--luns", type=int, default=4,
+                   help="LUNs per channel")
+    p.add_argument("--ios", type=int, default=192,
+                   help="commands per cell")
+    p.add_argument("--pattern", default="sequential",
+                   choices=["sequential", "random"])
+    p.add_argument("--quick", action="store_true",
+                   help="corner cells only (CI mode; keys stay "
+                        "comparable with a full-sweep baseline)")
+    p.add_argument("--out", default=None,
+                   help="write the JSON report here (e.g. BENCH_scale.json)")
+    p.add_argument("--check", metavar="BASELINE.json", default=None,
+                   help="compare against a baseline report; exit 1 on "
+                        "regression")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("table2", help="lines of code")
     p.set_defaults(func=cmd_table2)

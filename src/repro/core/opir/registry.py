@@ -27,7 +27,22 @@ from repro.core.opir.nodes import OpProgram
 _BUILDERS: dict[str, Callable[..., OpProgram]] = {}
 _PROGRAM_CACHE: dict = {}
 _PROGRAM_CACHE_MAX = 512
+# (op name, id(vendor)) -> (vendor, builder): memoized override
+# resolution so the hot dispatch path never rescans ``op_overrides``.
+# The vendor is kept in the value both to pin its id against reuse and
+# to validate the hit (`is` check) before trusting it.
+_RESOLVE_CACHE: dict = {}
+_RESOLVE_CACHE_MAX = 256
 _programs_loaded = False
+
+#: Hot-path cache counters, surfaced by ``repro perf`` — how often the
+#: dispatch path reused a resolved builder / a built program.
+CACHE_STATS = {
+    "resolve_hits": 0,
+    "resolve_misses": 0,
+    "program_hits": 0,
+    "program_misses": 0,
+}
 
 
 def op_program(name: str):
@@ -83,13 +98,37 @@ def _cached_program(builder: Callable[..., OpProgram], kwargs: dict) -> OpProgra
         key = (builder, tuple(sorted(kwargs.items())))
         program = _PROGRAM_CACHE.get(key)
     except TypeError:  # unhashable kwarg (lists of pages, ...): build fresh
+        CACHE_STATS["program_misses"] += 1
         return builder(**kwargs)
     if program is None:
+        CACHE_STATS["program_misses"] += 1
         program = builder(**kwargs)
         if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_MAX:
             _PROGRAM_CACHE.clear()
         _PROGRAM_CACHE[key] = program
+    else:
+        CACHE_STATS["program_hits"] += 1
     return program
+
+
+def _resolved_builder(name: str, vendor) -> Callable[..., OpProgram]:
+    """``resolve_builder`` behind a (name, vendor-identity) cache."""
+    key = (name, id(vendor))
+    hit = _RESOLVE_CACHE.get(key)
+    if hit is not None and hit[0] is vendor:
+        CACHE_STATS["resolve_hits"] += 1
+        return hit[1]
+    CACHE_STATS["resolve_misses"] += 1
+    builder = resolve_builder(name, vendor)
+    if len(_RESOLVE_CACHE) >= _RESOLVE_CACHE_MAX:
+        _RESOLVE_CACHE.clear()
+    _RESOLVE_CACHE[key] = (vendor, builder)
+    return builder
+
+
+def cache_stats() -> dict:
+    """Snapshot of the dispatch-path cache counters (sorted keys)."""
+    return dict(sorted(CACHE_STATS.items()))
 
 
 def run_op(ctx, name: str, **kwargs):
@@ -99,9 +138,13 @@ def run_op(ctx, name: str, **kwargs):
     via ``E("hook", (kwarg_name, ...))``); everything else goes to the
     builder.  This is the body of every thin ``*_op`` wrapper.
     """
-    hooks = {key: value for key, value in kwargs.items() if callable(value)}
-    build_kwargs = {key: value for key, value in kwargs.items() if key not in hooks}
-    builder = resolve_builder(name, getattr(ctx, "vendor", None))
-    program = _cached_program(builder, build_kwargs)
+    hooks = None
+    for value in kwargs.values():
+        if callable(value):
+            hooks = {k: v for k, v in kwargs.items() if callable(v)}
+            kwargs = {k: v for k, v in kwargs.items() if k not in hooks}
+            break
+    builder = _resolved_builder(name, getattr(ctx, "vendor", None))
+    program = _cached_program(builder, kwargs)
     result = yield from run_program(ctx, program, hooks=hooks)
     return result

@@ -3,13 +3,14 @@
 A page-mapped FTL (map table, per-LUN block allocation with channel
 striping, greedy garbage collection, wear accounting) so the Fig. 12
 end-to-end experiment runs against a full SSD stack rather than bare
-channel injection.
+channel injection.  For scale-out runs, :class:`ShardedFtl` stripes
+global LPNs round-robin over one :class:`PageMappedFtl` per channel.
 """
 
 from repro.ftl.badblocks import GrownBadBlockTable, RetirementRecord
-from repro.ftl.mapping import MapEntry, PageMapTable
+from repro.ftl.mapping import MapEntry, PageMapTable, ShardRouter
 from repro.ftl.gc import CostBenefitPolicy, GreedyPolicy, VictimPolicy
-from repro.ftl.ftl import FtlConfig, PageMappedFtl
+from repro.ftl.ftl import FtlConfig, PageMappedFtl, ShardedFtl
 from repro.ftl.wear import WearTracker
 
 __all__ = [
@@ -17,10 +18,12 @@ __all__ = [
     "RetirementRecord",
     "MapEntry",
     "PageMapTable",
+    "ShardRouter",
     "CostBenefitPolicy",
     "GreedyPolicy",
     "VictimPolicy",
     "FtlConfig",
     "PageMappedFtl",
+    "ShardedFtl",
     "WearTracker",
 ]

@@ -29,7 +29,7 @@ from repro.ftl.badblocks import (
     REASON_PROGRAM_FAIL,
 )
 from repro.ftl.gc import GreedyPolicy, VictimPolicy
-from repro.ftl.mapping import MapEntry, PageMapTable
+from repro.ftl.mapping import MapEntry, PageMapTable, ShardRouter
 from repro.ftl.wear import WearTracker
 from repro.onfi.geometry import PhysicalAddress
 from repro.sim import Simulator
@@ -412,5 +412,184 @@ class PageMappedFtl:
         return (
             f"FTL[{self.victim_policy.name}] {self.lun_count} LUNs, "
             f"{self.map.mapped_count}/{self.logical_pages} mapped, "
+            f"WA={self.write_amplification:.2f}"
+        )
+
+
+class ShardedFtl:
+    """Channel-striped FTL: one :class:`PageMappedFtl` shard per channel.
+
+    The scale-out translation layer.  Each attached controller owns one
+    NAND channel (its own bus, executor, runtime, and DRAM); a
+    :class:`~repro.ftl.mapping.ShardRouter` stripes global LPNs
+    round-robin across the shards so sequential streams occupy every
+    channel at once.  Shards never share physical state — GC, wear, and
+    bad-block bookkeeping stay channel-local — and this facade
+    aggregates their health counters into one array-wide view.
+
+    The host-facing surface mirrors :class:`PageMappedFtl` (``read`` /
+    ``write`` / ``trim`` / ``prefill`` generators plus the stats
+    properties), so workload drivers run unchanged against either.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        controllers,
+        config: Optional[FtlConfig] = None,
+        victim_policy_factory=None,
+    ):
+        if not controllers:
+            raise FtlError("ShardedFtl needs at least one channel controller")
+        self.sim = sim
+        self.controllers = list(controllers)
+        self.config = config or FtlConfig()
+        self.shards: list[PageMappedFtl] = [
+            PageMappedFtl(
+                sim,
+                controller,
+                self.config,
+                victim_policy=victim_policy_factory() if victim_policy_factory else None,
+            )
+            for controller in self.controllers
+        ]
+        self.router = ShardRouter(len(self.shards))
+        # Uniform striping: capacity is bounded by the smallest shard so
+        # every global LPN routes to a valid shard-local LPN.
+        per_shard = min(shard.logical_pages for shard in self.shards)
+        self.logical_pages = per_shard * len(self.shards)
+        self.page_size = self.shards[0].page_size
+
+    # -- host-facing I/O (generators) ----------------------------------
+
+    def read(self, lpn: int, dram_address: int) -> Generator:
+        """Read one global LPN into its channel's DRAM at ``dram_address``."""
+        shard, local = self._route(lpn)
+        entry = yield from self.shards[shard].read(local, dram_address)
+        return entry
+
+    def write(self, lpn: int, dram_address: int) -> Generator:
+        """Write one global LPN from its channel's DRAM at ``dram_address``."""
+        shard, local = self._route(lpn)
+        entry = yield from self.shards[shard].write(local, dram_address)
+        return entry
+
+    def trim(self, lpn: int) -> None:
+        shard, local = self._route(lpn)
+        self.shards[shard].trim(local)
+
+    def is_mapped(self, lpn: int) -> bool:
+        shard, local = self._route(lpn)
+        return self.shards[shard].map.lookup(local) is not None
+
+    def shard_of(self, lpn: int) -> int:
+        """The channel index a global LPN stripes onto."""
+        return self._route(lpn)[0]
+
+    def prefill(self, logical_pages: int, fill_byte: int = 0x5A) -> None:
+        """Populate the first ``logical_pages`` global LPNs.
+
+        Globals ``i, i+S, i+2S, ...`` are shard ``i``'s locals
+        ``0, 1, 2, ...`` — consecutive — so the per-shard prefill path
+        applies unchanged."""
+        if logical_pages > self.logical_pages:
+            raise FtlError("prefill exceeds logical capacity")
+        for index, shard in enumerate(self.shards):
+            count = self.router.local_capacity(index, logical_pages)
+            if count:
+                shard.prefill(count, fill_byte=fill_byte)
+
+    def _route(self, lpn: int) -> tuple[int, int]:
+        if not 0 <= lpn < self.logical_pages:
+            raise FtlError(
+                f"LPN {lpn} out of range [0, {self.logical_pages})"
+            )
+        return self.router.route(lpn)
+
+    # -- aggregated topology and health view ---------------------------
+
+    @property
+    def channel_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def lun_count(self) -> int:
+        return sum(shard.lun_count for shard in self.shards)
+
+    @property
+    def mapped_count(self) -> int:
+        return sum(shard.map.mapped_count for shard in self.shards)
+
+    @property
+    def host_reads(self) -> int:
+        return sum(shard.host_reads for shard in self.shards)
+
+    @property
+    def host_writes(self) -> int:
+        return sum(shard.host_writes for shard in self.shards)
+
+    @property
+    def gc_runs(self) -> int:
+        return sum(shard.gc_runs for shard in self.shards)
+
+    @property
+    def gc_page_moves(self) -> int:
+        return sum(shard.gc_page_moves for shard in self.shards)
+
+    @property
+    def program_fail_rewrites(self) -> int:
+        return sum(shard.program_fail_rewrites for shard in self.shards)
+
+    @property
+    def write_amplification(self) -> float:
+        writes = self.host_writes
+        if writes == 0:
+            return 1.0
+        return (writes + self.gc_page_moves) / writes
+
+    @property
+    def retired_blocks(self) -> list[tuple[int, int, int]]:
+        """Every retirement as ``(channel, lun, block)``."""
+        return [
+            (channel, lun, block)
+            for channel, shard in enumerate(self.shards)
+            for lun, block in shard.retired_blocks
+        ]
+
+    def bad_block_records(self) -> list:
+        """All shards' grown-bad-block journal entries, by channel."""
+        return [
+            (channel, record)
+            for channel, shard in enumerate(self.shards)
+            for record in shard.bad_blocks.journal()
+        ]
+
+    def free_blocks_total(self) -> int:
+        return sum(
+            shard.free_blocks(lun)
+            for shard in self.shards
+            for lun in range(shard.lun_count)
+        )
+
+    def health_summary(self) -> dict:
+        """Array-wide health counters (sorted keys, JSON-ready)."""
+        return {
+            "channels": self.channel_count,
+            "gc_page_moves": self.gc_page_moves,
+            "gc_runs": self.gc_runs,
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "luns": self.lun_count,
+            "mapped_pages": self.mapped_count,
+            "program_fail_rewrites": self.program_fail_rewrites,
+            "retired_blocks": len(self.retired_blocks),
+            "write_amplification": round(self.write_amplification, 4),
+        }
+
+    def describe(self) -> str:
+        return (
+            f"ShardedFtl x{self.channel_count} channels "
+            f"({self.lun_count} LUNs), "
+            f"{self.mapped_count}/{self.logical_pages} mapped, "
             f"WA={self.write_amplification:.2f}"
         )

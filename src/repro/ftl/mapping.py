@@ -21,6 +21,38 @@ class MapEntry:
     page: int
 
 
+@dataclass(frozen=True)
+class ShardRouter:
+    """Round-robin LPN striping across channel shards.
+
+    Global LPN ``g`` lives on shard ``g % shards`` as local LPN
+    ``g // shards`` — consecutive logical pages land on consecutive
+    channels, so sequential streams fan out over the whole array the
+    same way :class:`PageMappedFtl` stripes writes over LUNs.
+    """
+
+    shards: int
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+
+    def route(self, lpn: int) -> tuple[int, int]:
+        """``(shard index, shard-local LPN)`` for a global LPN."""
+        return lpn % self.shards, lpn // self.shards
+
+    def global_lpn(self, shard: int, local_lpn: int) -> int:
+        """Inverse of :meth:`route`."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.shards})")
+        return local_lpn * self.shards + shard
+
+    def local_capacity(self, shard: int, logical_pages: int) -> int:
+        """How many of ``logical_pages`` globals land on ``shard``."""
+        base, extra = divmod(logical_pages, self.shards)
+        return base + (1 if shard < extra else 0)
+
+
 class PageMapTable:
     """Bidirectional LPN ↔ physical-page map."""
 

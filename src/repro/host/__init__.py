@@ -1,5 +1,16 @@
-"""Host-side substrate: command queue, workload generators, fio-like driver."""
+"""Host-side substrate: command queue, workload generators, fio-like driver,
+and the queue-depth scale-out engine."""
 
+from repro.host.engine import (
+    ChannelQueuePair,
+    QueueSaturatedError,
+    ScaleCommand,
+    ScaleEngine,
+    ScaleJob,
+    ScaleRunResult,
+    build_scale_stack,
+    run_scale_workload,
+)
 from repro.host.hic import HostCommand, HostInterface
 from repro.host.workload import ReadWorkloadResult, measure_read_throughput
 from repro.host.fio import FioJob, FioResult, run_fio
@@ -12,6 +23,14 @@ from repro.host.trace import (
 )
 
 __all__ = [
+    "ChannelQueuePair",
+    "QueueSaturatedError",
+    "ScaleCommand",
+    "ScaleEngine",
+    "ScaleJob",
+    "ScaleRunResult",
+    "build_scale_stack",
+    "run_scale_workload",
     "HostCommand",
     "HostInterface",
     "ReadWorkloadResult",

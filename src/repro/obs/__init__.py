@@ -32,6 +32,7 @@ from repro.obs.instrument import (
     register_ftl_health_metrics,
     register_recovery_metrics,
     register_reliability_metrics,
+    register_scale_metrics,
     traced_op,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -58,6 +59,7 @@ __all__ = [
     "register_ftl_health_metrics",
     "register_recovery_metrics",
     "register_reliability_metrics",
+    "register_scale_metrics",
     "render_text_summary",
     "traced_op",
     "write_chrome_trace",

@@ -173,3 +173,40 @@ def register_ftl_health_metrics(registry: MetricsRegistry, ftl,
 
     registry.register_collector(f"{p}ftl_health", ftl_health)
     return registry
+
+
+def register_scale_metrics(registry: MetricsRegistry, engine,
+                           prefix: str = "") -> MetricsRegistry:
+    """Expose a :class:`~repro.host.engine.ScaleEngine` and its sharded
+    FTL: queue-pair traffic per channel plus the array-wide health view.
+    Pull collectors only — the submit/complete hot path is untouched."""
+    p = f"{prefix}." if prefix else ""
+
+    def engine_stats() -> dict:
+        return {
+            "channels": engine.channel_count,
+            "queue_depth": engine.queue_depth,
+            "submitted": engine.submitted,
+            "completed": engine.completed,
+            "outstanding": engine.outstanding,
+            "doorbells": engine.doorbells_rung,
+        }
+
+    def queue_pairs() -> dict:
+        return {
+            f"ch{pair.channel}": {
+                "submitted": pair.submitted,
+                "completed": len(pair.completions),
+                "outstanding": pair.outstanding,
+                "doorbells": pair.doorbells,
+            }
+            for pair in engine.pairs
+        }
+
+    registry.register_collector(f"{p}scale_engine", engine_stats)
+    registry.register_collector(f"{p}scale_queue_pairs", queue_pairs)
+    ftl = engine.ftl
+    if hasattr(ftl, "health_summary"):
+        registry.register_collector(f"{p}scale_array_health",
+                                    ftl.health_summary)
+    return registry

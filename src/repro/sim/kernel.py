@@ -3,7 +3,10 @@
 The simulator keeps a heap of ``(time, sequence, Event)`` entries.  The
 ``sequence`` counter makes ordering of same-time events deterministic
 (FIFO by schedule order), which matters for reproducing waveform traces
-bit-exactly across runs.
+bit-exactly across runs.  Zero-delay events — the dominant traffic on
+the hot path (every trigger fire, spawn, and finished-process join) —
+ride a separate FIFO now-queue that preserves the same total order
+while skipping the heap; timed events recycle pooled heap entries.
 
 Processes are plain Python generators.  A process yields *commands* to
 the kernel:
@@ -27,6 +30,7 @@ ONFI operations (e.g. READ invoking READ STATUS).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
@@ -94,7 +98,10 @@ class Process:
     return value, or ``None`` after a timeout).
     """
 
-    __slots__ = ("sim", "gen", "name", "finished", "value", "_waiters", "error")
+    __slots__ = (
+        "sim", "gen", "name", "finished", "value", "_waiters", "error",
+        "_resume",
+    )
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
@@ -104,6 +111,9 @@ class Process:
         self.value: Any = None
         self.error: Optional[BaseException] = None
         self._waiters: list[Callable[[Any], None]] = []
+        # One reusable no-value resume callback: every Timeout wakeup
+        # schedules this same bound callable instead of a fresh lambda.
+        self._resume: Callable[[], None] = lambda: self._step(None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "done" if self.finished else "running"
@@ -129,14 +139,14 @@ class Process:
     def _dispatch(self, command: Any) -> None:
         sim = self.sim
         if isinstance(command, Timeout):
-            sim.schedule(command.delay, lambda: self._step(None))
+            sim.schedule(command.delay, self._resume)
         elif isinstance(command, WaitTrigger):
             command.trigger._add_waiter(self._step)
         elif isinstance(command, WaitProcess):
             command.process._add_join_waiter(self._step)
         elif isinstance(command, int):
             # Bare integers are accepted as a shorthand for Timeout.
-            sim.schedule(command, lambda: self._step(None))
+            sim.schedule(command, self._resume)
         else:
             raise SimError(
                 f"process {self.name!r} yielded unsupported command {command!r}"
@@ -182,6 +192,16 @@ class Simulator:
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: list[_HeapEntry] = []
+        # Zero-delay events (trigger resumptions, spawns, joins of
+        # finished processes) bypass the heap entirely: they can only
+        # ever run at the current time, after every heap entry already
+        # scheduled for this instant, in FIFO order — exactly the
+        # (time, seq) order the heap would produce, without the
+        # O(log n) push/pop or the entry allocation.
+        self._now_queue: deque[Event] = deque()
+        # Recycled _HeapEntry slots: timed events mutate a pooled entry
+        # instead of allocating a fresh one per schedule() call.
+        self._entry_pool: list[_HeapEntry] = []
         self._seq = 0
         self._running = False
         # Optional observability hook (repro.obs.Tracer).  Every kernel
@@ -213,9 +233,26 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` ns from now."""
         if delay < 0:
             raise SimError(f"negative delay {delay}")
-        event = Event(self.now + int(delay), callback)
+        delay = int(delay)
+        if delay == 0:
+            # Fast path: an immediately-ready event never touches the
+            # heap (see ``_now_queue``); ordering is unchanged.
+            event = Event(self.now, callback)
+            self._now_queue.append(event)
+            if self._tracer is not None:
+                self._tracer.kernel_event("schedule", self.now, event.time)
+            return event
+        event = Event(self.now + delay, callback)
         self._seq += 1
-        heapq.heappush(self._heap, _HeapEntry(event.time, self._seq, event))
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry.time = event.time
+            entry.seq = self._seq
+            entry.event = event
+        else:
+            entry = _HeapEntry(event.time, self._seq, event)
+        heapq.heappush(self._heap, entry)
         if self._tracer is not None:
             self._tracer.kernel_event("schedule", self.now, event.time)
         return event
@@ -231,36 +268,60 @@ class Simulator:
         process = Process(self, gen, name)
         if self._tracer is not None:
             self._tracer.kernel_process("spawn", process.name, self.now)
-        self.schedule(0, lambda: process._step(None))
+        self.schedule(0, process._resume)
         return process
 
     # -- running -------------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> None:
-        """Run events until the heap drains or ``until`` (absolute ns)."""
+        """Run events until the queues drain or ``until`` (absolute ns)."""
         self._running = True
         heap = self._heap
-        while heap:
-            entry = heap[0]
-            if until is not None and entry.time > until:
-                break
-            heapq.heappop(heap)
-            event = entry.event
-            if event.cancelled:
-                # Cancellation itself is a plain flag flip (Event has no
-                # simulator back-reference); it becomes observable here,
-                # when the dead entry surfaces from the heap.
+        nq = self._now_queue
+        pool = self._entry_pool
+        if until is None or until >= self.now:
+            while True:
+                # Heap entries stamped for the current instant were
+                # scheduled before any entry now sitting in the
+                # now-queue (a zero-delay schedule can only happen at
+                # the current time), so they drain first; the now-queue
+                # then drains FIFO before time may advance.
+                if nq and not (heap and heap[0].time <= self.now):
+                    event = nq.popleft()
+                    if event.cancelled:
+                        if self._tracer is not None:
+                            self._tracer.kernel_event("cancel", self.now, event.time)
+                        continue
+                    event._done = True
+                    if self._tracer is not None:
+                        self._tracer.kernel_event("fire", self.now, event.time)
+                    event.callback()
+                    continue
+                if not heap:
+                    break
+                entry = heap[0]
+                if until is not None and entry.time > until:
+                    break
+                heapq.heappop(heap)
+                event = entry.event
+                entry.event = None  # release the slot's reference
+                if len(pool) < 128:
+                    pool.append(entry)
+                if event.cancelled:
+                    # Cancellation itself is a plain flag flip (Event has
+                    # no simulator back-reference); it becomes observable
+                    # here, when the dead entry surfaces from the heap.
+                    if self._tracer is not None:
+                        self._tracer.kernel_event("cancel", self.now, event.time)
+                    continue
+                if event.time < self.now:  # pragma: no cover - invariant guard
+                    raise SimError("event heap time went backwards")
+                self.now = event.time
+                event._done = True
                 if self._tracer is not None:
-                    self._tracer.kernel_event("cancel", self.now, event.time)
-                continue
-            if event.time < self.now:  # pragma: no cover - invariant guard
-                raise SimError("event heap time went backwards")
-            self.now = event.time
-            event._done = True
-            if self._tracer is not None:
-                self._tracer.kernel_event("fire", self.now, event.time)
-            event.callback()
-        if self._san_liveness is not None and not heap:
+                    self._tracer.kernel_event("fire", self.now, event.time)
+                event.callback()
+        if self._san_liveness is not None and not heap and not nq:
             # Quiescent point: nothing left to run anywhere.  If work is
             # still outstanding, that is a deadlock, not completion.
             self._san_liveness.on_quiescent(self.now)
@@ -278,7 +339,9 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for entry in self._heap if entry.event.pending)
+        return sum(1 for entry in self._heap if entry.event.pending) + sum(
+            1 for event in self._now_queue if event.pending
+        )
 
 
 def passthrough(iterable: Iterable) -> Generator:

@@ -113,6 +113,47 @@ def test_throughput_result_fields_consistent():
     assert result.mean_page_latency_us > 0
 
 
+def test_throughput_utilization_bounded_and_warmup_excluded():
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2,
+                         runtime="rtos", track_data=False),
+    )
+    result = measure_read_throughput(sim, controller, 2, reads_per_lun=5,
+                                     warmup_per_lun=2)
+    # Warmup reads ran (simulated time advanced past them) but are not
+    # part of the measured page count.
+    assert result.pages_read == 10
+    assert 0.0 <= result.channel_utilization <= 1.0
+    assert result.elapsed_ns < sim.now
+
+
+def test_throughput_zero_elapsed_degenerate():
+    from repro.host.workload import ReadWorkloadResult
+
+    result = ReadWorkloadResult(pages_read=0, payload_bytes=0,
+                                elapsed_ns=0, channel_utilization=0.0)
+    assert result.throughput_mb_s == 0.0
+    assert result.mean_page_latency_us == 0.0
+
+
+def test_throughput_deterministic_across_runs():
+    def run():
+        sim = Simulator()
+        controller = BabolController(
+            sim,
+            ControllerConfig(vendor=TEST_PROFILE, lun_count=2,
+                             runtime="coroutine", track_data=False),
+        )
+        result = measure_read_throughput(sim, controller, 2, reads_per_lun=4,
+                                         warmup_per_lun=1)
+        return (result.elapsed_ns, result.pages_read,
+                result.channel_utilization)
+
+    assert run() == run()
+
+
 # --- fio -----------------------------------------------------------------
 
 
