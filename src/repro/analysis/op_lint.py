@@ -55,6 +55,8 @@ from repro.core.opir.nodes import (
     SoftSleep,
     TimerWait,
     Txn,
+    UNPACED_POLL_PERIOD_NS,
+    effective_poll_period,
 )
 from repro.onfi.commands import CMD, CommandClass, classify_opcode
 from repro.onfi.timing import TimingSet
@@ -247,14 +249,19 @@ def lint_program(program: OpProgram, timing=None) -> list[LintFinding]:
                     "OPL003", "error", program.name, path,
                     "poll must be bounded (max_polls > 0)"))
             period = getattr(node, "period_ns", None)
+            # None means "unpaced by design" and is not flagged; an
+            # explicit period is resolved through the same fallback the
+            # interpreter uses, so lint and runtime cannot disagree on
+            # what a period of 0/None actually does.
             if timing is not None and period is not None \
-                    and period < timing.t_poll_min_ns:
+                    and effective_poll_period(period) < timing.t_poll_min_ns:
+                effective = effective_poll_period(period)
                 findings.append(LintFinding(
                     "OPL008", "warning", program.name, path,
-                    f"poll period {period} ns is below the vendor minimum "
+                    f"poll period {effective} ns is below the vendor minimum "
                     f"poll interval ({timing.t_poll_min_ns} ns)"
                     + (" — back-to-back polls monopolize the channel"
-                       if period == 0 else "")))
+                       if effective == UNPACED_POLL_PERIOD_NS else "")))
             pending = None
         elif isinstance(node, SelectFirstReady):
             if not isinstance(node.max_rounds, int) or node.max_rounds <= 0:

@@ -88,6 +88,7 @@ def run_scale_cell(
     vendor: str = "hynix",
     pattern: str = "sequential",
     doorbell_batch: int = 4,
+    fidelity: str = "waveform",
 ) -> dict:
     """One sweep cell: build the stack, run the job, report both the
     simulated outcome and the host CPU cost of driving it."""
@@ -101,7 +102,7 @@ def run_scale_cell(
     sim = Simulator()
     _, ftl = build_scale_stack(
         sim, channels=channels, luns_per_channel=luns_per_channel,
-        vendor=vendor,
+        vendor=vendor, fidelity=fidelity,
     )
     engine = ScaleEngine(sim, ftl, queue_depth=queue_depth,
                          doorbell_batch=doorbell_batch)
@@ -110,6 +111,7 @@ def run_scale_cell(
     result = run_scale_workload(sim, engine, job)
     wall_s = time.process_time() - started
     cell = result.to_json_obj()
+    cell["fidelity"] = fidelity
     cell["host"] = {
         "dispatch_us_per_op": round(wall_s / max(result.commands, 1) * 1e6, 1),
         "wall_s": round(wall_s, 4),
@@ -126,12 +128,18 @@ def run_perf_sweep(
     pattern: str = "sequential",
     quick: bool = False,
     microbench_events: Optional[int] = None,
+    fidelity: str = "waveform",
 ) -> dict:
     """The full ``repro perf`` report.
 
     ``quick`` narrows the sweep to its corner cells (1 and max channels
     at max QD) with the same per-cell parameters, so every quick cell is
     key-compatible with a full-sweep baseline.
+
+    ``fidelity`` selects the execution backend for every cell and is
+    recorded per cell; :func:`compare_reports` only compares cells run
+    under the same tier (the tiers' simulated timelines legitimately
+    differ in aggregate throughput).
     """
     channel_counts = sorted(set(channel_counts))
     queue_depths = sorted(set(queue_depths))
@@ -147,6 +155,7 @@ def run_perf_sweep(
             cells[cell_key(ch, qd)] = run_scale_cell(
                 ch, qd, luns_per_channel=luns_per_channel,
                 io_count=io_count, vendor=vendor, pattern=pattern,
+                fidelity=fidelity,
             )
 
     scaling = {}
@@ -181,7 +190,7 @@ def run_perf_sweep(
         },
         "quick": quick,
         "scaling": scaling,
-        "schema": 1,
+        "schema": 2,
     }
 
 
@@ -194,6 +203,10 @@ def compare_reports(current: dict, baseline: dict) -> list[str]:
     * Host dispatch µs/op must stay under the baseline's recorded
       ceiling (wall-clock, so only a hard ceiling — not a tolerance).
     * Cell parameters must match, else the comparison is meaningless.
+    * Cells are compared like-with-like on fidelity: a cell run under a
+      different execution tier than the baseline's is excluded (the
+      tiers' aggregate timelines legitimately differ).  Schema-1
+      baselines predate the field and count as waveform.
     """
     problems: list[str] = []
     if current.get("params") != baseline.get("params"):
@@ -209,9 +222,16 @@ def compare_reports(current: dict, baseline: dict) -> list[str]:
     base_cells = baseline.get("cells", {})
     cur_cells = current.get("cells", {})
 
-    shared = sorted(set(base_cells) & set(cur_cells))
+    shared = sorted(
+        key for key in set(base_cells) & set(cur_cells)
+        if (cur_cells[key].get("fidelity", "waveform")
+            == base_cells[key].get("fidelity", "waveform"))
+    )
     if not shared:
-        problems.append("no comparable cells between current run and baseline")
+        problems.append(
+            "no comparable cells between current run and baseline "
+            "(same cell key AND same fidelity tier)"
+        )
     for key in shared:
         base = base_cells[key]["throughput_mb_s"]
         cur = cur_cells[key]["throughput_mb_s"]

@@ -339,13 +339,15 @@ class SyncHwController:
         poll_interval_ns: int = 2_000,
         track_data: bool = True,
         seed: int = 0,
+        fidelity: str = "waveform",
     ):
         self.sim = sim
         self.vendor = vendor
         self.luns: list[Lun] = build_channel_population(
             sim, vendor, lun_count, seed=seed, track_data=track_data
         )
-        self.channel = Channel(sim, self.luns, interface=interface)
+        self.channel = Channel(sim, self.luns, interface=interface,
+                               backend=fidelity)
         self.dram = DramBuffer(dram_size)
         self.codec = AddressCodec(vendor.geometry)
         self.reaction_ns = reaction_ns

@@ -66,9 +66,18 @@ class Channel:
         phy: Optional[ChannelPhy] = None,
         perfect_phy: bool = True,
         name: str = "ch0",
+        backend=None,
     ):
         if not luns:
             raise ValueError("a channel needs at least one LUN")
+        # Imported lazily: repro.core.__init__ -> controller -> this
+        # module, so a top-level import of repro.core.backend would
+        # re-enter a half-initialized package when the import chain
+        # starts at repro.bus.
+        from repro.core.backend import resolve_backend
+
+        self.backend = resolve_backend(
+            backend if backend is not None else "waveform")
         self.sim = sim
         self.name = name
         self.luns = luns
@@ -98,7 +107,20 @@ class Channel:
         self.timing = timing_for_mode(interface.name)
 
     def add_tap(self, tap: Callable[[int, WaveformSegment], None]) -> None:
-        """Register a probe called with (time_ns, segment) per transmission."""
+        """Register a probe called with (time_ns, segment) per transmission.
+
+        Taps observe per-segment bus traffic, which only the waveform
+        tier produces — registering one on a TLM channel fails fast
+        rather than silently missing every event.
+        """
+        if not self.backend.waveform:
+            from repro.core.backend import FidelityError
+
+            raise FidelityError(
+                "bus taps sample per-segment waveforms; this channel runs "
+                f"the '{self.backend.name}' tier — rebuild the stack with "
+                "fidelity='waveform' to attach probes"
+            )
         self._taps.append(tap)
 
     @property
@@ -125,10 +147,16 @@ class Channel:
         """Drive one segment onto the bus (caller must hold the mutex).
 
         Holds the simulated bus for ``segment.duration_ns`` and delivers
-        the decoded actions to every chip-enabled LUN.
+        the decoded actions to every chip-enabled LUN.  The fidelity
+        backend decides how: per-segment kernel events (waveform) or a
+        single inline delivery + one timeout (tlm).
         """
         if not self.mutex.locked:
             raise RuntimeError("transmit without owning the channel")
+        yield from self.backend.transmit(self, segment)
+
+    def _transmit_waveform(self, segment: WaveformSegment) -> Generator:
+        """The segment-accurate transmission path (WaveformBackend)."""
         segment.emitted_at = self.sim.now
         self.stats.record(segment)
         tracer = self.sim._tracer

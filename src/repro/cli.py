@@ -407,6 +407,7 @@ def cmd_chaos(args) -> int:
             vendor=args.vendor,
             campaign=campaign,
             baselines=not args.no_baselines,
+            fidelity=args.fidelity,
         )
         text = json.dumps(report, indent=2, sort_keys=True)
         if args.json:
@@ -437,7 +438,16 @@ def cmd_bench_smoke(args) -> int:
 
     from repro.analysis import LogicAnalyzer
 
-    results: dict = {"schema": 1, "bench": "smoke"}
+    results: dict = {"schema": 1, "bench": "smoke",
+                     "fidelity": args.fidelity}
+    if args.fidelity != "waveform":
+        # The Fig. 11 cells measure the polling waveform itself through
+        # the logic analyzer, which only exists at waveform fidelity —
+        # they always run under that tier, whatever --fidelity says.
+        print(f"bench-smoke: fig11 cells stay at fidelity=waveform "
+              f"(the logic analyzer samples bus segments the "
+              f"'{args.fidelity}' tier does not drive); dispatch cells "
+              f"run at fidelity={args.fidelity}")
 
     started = time.perf_counter()
     vendor = profile_by_name(args.vendor)
@@ -481,7 +491,7 @@ def cmd_bench_smoke(args) -> int:
     sim = Simulator()
     controller = BabolController(
         sim, ControllerConfig(vendor=vendor, lun_count=1, runtime="coroutine",
-                              track_data=False),
+                              track_data=False, fidelity=args.fidelity),
     )
     reads = 150
     for i in range(reads):
@@ -524,6 +534,7 @@ def cmd_perf(args) -> int:
         vendor=args.vendor,
         pattern=args.pattern,
         quick=args.quick,
+        fidelity=args.fidelity,
     )
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.out:
@@ -579,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach runtime sanitizers (\"all\" or a "
                             "comma list of bus,flash,memory,liveness); "
                             "exit 1 if any fires")
+
+    def fidelity_opt(p):
+        from repro.core.backend import FIDELITIES
+
+        p.add_argument("--fidelity", default="waveform", choices=FIDELITIES,
+                       help="execution backend: 'waveform' drives every "
+                            "bus segment (exact); 'tlm' executes whole "
+                            "transactions as single events (fast, same "
+                            "data and per-op timing)")
 
     p = sub.add_parser("demo", help="program+read roundtrip demo")
     common(p)
@@ -657,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, help="write the full report here")
     p.add_argument("--no-baselines", action="store_true",
                    help="run the FTL phase against BABOL only")
+    fidelity_opt(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("bench-smoke",
@@ -664,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
     p.add_argument("--reads", type=int, default=4)
     p.add_argument("--out", default=None, help="JSON output path")
+    fidelity_opt(p)
     p.set_defaults(func=cmd_bench_smoke)
 
     p = sub.add_parser("perf",
@@ -683,6 +705,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="corner cells only (CI mode; keys stay "
                         "comparable with a full-sweep baseline)")
+    fidelity_opt(p)
     p.add_argument("--out", default=None,
                    help="write the JSON report here (e.g. BENCH_scale.json)")
     p.add_argument("--check", metavar="BASELINE.json", default=None,

@@ -19,6 +19,7 @@ from typing import Callable, Generator, Optional
 
 from repro.bus.channel import Channel
 from repro.bus.phy import ChannelPhy
+from repro.core.backend import resolve_backend
 from repro.core.executor import Executor
 from repro.core.ops import (
     erase_block_op,
@@ -74,6 +75,11 @@ class ControllerConfig:
     executor_queue_depth: int = 1
     track_data: bool = True
     seed: int = 0
+    # Fidelity tier: "waveform" simulates every bus segment at its
+    # nanosecond; "tlm" collapses each transaction into one kernel
+    # event (identical data/status, same per-op latency for
+    # unpreempted ops, ~10x the simulated ops per wall-second).
+    fidelity: str = "waveform"
     # Sanitizer names ("all", "bus,flash", a tuple, ...) attached at
     # construction; empty means no runtime checking and zero overhead.
     sanitizers: object = ()
@@ -82,10 +88,15 @@ class ControllerConfig:
     watchdog: object = None
 
     def validate(self) -> None:
+        from repro.core.backend import FIDELITIES
+
         if self.runtime not in RUNTIMES:
             raise ValueError(f"runtime must be one of {sorted(RUNTIMES)}")
         if self.lun_count <= 0:
             raise ValueError("lun_count must be positive")
+        if not isinstance(self.fidelity, str) or \
+                self.fidelity not in FIDELITIES:
+            raise ValueError(f"fidelity must be one of {FIDELITIES}")
 
 
 class BabolController:
@@ -109,7 +120,9 @@ class BabolController:
         self.luns: list[Lun] = build_channel_population(
             sim, cfg.vendor, cfg.lun_count, seed=cfg.seed, track_data=cfg.track_data
         )
-        self.channel = Channel(sim, self.luns, interface=cfg.interface, phy=phy)
+        self.backend = resolve_backend(cfg.fidelity)
+        self.channel = Channel(sim, self.luns, interface=cfg.interface,
+                               phy=phy, backend=self.backend)
         self.dram = DramBuffer(cfg.dram_size)
         self.ufsm = UfsmBank(cfg.interface)
         self.packetizer = Packetizer(self.dram)
@@ -131,6 +144,7 @@ class BabolController:
             txn_scheduler=txn_scheduler,
             vendor=cfg.vendor,
         )
+        self.env.backend = self.backend
         if cfg.watchdog is not None:
             self.env.watchdog = cfg.watchdog
         self.codec = AddressCodec(cfg.vendor.geometry)
@@ -148,6 +162,18 @@ class BabolController:
                 self.diagnostics = DiagnosticReport()
             self.sanitizers = attach_sanitizers(self, spec, self.diagnostics)
 
+        # The TLM tier's compiled-plan runner for the FTL-facing data
+        # plane (read_page/program_page/erase_block/...).  It needs the
+        # generic runtime out of the loop, so it stands down when a
+        # watchdog or sanitizers are attached — both observe the
+        # generic runtime's events.
+        self.fast_ops = None
+        if not self.backend.waveform and cfg.watchdog is None \
+                and not self.sanitizers:
+            from repro.core.fastops import PlanExecutor
+
+            self.fast_ops = PlanExecutor(self)
+
     # ------------------------------------------------------------------
     # Generic submission
     # ------------------------------------------------------------------
@@ -158,10 +184,26 @@ class BabolController:
         lun: int,
         priority: int = 1,
         label: str = "",
+        _plan: bool = False,
         **op_kwargs,
     ) -> Task:
-        """Submit any operation from :mod:`repro.core.ops` (or your own)."""
+        """Submit any operation from :mod:`repro.core.ops` (or your own).
+
+        The generic path always runs the full software runtime — exact
+        per-op latency in every fidelity tier.  ``_plan=True`` (set by
+        the data-plane convenience wrappers) lets the TLM tier execute
+        the op as a compiled plan instead: identical data, status, die
+        state, and faults, with the runtime's cycle costs charged in
+        closed form rather than simulated (see :mod:`repro.core.fastops`).
+        """
         self._check_lun(lun)
+
+        if _plan and self.fast_ops is not None:
+            name = getattr(op_factory, "__name__", "").removesuffix("_op")
+            task = self.fast_ops.try_submit(name, lun, priority,
+                                            label or name, op_kwargs)
+            if task is not None:
+                return task
 
         def bound(ctx):
             return op_factory(ctx, **op_kwargs)
@@ -191,14 +233,14 @@ class BabolController:
         kwargs = dict(codec=self.codec, address=address, dram_address=dram_address)
         if column or length:
             kwargs["length"] = length
-        return self.submit(op, lun, priority=priority, **kwargs)
+        return self.submit(op, lun, priority=priority, _plan=True, **kwargs)
 
     def partial_read(self, lun: int, block: int, page: int, column: int,
                      length: int, dram_address: int) -> Task:
         address = PhysicalAddress(block=block, page=page, column=column)
         return self.submit(
             partial_read_op, lun, codec=self.codec, address=address,
-            dram_address=dram_address, length=length,
+            dram_address=dram_address, length=length, _plan=True,
         )
 
     def program_page(self, lun: int, block: int, page: int,
@@ -206,30 +248,32 @@ class BabolController:
         address = PhysicalAddress(block=block, page=page)
         return self.submit(
             program_page_op, lun, priority=priority, codec=self.codec,
-            address=address, dram_address=dram_address,
+            address=address, dram_address=dram_address, _plan=True,
         )
 
     def erase_block(self, lun: int, block: int, priority: int = 1) -> Task:
         return self.submit(
-            erase_block_op, lun, priority=priority, codec=self.codec, block=block
+            erase_block_op, lun, priority=priority, codec=self.codec,
+            block=block, _plan=True,
         )
 
     def pslc_read(self, lun: int, block: int, page: int, dram_address: int) -> Task:
         address = PhysicalAddress(block=block, page=page)
         return self.submit(
             pslc_read_op, lun, codec=self.codec, address=address,
-            dram_address=dram_address,
+            dram_address=dram_address, _plan=True,
         )
 
     def pslc_program(self, lun: int, block: int, page: int, dram_address: int) -> Task:
         address = PhysicalAddress(block=block, page=page)
         return self.submit(
             pslc_program_op, lun, codec=self.codec, address=address,
-            dram_address=dram_address,
+            dram_address=dram_address, _plan=True,
         )
 
     def pslc_erase(self, lun: int, block: int) -> Task:
-        return self.submit(pslc_erase_op, lun, codec=self.codec, block=block)
+        return self.submit(pslc_erase_op, lun, codec=self.codec, block=block,
+                           _plan=True)
 
     def read_with_retry(self, lun: int, block: int, page: int,
                         dram_address: int, validate, max_levels: int = 8) -> Task:

@@ -78,8 +78,10 @@ class Executor:
                 yield Timeout(self.dispatch_latency_ns)
             yield from self.channel.acquire(owner=txn)
             txn.started_at = self.sim.now
-            for segment in txn.segments:
-                yield from self.channel.transmit(segment)
+            # The fidelity backend owns the inner loop: per-segment bus
+            # events (waveform) or one event per transaction (tlm).
+            yield from self.channel.backend.run_transaction(
+                self.channel, txn)
             txn.finished_at = self.sim.now
             self.busy_ns += txn.finished_at - txn.started_at
             tracer = self.sim._tracer

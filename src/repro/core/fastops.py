@@ -1,0 +1,837 @@
+"""The TLM compiled-plan runner: data-plane ops as single kernel events.
+
+The generic execution path is faithful to the paper's software stack:
+every transaction crosses the modeled runtime (admission, scheduler
+iterations, context switches, completion wakeups) and every status
+poll is a full round trip.  That faithfulness is the point of the
+waveform tier — and of the TLM tier's *exact* mode, which the
+equivalence harness holds to 0 ns drift.  But a scale-out throughput
+workload pays that per-op machinery millions of times without reading
+anything from it.
+
+This module is the TLM tier's second gear.  For operations submitted
+through the FTL-facing convenience wrappers (``controller.read_page``
+and friends), the op-IR program is checked by the compile pass
+(:func:`repro.core.opir.summarize.plan_check`) and executed as a
+*compiled plan* instead of being interpreted.  Two strategies, chosen
+per program:
+
+* **Template execution** (the fast path).  Straight-line programs —
+  transactions, handle declarations, polls, sleeps, a return — are
+  compiled once per cached program object into a :class:`_Template`:
+  segment durations, per-action offsets, latched opcodes and address
+  bytes, batched channel-stats deltas, and the closed-form software
+  cost.  Executing a template is a handful of kernel events: one
+  channel-mutex hold plus one ``Timeout`` per transaction, with the
+  die driven by *direct calls into the same LUN action handlers* the
+  waveform tier uses (``_on_command`` / ``_on_address`` / data
+  movement) at their exact logical nanoseconds.  Same handlers, same
+  order, same RNG draws — die state, payload bytes, status bits,
+  fault-hook invocations, and array aging are identical to the
+  waveform tier; only the bus-segment *objects* and the runtime's
+  per-event machinery are gone.  Each poll site becomes a ready-wait:
+  sleep to the die's next pending completion, then one real STATUS
+  command and sample.
+
+* **Interpreted plan execution** (the fallback gear).  Programs with
+  closed but non-trivial control flow (branches, loops, callees), and
+  any op running while a bus-level observer is attached (tracer,
+  channel fault hook, bus sanitizer, unreliable PHY trim), replay the
+  IR node by node with real segments delivered inline through the
+  backend — full observability, still far cheaper than the generic
+  runtime.
+
+Per-op software latency is therefore *modeled*, not replayed; per-LUN
+ordering, channel arbitration, die busy windows, data, and status are
+unchanged.  Operations that need exact latency (the equivalence
+harness, the logic-analyzer experiments) go through ``submit()``,
+which never takes this path.
+
+The runner refuses work it cannot replay faithfully: programs with
+data-dependent exits, gang polls, or hook predicates fall back to the
+generic path, as does the whole fast path when a watchdog or runtime
+sanitizers are attached (those observe the generic runtime's events).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Optional
+
+from repro.core.opir.compile import compile_segment
+from repro.core.opir.interp import _mint_handle
+from repro.core.opir.nodes import (
+    Branch,
+    CallOp,
+    DataXfer,
+    DeclareHandle,
+    EvalState,
+    LatchSeq,
+    Loop,
+    OpProgram,
+    PollStatus,
+    Reg,
+    Return,
+    SetReg,
+    SoftSleep,
+    Txn,
+    eval_expr,
+)
+from repro.core.opir.registry import _cached_program, _resolved_builder
+from repro.core.opir.summarize import _static_kwargs, plan_check
+from repro.core.recovery import RecoverableOpError
+from repro.core.softenv.base import Task, TaskState
+from repro.core.ufsm.ca_writer import cmd
+from repro.flash.lun import _DataSource
+from repro.onfi.commands import CMD
+from repro.onfi.signals import (
+    AddressLatch,
+    CommandLatch,
+    DataInAction,
+    DataOutAction,
+)
+from repro.onfi.status import StatusRegister
+from repro.sim import Timeout
+
+
+class _PlanReturn(Exception):
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+class _PlanContext:
+    """The slice of :class:`OperationContext` the op-IR compiler needs:
+    the µFSM bank, the op's chip mask, and the Packetizer."""
+
+    __slots__ = ("ufsm", "chip_mask", "packetizer", "lun", "label")
+
+    def __init__(self, ufsm, chip_mask: int, packetizer, lun, label: str):
+        self.ufsm = ufsm
+        self.chip_mask = chip_mask
+        self.packetizer = packetizer
+        self.lun = lun
+        self.label = label
+
+
+class _OutShim:
+    """Stand-in for a :class:`DataOutAction` on the template path — the
+    LUN handler only reads ``nbytes`` and ``dma_handle``, so one
+    mutable shim per executor replaces an allocation per burst.  Safe
+    because set and use happen in the same scheduler turn."""
+
+    __slots__ = ("nbytes", "dma_handle")
+
+
+class _InShim:
+    """Stand-in for a :class:`DataInAction` (adds ``column``)."""
+
+    __slots__ = ("nbytes", "column", "dma_handle")
+
+
+# Template phase tags (first element of each phase tuple).
+_PH_TXN = 0
+_PH_HANDLE = 1
+_PH_POLL = 2
+_PH_SLEEP = 3
+
+# Template op tags (first element of each die-op tuple).
+_OP_CMD = 0
+_OP_ADDR = 1
+_OP_DATA_OUT = 2
+_OP_DATA_IN = 3
+
+_NO_RESULT = object()
+
+
+class _Template:
+    """A straight-line op program compiled to an execution recipe.
+
+    Templates are shared across every program with the same structural
+    *fingerprint* (:meth:`PlanExecutor._fingerprint`): latch counts and
+    opcodes, burst sizes, timer parameters, poll shapes — everything
+    segment durations and action offsets depend on.  Values that vary
+    per instance (address bytes, DRAM targets, inline payloads) are
+    *not* baked; die ops and handle phases record node paths into the
+    instance program and the runner reads them per run.  One compile
+    therefore serves a whole workload's worth of addresses.
+
+    Phases are tuples tagged by ``_PH_*``; transaction phases carry
+    per-segment die-op lists tagged by ``_OP_*`` with offsets relative
+    to the transaction start, plus the batched channel-stats delta
+    ``(segments, busy_ns, bytes_in, bytes_out, per-kind counts)``.
+    DMA handles are minted per run, so concurrent runs never alias a
+    descriptor.
+    """
+
+    __slots__ = ("sw_ns", "phases", "result_expr", "has_data")
+
+    def __init__(self, sw_ns, phases, result_expr, has_data):
+        self.sw_ns = sw_ns
+        self.phases = phases
+        self.result_expr = result_expr
+        self.has_data = has_data
+
+
+def _parked() -> Generator:
+    """Placeholder generator for plan-run tasks: the runner completes
+    the task itself; the environment never steps it."""
+    return
+    yield  # pragma: no cover
+
+
+class PlanExecutor:
+    """Executes plannable op-IR programs without the generic runtime.
+
+    One FIFO per LUN preserves the environment's admission semantics
+    (``max_tasks_per_lun=1``): operations against the same die run in
+    submission order, one at a time; operations against different dies
+    contend only for the channel mutex, exactly like the generic path.
+    """
+
+    def __init__(self, controller):
+        self.controller = controller
+        self.sim = controller.sim
+        self.env = controller.env
+        self.channel = controller.channel
+        self.backend = controller.backend
+        self.ufsm = controller.ufsm
+        self.packetizer = controller.packetizer
+        cpu = controller.cpu
+        costs = controller.env.costs
+        # The closed-form software cost constants (see module docstring).
+        self.pre_txn_ns = cpu.cycles_to_ns(costs.serialized_txn_cycles())
+        self.wakeup_ns = cpu.cycles_to_ns(costs.wakeup)
+        self.repoll_ns = max(controller.config.vendor.timing.t_poll_min_ns, 1)
+        self._queues: dict[int, deque] = {}
+        self._running: set[int] = set()
+        # Per-shape dispatch cache, keyed by (op name, kwarg names): a
+        # builder's control-flow *shape* is a function of which kwargs
+        # it receives, never of their values (addresses and DMA targets
+        # only parameterize latch bytes), so one walk per shape decides
+        # every submission of that shape.  Values: False (unplannable)
+        # or (builder name to use, inline-per-call flag) — the name is
+        # the wrapper's callee when the wrapper collapses to it with
+        # identical kwargs, saving a program build per submission.
+        self._shapes: dict[tuple, object] = {}
+        # Two-level template cache.  id(program) -> (program, template)
+        # answers repeat submissions of a cached program in one dict
+        # hit (the reference pins the id); fingerprint -> template
+        # shares one compiled recipe across all programs that differ
+        # only in instance values.  Both bounded like the registry.
+        self._templates: dict[int, tuple] = {}
+        self._tpl_shapes: dict[tuple, object] = {}
+        self._poll_txns: dict[int, tuple] = {}
+        self._out_shim = _OutShim()
+        self._in_shim = _InShim()
+        self.ops_planned = 0
+        self.ops_templated = 0
+        self.ops_declined = 0
+
+    # -- submission ----------------------------------------------------
+
+    def try_submit(self, op_name: str, lun_position: int, priority: int,
+                   label: str, kwargs: dict) -> Optional[Task]:
+        """Plan and enqueue one operation; None = take the generic path."""
+        for value in kwargs.values():
+            if callable(value):
+                self.ops_declined += 1
+                return None  # hooks need the interpreter
+        shape = (op_name, frozenset(kwargs))
+        info = self._shapes.get(shape)
+        vendor = self.controller.config.vendor
+        if info is None:
+            info = self._classify_shape(op_name, vendor, kwargs)
+            self._shapes[shape] = info
+        if info is False:
+            self.ops_declined += 1
+            return None
+        build_name, per_call_inline = info
+        try:
+            program = _cached_program(_resolved_builder(build_name, vendor),
+                                      kwargs)
+        except Exception:
+            self.ops_declined += 1
+            return None  # bad args: let the generic path report
+        if per_call_inline:
+            program = self._inline_wrapper(program, vendor)
+        template = self._template_for(program, lun_position, label)
+        self.ops_planned += 1
+        task = Task(self.sim, _parked(), lun_position, priority=priority,
+                    label=label or op_name)
+        self.env.tasks_submitted += 1
+        queue = self._queues.setdefault(lun_position, deque())
+        queue.append((task, program, template))
+        if lun_position not in self._running:
+            self._running.add(lun_position)
+            self.sim.spawn(self._runner(lun_position),
+                           name=f"tlm-plan-lun{lun_position}")
+        return task
+
+    def _classify_shape(self, op_name: str, vendor, kwargs: dict):
+        """One-time dispatch decision for a (op, kwarg-names) shape."""
+        try:
+            builder = _resolved_builder(op_name, vendor)
+            program = _cached_program(builder, kwargs)
+        except Exception:
+            return False
+        if not plan_check(program, vendor):
+            return False
+        callee = self._wrapper_callee(program)
+        if callee is not None:
+            callee_name, callee_kwargs = callee
+            try:
+                same = callee_kwargs == kwargs
+            except Exception:
+                same = False
+            if same:
+                return (callee_name, False)  # build the callee directly
+            return (op_name, True)  # collapse per call
+        return (op_name, False)
+
+    @staticmethod
+    def _wrapper_callee(program: OpProgram):
+        """(callee name, static kwargs) when ``program`` is a pure
+        one-CallOp wrapper (``full_page_read`` → ``read_page``)."""
+        nodes = program.nodes
+        if (len(nodes) == 2 and isinstance(nodes[0], CallOp)
+                and isinstance(nodes[1], Return)
+                and isinstance(nodes[1].expr, Reg)
+                and nodes[1].expr.name == nodes[0].dest):
+            kwargs = _static_kwargs(nodes[0])
+            if kwargs is not None:
+                return nodes[0].op, kwargs
+        return None
+
+    def _inline_wrapper(self, program: OpProgram, vendor) -> OpProgram:
+        """Collapse a one-CallOp wrapper to its callee program."""
+        callee = self._wrapper_callee(program)
+        if callee is not None:
+            try:
+                return _cached_program(
+                    _resolved_builder(callee[0], vendor), callee[1])
+            except Exception:
+                pass
+        return program
+
+    # -- template compilation ------------------------------------------
+
+    def _template_for(self, program: OpProgram, lun_position: int,
+                      label: str) -> Optional[_Template]:
+        entry = self._templates.get(id(program))
+        if entry is not None and entry[0] is program:
+            return entry[1]
+        try:
+            fingerprint = self._fingerprint(program)
+            template = self._tpl_shapes.get(fingerprint) \
+                if fingerprint is not None else False
+            if template is None:  # new shape: compile once
+                ctx = _PlanContext(self.ufsm, 1 << lun_position,
+                                   self.packetizer,
+                                   self.channel.luns[lun_position], label)
+                template = self._compile_template(ctx, program)
+                if len(self._tpl_shapes) >= 512:
+                    self._tpl_shapes.clear()
+                self._tpl_shapes[fingerprint] = template \
+                    if template is not None else False
+        except Exception:
+            template = False
+        if template is False:
+            template = None
+        if len(self._templates) >= 2048:
+            self._templates.clear()
+        self._templates[id(program)] = (program, template)
+        return template
+
+    @staticmethod
+    def _fingerprint(program: OpProgram) -> Optional[tuple]:
+        """The structural identity a template depends on: everything
+        that determines segment durations, action offsets, and stats —
+        latch counts and command opcodes, address byte counts, burst
+        sizes, timer parameters, poll and return shapes.  Instance
+        values (address bytes, DRAM targets, inline payloads) are
+        deliberately excluded; the runner reads them per run.  None
+        means the program cannot be templated.
+        """
+        parts = []
+        for node in program.nodes:
+            if isinstance(node, Txn):
+                seg_parts = []
+                for seg in node.segments:
+                    if getattr(seg, "chip_mask", None) is not None \
+                            or getattr(seg, "via_chip_control", False):
+                        return None  # gang segments keep real masks
+                    if isinstance(seg, LatchSeq):
+                        seg_parts.append(("L",) + tuple(
+                            (latch.kind, latch.value) if latch.kind == "cmd"
+                            else ("A", len(latch.value))
+                            for latch in seg.latches))
+                    elif isinstance(seg, DataXfer):
+                        seg_parts.append((
+                            "D", seg.direction, seg.nbytes, seg.column,
+                            seg.after_address, seg.handle.name))
+                    else:  # TimerWait
+                        seg_parts.append(("W", seg.ns, seg.param))
+                parts.append(("T",) + tuple(seg_parts))
+            elif isinstance(node, DeclareHandle):
+                parts.append(("H", node.name, node.source, node.nbytes))
+            elif isinstance(node, PollStatus):
+                if node.chip_mask is not None:
+                    return None
+                parts.append(("P", node.until, node.dest, node.max_polls))
+            elif isinstance(node, SoftSleep):
+                if not isinstance(node.ns, int):
+                    return None
+                parts.append(("S", node.ns))
+            elif isinstance(node, Return):
+                parts.append(("R", node.expr))
+                break
+            else:
+                return None  # Branch/Loop/CallOp/SetReg: interpreted path
+        return tuple(parts)
+
+    def _compile_template(self, ctx: _PlanContext,
+                          program: OpProgram) -> Optional[_Template]:
+        """Bake one program of a fingerprint class into a template.
+
+        Segments are lowered once through the real µFSM emitters — the
+        same compile the interpreted path performs per run — and only
+        their durations, action offsets, baked opcodes, and node paths
+        for instance values are kept.  The fingerprint guarantees the
+        result is valid for every program in the class.
+        """
+        state = EvalState(None)  # scratch: compile-time handle minting
+        phases = []
+        result_expr = _NO_RESULT
+        has_data = False
+        txn_count = 0
+        poll_count = 0
+        for index, node in enumerate(program.nodes):
+            if isinstance(node, Txn):
+                phase = self._compile_txn(ctx, node, index, state)
+                has_data = has_data or phase[2][3] or phase[2][2]
+                phases.append(phase)
+                txn_count += 1
+            elif isinstance(node, DeclareHandle):
+                state.handles[node.name] = _mint_handle(ctx, node, state)
+                phases.append((_PH_HANDLE, index))
+            elif isinstance(node, PollStatus):
+                phases.append(self._compile_poll(node))
+                poll_count += 1
+            elif isinstance(node, SoftSleep):
+                phases.append((_PH_SLEEP, node.ns))
+            elif isinstance(node, Return):
+                result_expr = node.expr
+                break
+        sw_ns = (self.pre_txn_ns * (txn_count + poll_count)
+                 + self.wakeup_ns * poll_count)
+        return _Template(sw_ns, tuple(phases), result_expr, has_data)
+
+    def _compile_txn(self, ctx: _PlanContext, node: Txn, node_index: int,
+                     state: EvalState):
+        hold = 0
+        nseg = 0
+        bytes_in = 0
+        bytes_out = 0
+        kinds: dict[str, int] = {}
+        segs = []
+        for seg_index, seg_node in enumerate(node.segments):
+            segment = compile_segment(ctx, seg_node, state)
+            nseg += 1
+            kinds[segment.kind.value] = kinds.get(segment.kind.value, 0) + 1
+            ops = []
+            addr_index = 0
+            for offset, action in segment.actions:
+                at = hold + offset
+                if isinstance(action, CommandLatch):
+                    ops.append((_OP_CMD, at, action.opcode))
+                elif isinstance(action, AddressLatch):
+                    # Address bytes vary per instance: record the path
+                    # to the latch (the j-th address-kind latch of this
+                    # LatchSeq) instead of the bytes.
+                    latch_index = addr_index
+                    addr_index += 1
+                    position = 0
+                    for li, latch in enumerate(seg_node.latches):
+                        if latch.kind != "cmd":
+                            if position == latch_index:
+                                ops.append((_OP_ADDR, at, node_index,
+                                            seg_index, li))
+                                break
+                            position += 1
+                elif isinstance(action, DataOutAction):
+                    bytes_out += action.nbytes
+                    ops.append((_OP_DATA_OUT, at, action.nbytes,
+                                seg_node.handle.name))
+                elif isinstance(action, DataInAction):
+                    bytes_in += action.nbytes
+                    ops.append((_OP_DATA_IN, at, action.nbytes,
+                                action.column, seg_node.handle.name))
+                # IdleWait: pure time, no die effect.
+            segs.append(tuple(ops))
+            hold += segment.duration_ns
+        stats = (nseg, hold, bytes_in, bytes_out, tuple(kinds.items()))
+        return (_PH_TXN, hold, stats, tuple(segs))
+
+    def _compile_poll(self, node: PollStatus):
+        latch, data, _handle = self._poll_txn(1)  # durations are mask-free
+        cmd_off = latch.actions[0][0]
+        data_off = next(off for off, action in data.actions
+                        if isinstance(action, DataOutAction))
+        sample_off = latch.duration_ns + data_off
+        hold = latch.duration_ns + data.duration_ns
+        kinds = ((latch.kind.value, 1), (data.kind.value, 1))
+        predicate = (StatusRegister.is_ready if node.until == "ready"
+                     else StatusRegister.is_array_ready)
+        return (_PH_POLL, predicate, node.dest, node.max_polls, hold,
+                cmd_off, sample_off, kinds)
+
+    # -- template execution --------------------------------------------
+
+    def _run_template(self, ctx: _PlanContext, template: _Template,
+                      program: OpProgram) -> Generator:
+        state = EvalState(None)
+        handles = state.handles
+        nodes = program.nodes
+        lun = ctx.lun
+        channel = self.channel
+        sim = self.sim
+        if template.sw_ns:
+            yield Timeout(template.sw_ns)
+        for phase in template.phases:
+            tag = phase[0]
+            if tag == _PH_TXN:
+                _, hold, stats, segs = phase
+                yield from channel.acquire(owner=ctx.label)
+                base = sim.now
+                try:
+                    for ops in segs:
+                        self._apply_seg(lun, ops, base, handles, nodes)
+                finally:
+                    lun._action_time = None
+                chan_stats = channel.stats
+                nseg, busy, b_in, b_out, kinds = stats
+                chan_stats.segments += nseg
+                chan_stats.busy_ns += busy
+                chan_stats.data_bytes_in += b_in
+                chan_stats.data_bytes_out += b_out
+                per_kind = chan_stats.per_kind
+                for key, count in kinds:
+                    per_kind[key] = per_kind.get(key, 0) + count
+                if hold:
+                    yield Timeout(hold)
+                channel.release()
+            elif tag == _PH_POLL:
+                yield from self._template_poll(ctx, phase, state)
+            elif tag == _PH_HANDLE:
+                node = nodes[phase[1]]
+                handles[node.name] = _mint_handle(ctx, node, state)
+            else:  # _PH_SLEEP
+                yield Timeout(phase[1])
+        if template.result_expr is not _NO_RESULT:
+            return eval_expr(template.result_expr, state)
+        return None
+
+    def _apply_seg(self, lun, ops, base: int, handles: dict, nodes) -> None:
+        """Drive the die through one segment's decoded actions — the
+        same LUN handlers, at the same logical nanoseconds, in the same
+        order as inline waveform delivery; only the segment object is
+        gone.  Catch-up mirrors ``deliver_segment_inline``: pending
+        completions due before an action fire first, with the segment-
+        start epoch breaking exact-time ties."""
+        if not ops:
+            return
+        if lun._pending_completions:
+            epoch = lun._completion_seq
+            run_due = lun._run_due_completions
+            for op in ops:
+                at = base + op[1]
+                run_due(at, epoch)
+                lun._action_time = at
+                self._apply_op(lun, op, handles, nodes)
+        else:
+            for op in ops:
+                lun._action_time = base + op[1]
+                self._apply_op(lun, op, handles, nodes)
+
+    def _apply_op(self, lun, op, handles: dict, nodes) -> None:
+        tag = op[0]
+        if tag == _OP_CMD:
+            lun._on_command(op[2])
+        elif tag == _OP_ADDR:
+            # op = (_OP_ADDR, offset, node idx, segment idx, latch idx):
+            # the address bytes live in the instance program.
+            lun._on_address(nodes[op[2]].segments[op[3]].latches[op[4]].value)
+        elif tag == _OP_DATA_OUT:
+            shim = self._out_shim
+            shim.nbytes = op[2]
+            shim.dma_handle = handles[op[3]]
+            lun._on_data_out(shim)
+        else:  # _OP_DATA_IN
+            shim = self._in_shim
+            shim.nbytes = op[2]
+            shim.column = op[3]
+            shim.dma_handle = handles[op[4]]
+            lun._on_data_in(shim)
+
+    def _template_poll(self, ctx: _PlanContext, phase,
+                       state: EvalState) -> Generator:
+        _, predicate, dest, max_polls, hold, cmd_off, sample_off, kinds = phase
+        lun = ctx.lun
+        channel = self.channel
+        sim = self.sim
+        # The die knows when its busy window ends; sleeping there first
+        # makes the common case exactly one status round trip.  (Under
+        # load the waveform tier's poll count converges to the same
+        # one-poll floor, because contention stretches each round trip
+        # past the remaining busy time.)
+        end = lun.next_completion_ns()
+        now = sim.now
+        if end is not None and end > now:
+            yield Timeout(end - now)
+        polls = 0
+        while True:
+            yield from channel.acquire(owner=ctx.label)
+            base = sim.now
+            if lun._pending_completions:
+                epoch = lun._completion_seq
+                lun._run_due_completions(base + cmd_off, epoch)
+                lun._action_time = base + cmd_off
+                lun._on_command(CMD.READ_STATUS)
+                lun._run_due_completions(base + sample_off, epoch)
+            else:
+                lun._action_time = base + cmd_off
+                lun._on_command(CMD.READ_STATUS)
+            lun._action_time = base + sample_off
+            if lun._data_source is _DataSource.STATUS:
+                # The 1-byte status burst, minus the array and handle.
+                lun.last_status_sample_ns = base + sample_off
+                status = lun.status.value()
+            else:
+                # A completion between latch and burst re-armed the data
+                # source; sample through the real produce path so the
+                # (degenerate) byte matches inline delivery exactly.
+                status = int(lun._produce_data(1)[0])
+            lun._action_time = None
+            chan_stats = channel.stats
+            chan_stats.segments += 2
+            chan_stats.busy_ns += hold
+            chan_stats.data_bytes_out += 1
+            per_kind = chan_stats.per_kind
+            for key, count in kinds:
+                per_kind[key] = per_kind.get(key, 0) + count
+            yield Timeout(hold)
+            channel.release()
+            polls += 1
+            if predicate(status):
+                if dest:
+                    state.regs[dest] = status
+                return
+            if polls >= max_polls:
+                raise RuntimeError("status poll budget exhausted — stuck LUN?")
+            # Not ready: charge the extra round's runtime cost, then
+            # sleep to the die's next pending completion, or re-poll on
+            # the minimum legal grid when the die is opaque (hung-die
+            # faults keep the same poll-budget escape as the generic
+            # path).
+            extra = self.pre_txn_ns + self.wakeup_ns
+            if extra:
+                yield Timeout(extra)
+            end = lun.next_completion_ns()
+            now = sim.now
+            if end is not None and end > now:
+                yield Timeout(end - now)
+            else:
+                yield Timeout(self.repoll_ns)
+
+    # -- the per-LUN runner --------------------------------------------
+
+    def _runner(self, lun_position: int) -> Generator:
+        queue = self._queues[lun_position]
+        channel = self.channel
+        try:
+            while queue:
+                task, program, template = queue.popleft()
+                task.admitted_at = self.sim.now
+                task.state = TaskState.RUNNING
+                lun = channel.luns[lun_position]
+                ctx = _PlanContext(self.ufsm, 1 << lun_position,
+                                   self.packetizer, lun, task.label)
+                # Bus-level observers need real segments: hand the op to
+                # the interpreted plan path, whose deliveries route
+                # through the full backend.  Checked per op, so hooks
+                # attached mid-run take effect immediately.
+                use_template = (
+                    template is not None
+                    and self.sim._tracer is None
+                    and channel._fault_hook is None
+                    and channel._san_bus is None
+                    and (not template.has_data
+                         or not channel.interface.ddr
+                         or channel.phy.data_reliable(lun_position))
+                )
+                result = None
+                try:
+                    if use_template:
+                        self.ops_templated += 1
+                        result = yield from self._run_template(
+                            ctx, template, program)
+                    else:
+                        result = yield from self._run_program(ctx, program)
+                except RecoverableOpError as exc:
+                    task.error = exc
+                    self.env.tasks_failed += 1
+                self._finish(task, result)
+        finally:
+            self._running.discard(lun_position)
+
+    def _finish(self, task: Task, result) -> None:
+        task.state = TaskState.DONE
+        task.result = result
+        task.finished_at = self.sim.now
+        tracer = self.sim._tracer
+        if tracer is not None:
+            start = task.admitted_at if task.admitted_at is not None \
+                else task.submitted_at
+            tracer.complete(
+                "task", f"task/lun{task.lun_position}", task.label,
+                start, self.sim.now - start,
+                {"admission_wait_ns": start - task.submitted_at},
+            )
+        self.env.tasks_completed += 1
+        task.completed.fire(result)
+
+    # -- interpreted plan replay ---------------------------------------
+
+    def _run_program(self, ctx: _PlanContext, program: OpProgram) -> Generator:
+        state = EvalState(None)
+        try:
+            yield from self._run_nodes(ctx, program.nodes, state)
+        except _PlanReturn as signal:
+            return signal.value
+        return None
+
+    def _run_nodes(self, ctx: _PlanContext, nodes, state: EvalState) -> Generator:
+        for node in nodes:
+            if isinstance(node, Txn):
+                yield from self._run_txn(ctx, node, state)
+            elif isinstance(node, DeclareHandle):
+                state.handles[node.name] = _mint_handle(ctx, node, state)
+            elif isinstance(node, PollStatus):
+                yield from self._wait_ready(ctx, node, state)
+            elif isinstance(node, SoftSleep):
+                ns = eval_expr(node.ns, state)
+                if ns:
+                    yield Timeout(ns)
+            elif isinstance(node, SetReg):
+                state.regs[node.name] = eval_expr(node.expr, state)
+            elif isinstance(node, Branch):
+                branch = node.then if eval_expr(node.pred, state) else node.orelse
+                yield from self._run_nodes(ctx, branch, state)
+            elif isinstance(node, Loop):
+                for index in range(node.count):
+                    state.regs[node.var] = index
+                    yield from self._run_nodes(ctx, node.body, state)
+            elif isinstance(node, CallOp):
+                kwargs = {name: eval_expr(value, state)
+                          for name, value in node.kwargs}
+                vendor = self.controller.config.vendor
+                callee = _cached_program(
+                    _resolved_builder(node.op, vendor), kwargs)
+                value = yield from self._run_program(ctx, callee)
+                if node.dest:
+                    state.regs[node.dest] = value
+            elif isinstance(node, Return):
+                raise _PlanReturn(eval_expr(node.expr, state))
+            else:  # pragma: no cover - plan_check excludes these
+                raise TypeError(
+                    f"{type(node).__name__} escaped the plan gate")
+
+    def _deliver(self, segment, at: int, lun) -> None:
+        """Deliver one plan segment: the observable effects of
+        :meth:`TLMBackend._deliver` minus the hooks that are provably
+        inactive — checked per call, so a tracer, fault injector, or
+        sanitizer attached after construction still routes every
+        segment through the full backend path."""
+        channel = self.channel
+        if (self.sim._tracer is not None or channel._fault_hook is not None
+                or channel._san_bus is not None):
+            self.backend._deliver(channel, segment, at)
+            return
+        segment.emitted_at = at
+        channel.stats.record(segment)
+        channel._apply_phy(segment, (lun.position,))
+        lun.deliver_segment_inline(segment, at)
+
+    def _run_txn(self, ctx: _PlanContext, node: Txn,
+                 state: EvalState) -> Generator:
+        segments = [compile_segment(ctx, seg, state) for seg in node.segments]
+        if self.pre_txn_ns:
+            yield Timeout(self.pre_txn_ns)
+        yield from self.channel.acquire(owner=ctx.label)
+        at = self.sim.now
+        base = at
+        for segment in segments:
+            self._deliver(segment, at, ctx.lun)
+            at += segment.duration_ns
+        if at > base:
+            yield Timeout(at - base)
+        self.channel.release()
+
+    def _poll_txn(self, mask: int):
+        """The status round trip for one chip mask, built once: the
+        latch, the 1-byte data segment, and its private capture handle.
+        Safe to reuse because delivery and the status read happen in
+        the same scheduler turn, and the per-LUN FIFO means at most one
+        poll per mask is in flight."""
+        cached = self._poll_txns.get(mask)
+        if cached is None:
+            handle = self.packetizer.capture(1)
+            latch = self.ufsm.ca_writer.emit([cmd(CMD.READ_STATUS)],
+                                             chip_mask=mask)
+            data = self.ufsm.data_reader.emit(1, handle, chip_mask=mask)
+            cached = (latch, data, handle)
+            self._poll_txns[mask] = cached
+        return cached
+
+    def _wait_ready(self, ctx: _PlanContext, node: PollStatus,
+                    state: EvalState) -> Generator:
+        predicate = (StatusRegister.is_ready if node.until == "ready"
+                     else StatusRegister.is_array_ready)
+        lun = ctx.lun
+        latch, data, handle = self._poll_txn(ctx.chip_mask)
+        round_ns = latch.duration_ns + data.duration_ns
+        # See _template_poll for why the pre-sleep is exact.
+        end = lun.next_completion_ns()
+        now = self.sim.now
+        if end is not None and end > now:
+            yield Timeout(end - now)
+        for _ in range(node.max_polls):
+            if self.pre_txn_ns:
+                yield Timeout(self.pre_txn_ns)
+            yield from self.channel.acquire(owner=ctx.label)
+            at = self.sim.now
+            self._deliver(latch, at, lun)
+            self._deliver(data, at + latch.duration_ns, lun)
+            status = int(handle.delivered[0])
+            yield Timeout(round_ns)
+            self.channel.release()
+            if self.wakeup_ns:
+                yield Timeout(self.wakeup_ns)
+            if predicate(status):
+                if node.dest:
+                    state.regs[node.dest] = status
+                return
+            end = lun.next_completion_ns()
+            now = self.sim.now
+            if end is not None and end > now:
+                yield Timeout(end - now)
+            else:
+                yield Timeout(self.repoll_ns)
+        raise RuntimeError(
+            f"{node.until} poll budget exhausted — stuck LUN?")
+
+    def describe(self) -> str:
+        return (f"plan-executor: {self.ops_planned} planned "
+                f"({self.ops_templated} templated), "
+                f"{self.ops_declined} declined")

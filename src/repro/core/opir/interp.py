@@ -29,6 +29,7 @@ from repro.core.opir.nodes import (
     SetReg,
     SoftSleep,
     Txn,
+    effective_poll_period,
     eval_expr,
 )
 
@@ -121,7 +122,7 @@ def _poll(ctx, node: PollStatus, state: EvalState):
     poll_until_ready, poll_until_array_ready = _POLL_FNS
 
     mask = None if node.chip_mask is None else eval_expr(node.chip_mask, state)
-    period = node.period_ns or 0
+    period = effective_poll_period(node.period_ns)
     if node.until == "ready":
         status = yield from poll_until_ready(
             ctx, chip_mask=mask, max_polls=node.max_polls, period_ns=period

@@ -256,6 +256,18 @@ class DeclareHandle:
     data: tuple = ()
 
 
+# THE definition of "unpaced": a PollStatus with no explicit period
+# re-polls back to back.  The interpreter's fallback, the ops-layer
+# defaults, and the OPL008 lint all resolve pacing through
+# effective_poll_period so the semantics cannot drift apart.
+UNPACED_POLL_PERIOD_NS = 0
+
+
+def effective_poll_period(period_ns: Optional[int]) -> int:
+    """Resolve a ``PollStatus.period_ns`` field (None = unpaced)."""
+    return UNPACED_POLL_PERIOD_NS if period_ns is None else period_ns
+
+
 @dataclass(frozen=True)
 class PollStatus:
     """Poll READ STATUS until a readiness bit (Algorithm 2, lines 7..9).

@@ -191,6 +191,9 @@ class OperationContext:
         # The vendor profile of the attached package, if known: op-IR
         # programs resolve per-vendor overrides through it.
         self.vendor = getattr(env, "vendor", None)
+        # The fidelity backend driving the channel (None = waveform
+        # semantics).  Ops consult it for the TLM poll fast-forward.
+        self.backend = env.backend
 
     # -- transaction building ------------------------------------------
 
@@ -253,6 +256,10 @@ class SoftwareEnvironment:
         # Optional Watchdog giving every busy-wait an ns budget; the
         # controller installs it from its config (None = off).
         self.watchdog = None
+        # ExecutionBackend of the attached channel; the controller
+        # installs it so ops can ask about fidelity capabilities
+        # (poll fast-forward).  None behaves as waveform.
+        self.backend = None
 
         self._ready: list[Task] = []
         self._pending_txns: list[Transaction] = []

@@ -142,24 +142,28 @@ def _percentiles(latencies: list[int]) -> dict:
 # ----------------------------------------------------------------------
 
 def _make_target(name: str, sim: Simulator, profile: VendorProfile,
-                 seed: int):
+                 seed: int, fidelity: str = "waveform"):
     if name == "babol":
         return BabolController(sim, ControllerConfig(
             vendor=profile, lun_count=_FTL_LUNS, track_data=False, seed=seed,
+            fidelity=fidelity,
         ))
     if name == "sync-hw":
         return SyncHwController(sim, vendor=profile, lun_count=_FTL_LUNS,
-                                track_data=False, seed=seed)
+                                track_data=False, seed=seed,
+                                fidelity=fidelity)
     if name == "async-hw":
         return AsyncHwController(sim, vendor=profile, lun_count=_FTL_LUNS,
-                                 track_data=False, seed=seed)
+                                 track_data=False, seed=seed,
+                                 fidelity=fidelity)
     raise ValueError(f"unknown chaos target {name!r}")
 
 
 def _run_ftl_phase(target: str, profile: VendorProfile,
-                   campaign: FaultCampaign, inject: bool) -> dict:
+                   campaign: FaultCampaign, inject: bool,
+                   fidelity: str = "waveform") -> dict:
     sim = Simulator()
-    controller = _make_target(target, sim, profile, campaign.seed)
+    controller = _make_target(target, sim, profile, campaign.seed, fidelity)
     ftl = PageMappedFtl(sim, controller, FtlConfig(
         blocks_per_lun=8, overprovision_blocks=4,
     ))
@@ -245,11 +249,12 @@ def _ftl_recovery_accounting(ftl: PageMappedFtl, campaign: FaultCampaign,
 # ----------------------------------------------------------------------
 
 def _run_ops_phase(profile: VendorProfile, campaign: FaultCampaign,
-                   inject: bool) -> dict:
+                   inject: bool, fidelity: str = "waveform") -> dict:
     sim = Simulator()
     controller = BabolController(sim, ControllerConfig(
         vendor=profile, lun_count=_OPS_LUNS, track_data=True,
         seed=campaign.seed, watchdog=Watchdog.for_vendor(profile),
+        fidelity=fidelity,
     ))
     # The reliable reader's job here is recovering *injected* bus
     # corruption; background RBER noise would blur the accounting.
@@ -386,8 +391,15 @@ def run_chaos(
     vendor: Union[str, VendorProfile] = "hynix",
     campaign: Optional[FaultCampaign] = None,
     baselines: bool = True,
+    fidelity: str = "waveform",
 ) -> dict:
-    """Run one campaign; returns the JSON-ready report dict."""
+    """Run one campaign; returns the JSON-ready report dict.
+
+    ``fidelity`` selects the execution backend for every target.  Fault
+    injection, recovery, and retirement accounting are tier-independent
+    (the injector hooks transaction-level events that both backends
+    deliver), so a TLM campaign must reach the same verdicts.
+    """
     if isinstance(vendor, str):
         vendor = profile_by_name(vendor)
     profile = _chaos_profile(vendor)
@@ -400,6 +412,7 @@ def run_chaos(
         "schema": 1,
         "campaign": campaign.to_dict(),
         "vendor": vendor.name,
+        "fidelity": fidelity,
         "targets": {},
     }
     injected_total = 0
@@ -409,8 +422,10 @@ def run_chaos(
 
     for target in targets:
         entry: dict = {}
-        faulted = _run_ftl_phase(target, profile, campaign, inject=True)
-        clean = _run_ftl_phase(target, profile, campaign, inject=False)
+        faulted = _run_ftl_phase(target, profile, campaign, inject=True,
+                                 fidelity=fidelity)
+        clean = _run_ftl_phase(target, profile, campaign, inject=False,
+                               fidelity=fidelity)
         faulted["latency_clean"] = clean["latency"]
         faulted["added_p99_ns"] = (
             faulted["latency"]["p99_ns"] - clean["latency"]["p99_ns"])
@@ -422,8 +437,10 @@ def run_chaos(
                 unrecovered[f"{target}/ftl/{kind}"] = count
 
         if target == "babol":
-            ops = _run_ops_phase(profile, campaign, inject=True)
-            ops_clean = _run_ops_phase(profile, campaign, inject=False)
+            ops = _run_ops_phase(profile, campaign, inject=True,
+                                 fidelity=fidelity)
+            ops_clean = _run_ops_phase(profile, campaign, inject=False,
+                                       fidelity=fidelity)
             ops["latency_clean"] = ops_clean["latency"]
             ops["added_p99_ns"] = (
                 ops["latency"]["p99_ns"] - ops_clean["latency"]["p99_ns"])

@@ -74,6 +74,61 @@ class _BusyKind(enum.Enum):
 _SUSPENDABLE = {_BusyKind.PROGRAM, _BusyKind.ERASE}
 
 
+class _PendingCompletion:
+    """A deferred die-side completion (busy end, cache hand-off).
+
+    Wraps the kernel event so the TLM tier can *catch up*: when a later
+    segment's logical action time passes this completion, the LUN fires
+    it early — at its recorded nanosecond — instead of waiting for real
+    kernel time to reach it.  Duck-types the event surface the LUN's
+    suspend/reset paths rely on (``pending``, ``cancel``), so the
+    waveform tier behaves exactly as before the wrapper existed.
+
+    ``order`` is the creation sequence number: it reproduces the kernel
+    heap's FIFO tie-break when a completion and a die action land on
+    the same nanosecond (completions scheduled *before* the current
+    segment's actions win the tie; ones scheduled during it lose).
+    """
+
+    __slots__ = ("lun", "time", "order", "fn", "event", "done")
+
+    def __init__(self, lun: "Lun", time_ns: int, order: int, fn):
+        self.lun = lun
+        self.time = time_ns
+        self.order = order
+        self.fn = fn
+        self.done = False
+        self.event = lun.sim.schedule(time_ns - lun.sim.now, self._on_event)
+
+    @property
+    def pending(self) -> bool:
+        return not self.done
+
+    def cancel(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.event.cancel()
+        self.lun._pending_completions.remove(self)
+
+    def _on_event(self) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.lun._pending_completions.remove(self)
+        self.fn()
+
+    def fire_early(self) -> None:
+        """Catch-up: run at the recorded logical time (TLM only)."""
+        if self.done:
+            return
+        self.done = True
+        self.event.cancel()
+        self.lun._pending_completions.remove(self)
+        self.lun._action_time = self.time
+        self.fn()
+
+
 class Lun:
     """One logical unit of a flash package."""
 
@@ -125,6 +180,19 @@ class Lun:
         self._mp_queue: list[PhysicalAddress] = []
         self._cache_next_row: Optional[PhysicalAddress] = None
 
+        # Logical clock (TLM tier).  While a transaction's segments are
+        # delivered inline, die actions run at logical times computed
+        # from segment offsets; _now() reads this instead of sim.now so
+        # timestamps (array aging, busy deadlines, status samples) are
+        # identical to the waveform tier.  None means "real time".
+        self._action_time: Optional[int] = None
+        self._pending_completions: list[_PendingCompletion] = []
+        self._completion_seq = 0
+        # Nanosecond of the most recent STATUS byte sampled from this
+        # die — the poll fast-forward in ops/base reads it to measure
+        # the polling period.
+        self.last_status_sample_ns: Optional[int] = None
+
         self._pslc_override = False
         self._busy_kind: Optional[_BusyKind] = None
         self._busy_event = None
@@ -151,6 +219,86 @@ class Lun:
         """Schedule processing of each decoded action at its offset."""
         for offset, action in segment.actions:
             self.sim.schedule(offset, lambda a=action: self._process(a))
+
+    def deliver_segment_inline(self, segment: WaveformSegment,
+                               base_ns: int) -> None:
+        """TLM delivery: run each action now, at its logical nanosecond.
+
+        ``base_ns`` is the segment's logical start (the transaction's
+        start plus preceding segment durations).  Before each action,
+        pending completions whose recorded time precedes it fire early
+        ("catch-up"), so ordering against busy windows — intra-
+        transaction timer waits spanning tFEAT, status samples racing
+        tR — matches the waveform tier exactly.
+
+        When no completion is pending at segment start the catch-up
+        scan is skipped entirely: a completion scheduled *by* this
+        segment's own actions carries ``order >= epoch``, which the
+        scan would never fire early anyway.
+        """
+        if not self._pending_completions:
+            try:
+                for offset, action in segment.actions:
+                    self._action_time = base_ns + offset
+                    self._process(action)
+            finally:
+                self._action_time = None
+            return
+        epoch = self._completion_seq
+        try:
+            for offset, action in segment.actions:
+                at = base_ns + offset
+                self._run_due_completions(at, epoch)
+                self._action_time = at
+                self._process(action)
+        finally:
+            self._action_time = None
+
+    def _now(self) -> int:
+        """The die's clock: logical action time under TLM, sim.now else."""
+        at = self._action_time
+        return at if at is not None else self.sim.now
+
+    def _schedule_completion(self, duration: int, fn) -> _PendingCompletion:
+        """Schedule ``fn`` at ``_now() + duration`` (kernel time), kept
+        on the pending list so the TLM tier can catch it up early."""
+        self._completion_seq += 1
+        rec = _PendingCompletion(
+            self, self._now() + duration, self._completion_seq, fn)
+        self._pending_completions.append(rec)
+        return rec
+
+    def _run_due_completions(self, at_ns: int, epoch: int) -> None:
+        """Fire, in (time, order) order, every pending completion the
+        waveform tier would have run before an action at ``at_ns``.
+
+        A completion tied at ``at_ns`` fires first only when it was
+        scheduled before the current segment started (order < epoch) —
+        mirroring the kernel heap's FIFO tie-break.
+        """
+        while self._pending_completions:
+            due = None
+            for rec in self._pending_completions:
+                if rec.time > at_ns or (rec.time == at_ns
+                                        and rec.order >= epoch):
+                    continue
+                if due is None or (rec.time, rec.order) < (due.time, due.order):
+                    due = rec
+            if due is None:
+                return
+            due.fire_early()
+
+    def next_completion_ns(self) -> Optional[int]:
+        """Earliest pending die-side completion, or None (idle or hung).
+
+        The TLM poll fast-forward reads this to find when the die will
+        go ready; a hung die (injected fault) has no pending completion,
+        so polls against it keep running at full rate and the watchdog
+        fires on the exact waveform nanosecond.
+        """
+        if not self._pending_completions:
+            return None
+        return min(rec.time for rec in self._pending_completions)
 
     # ------------------------------------------------------------------
     # Observability
@@ -187,7 +335,8 @@ class Lun:
             raise LunProtocolError(f"unknown action {action!r}")
 
     def _on_command(self, opcode: int) -> None:
-        self.op_counts[opcode_name(opcode)] = self.op_counts.get(opcode_name(opcode), 0) + 1
+        name = opcode_name(opcode)
+        self.op_counts[name] = self.op_counts.get(name, 0) + 1
         cls = classify_opcode(opcode)
 
         if self.state is LunState.ARRAY_BUSY and cls not in (
@@ -352,6 +501,7 @@ class Lun:
     def _produce_data(self, nbytes: int) -> np.ndarray:
         source = self._data_source
         if source is _DataSource.STATUS:
+            self.last_status_sample_ns = self._now()
             return np.full(nbytes, self.status.value(), dtype=np.uint8)
         if source is _DataSource.REGISTER:
             register = self._page_register[self._active_plane]
@@ -362,12 +512,14 @@ class Lun:
                     )
                 raise LunProtocolError("data out with an empty page register")
             end = min(self._column + nbytes, len(register))
+            # A view is safe to hand out: DmaHandle.deliver copies
+            # before the register can change again.
             chunk = register[self._column:end]
             if len(chunk) < nbytes:
                 pad = np.full(nbytes - len(chunk), 0xFF, dtype=np.uint8)
                 chunk = np.concatenate([chunk, pad])
             self._column = end
-            return chunk.copy()
+            return chunk
         if source is _DataSource.FEATURE:
             params = self.features.get(self._feature_addr)
             return np.array(list(params)[:nbytes], dtype=np.uint8)
@@ -462,7 +614,7 @@ class Lun:
                 plane = self.codec.plane_of(target)
                 self._page_register[plane] = self.array.load_page(
                     target,
-                    now_ns=self.sim.now,
+                    now_ns=self._now(),
                     read_retry_level=self.features.read_retry_level,
                     cell_mode_override=self._effective_mode(),
                 )
@@ -502,7 +654,7 @@ class Lun:
         def finish() -> None:
             self._page_register[plane] = self.array.load_page(
                 next_row,
-                now_ns=self.sim.now,
+                now_ns=self._now(),
                 read_retry_level=self.features.read_retry_level,
                 cell_mode_override=self._effective_mode(),
             )
@@ -513,7 +665,7 @@ class Lun:
         swap = self._cache_register[plane]
         self._page_register[plane], self._cache_register[plane] = swap, None
         self._column = 0
-        self.sim.schedule(duration, lambda: self._cache_finish(finish))
+        self._schedule_completion(duration, lambda: self._cache_finish(finish))
 
     def _cache_finish(self, finish) -> None:
         finish()
@@ -561,7 +713,8 @@ class Lun:
                 for target in targets:
                     plane = self.codec.plane_of(target)
                     ok = self.array.program(
-                        target, registers[plane], now_ns=self.sim.now, cell_mode=mode
+                        target, registers[plane], now_ns=self._now(),
+                        cell_mode=mode
                     )
                     failed = failed or not ok
             self.programs_completed += len(targets)
@@ -583,7 +736,7 @@ class Lun:
                 self.rb_trigger.fire(self)
                 self._notify_rb(False)
 
-            self.sim.schedule(duration, cache_done)
+            self._schedule_completion(duration, cache_done)
         else:
             self._begin_busy(
                 _BusyKind.PROGRAM, duration, finish=finish, sets_status=False
@@ -646,9 +799,9 @@ class Lun:
             self._busy_event = None
             self._notify_rb(True)
             return
-        self._busy_until = self.sim.now + duration
+        self._busy_until = self._now() + duration
         self.busy_ns_total += duration
-        self._busy_event = self.sim.schedule(duration, self._finish_busy)
+        self._busy_event = self._schedule_completion(duration, self._finish_busy)
         self._notify_rb(True)
 
     def _notify_rb(self, busy: bool) -> None:
@@ -695,7 +848,7 @@ class Lun:
             raise LunProtocolError("suspend latched with no suspendable operation")
         if self._busy_event is not None:  # a hung busy has no event
             self._busy_event.cancel()
-        self._suspend_remaining = max(self._busy_until - self.sim.now, 0)
+        self._suspend_remaining = max(self._busy_until - self._now(), 0)
         self._suspended_kind = self._busy_kind
         self._suspended_finish = self._busy_finish
         self._suspend_pending = True

@@ -561,7 +561,7 @@ class ShardedFtl:
         return [
             (channel, record)
             for channel, shard in enumerate(self.shards)
-            for record in shard.bad_blocks.journal()
+            for record in shard.bad_blocks.journal
         ]
 
     def free_blocks_total(self) -> int:

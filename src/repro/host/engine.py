@@ -31,7 +31,7 @@ from repro.ftl.ftl import PageMappedFtl, ShardedFtl
 from repro.host.hic import HostOpcode
 from repro.sim import Simulator
 from repro.sim.kernel import NS_PER_S
-from repro.sim.sync import Condition, Trigger
+from repro.sim.sync import Trigger
 
 
 class QueueSaturatedError(RuntimeError):
@@ -47,6 +47,7 @@ def build_scale_stack(
     ftl_config=None,
     prefill_pages: Optional[int] = None,
     track_data: bool = False,
+    fidelity: str = "waveform",
 ):
     """Stand up an N-channel array: controllers + :class:`ShardedFtl`.
 
@@ -54,6 +55,11 @@ def build_scale_stack(
     (bus, executor, runtime, DRAM — nothing shared between channels, as
     in the real chip where every channel controller is an independent
     BABOL instance).  Returns ``(controllers, sharded_ftl)``.
+
+    ``fidelity`` selects the execution backend of every channel:
+    ``"waveform"`` for segment-accurate simulation, ``"tlm"`` for the
+    transaction-level fast path (same data and FTL behaviour, ~10x the
+    simulated ops per wall-second — see ``repro.core.backend``).
     """
     from repro.core.controller import BabolController, ControllerConfig
     from repro.flash.vendors import profile_by_name
@@ -70,7 +76,8 @@ def build_scale_stack(
     controllers = []
     for channel in range(channels):
         kwargs = dict(lun_count=luns_per_channel, runtime=runtime,
-                      track_data=track_data, seed=channel)
+                      track_data=track_data, seed=channel,
+                      fidelity=fidelity)
         if vendor is not None:
             kwargs["vendor"] = vendor
         controllers.append(BabolController(sim, ControllerConfig(**kwargs)))
@@ -116,7 +123,7 @@ class ChannelQueuePair:
         self.depth = depth
         self._staged: list[ScaleCommand] = []   # written, doorbell not rung
         self._sq: deque[ScaleCommand] = deque()  # device-visible
-        self._sq_ready = Condition(sim)
+        self._idle: deque[Trigger] = deque()     # parked workers, FIFO
         self.inflight = 0
         self.completions: list[ScaleCommand] = []
         self.cq_pulse = Trigger(sim)
@@ -155,7 +162,15 @@ class ChannelQueuePair:
         self._sq.extend(self._staged)
         self._staged.clear()
         self.doorbells += 1
-        self._sq_ready.notify()
+        # Wake exactly as many parked workers as there are entries to
+        # claim, oldest first.  A broadcast would resume the whole
+        # depth-sized pool per doorbell only for all but `batch` of
+        # them to re-park — at depth 32 that is most of the kernel's
+        # event traffic.  Wakes are scheduled in park order, so the
+        # command-to-pop pairing is identical to a broadcast.
+        wake = min(len(self._idle), len(self._sq))
+        for _ in range(wake):
+            self._idle.popleft().fire()
         return batch
 
     # -- device side ---------------------------------------------------
@@ -163,7 +178,10 @@ class ChannelQueuePair:
     def _worker(self) -> Generator:
         ftl = self.engine.shard(self.channel)
         while True:
-            yield from self._sq_ready.wait_for(lambda: bool(self._sq))
+            while not self._sq:
+                gate = Trigger(self.sim)
+                self._idle.append(gate)
+                yield from gate.wait()
             command = self._sq.popleft()
             self.inflight += 1
             command.started_at = self.sim.now

@@ -26,6 +26,7 @@ class BusSanitizer(Sanitizer):
     """Watches `Channel.transmit`/`Channel.release` for wire conflicts."""
 
     name = "bus"
+    requires_waveform = True
 
     def attach(self, target, report) -> None:
         super().attach(target, report)

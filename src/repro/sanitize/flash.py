@@ -27,6 +27,9 @@ class FlashSanitizer(Sanitizer):
     """Watches LUN state transitions and channel chip-select masks."""
 
     name = "flash"
+    # SAN203 inspects chip-select masks on driven segments via a channel
+    # tap, which the TLM tier never fires.
+    requires_waveform = True
 
     _STATUS_OPCODES = (CMD.READ_STATUS, CMD.READ_STATUS_ENHANCED)
 

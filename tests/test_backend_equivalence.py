@@ -1,0 +1,441 @@
+"""Cross-tier equivalence: the TLM backend must be behaviourally
+indistinguishable from waveform for every library operation.
+
+The contract under test (see ``repro/core/backend.py``):
+
+* byte-identical data payloads and status bytes,
+* identical die state (op counts, array counters, programmed pages),
+* 0 ns total-latency drift for non-preempted ops,
+
+over the full 27-op library, on both software runtimes, plus both
+hardware baseline controllers.  Poll traffic is the one *allowed*
+difference — the TLM tier may skip redundant status polls — so
+``READ_STATUS`` counts are excluded from the die-state comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.ops as op_library
+from repro.baselines import AsyncHwController, SyncHwController
+from repro.core import BabolController, ControllerConfig
+from repro.core.ops import (
+    cache_program_op,
+    cache_read_sequential_op,
+    erase_block_op,
+    erase_with_preemptive_read_op,
+    full_page_read_op,
+    gang_read_op,
+    get_features_op,
+    multiplane_erase_op,
+    multiplane_program_op,
+    multiplane_read_op,
+    partial_program_op,
+    partial_read_op,
+    program_page_op,
+    pslc_erase_op,
+    pslc_program_op,
+    pslc_read_op,
+    read_id_op,
+    read_page_op,
+    read_page_timed_wait_op,
+    read_parameter_page_op,
+    read_status_enhanced_op,
+    read_status_op,
+    read_with_retry_op,
+    reset_op,
+    set_features_op,
+    suspend_op,
+    resume_op,
+)
+from repro.dram import DmaHandle
+from repro.host import measure_read_throughput
+from repro.onfi.features import FeatureAddress
+from repro.onfi.geometry import PhysicalAddress
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+
+PAGE = TEST_PROFILE.geometry.full_page_size
+ADDR = PhysicalAddress(block=2, page=0)
+ADDR_P1 = PhysicalAddress(block=3, page=0)
+DRAM_COMPARE_BYTES = 8 * PAGE    # covers every dram_address used below
+
+# One entry per library op: (name, op, kwargs-builder).  Covers all 27
+# exports of ``repro.core.ops`` (asserted below, so a new op cannot be
+# added without joining the harness).
+MATRIX = [
+    ("read_status", read_status_op, lambda c: {}),
+    ("read_status_enhanced", read_status_enhanced_op,
+     lambda c: {"row_address_bytes": c.codec.encode_row(
+         c.codec.row_address(ADDR))}),
+    ("read_page", read_page_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("full_page_read", full_page_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("partial_read", partial_read_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=2, page=0, column=256),
+                "dram_address": 0, "length": 128}),
+    ("timed_wait_read", read_page_timed_wait_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0,
+                "wait_ns": int(c.config.vendor.timing.t_read_ns * 1.3)}),
+    ("program_page", program_page_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=4, page=0),
+                "dram_address": 0}),
+    ("partial_program", partial_program_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=4, page=1),
+                "chunks": [(0, 0, 128), (512, 0, 128)]}),
+    ("erase_block", erase_block_op,
+     lambda c: {"codec": c.codec, "block": 5}),
+    ("pslc_read", pslc_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0}),
+    ("pslc_program", pslc_program_op,
+     lambda c: {"codec": c.codec,
+                "address": PhysicalAddress(block=6, page=0),
+                "dram_address": 0}),
+    ("pslc_erase", pslc_erase_op,
+     lambda c: {"codec": c.codec, "block": 7}),
+    ("set_features", set_features_op,
+     lambda c: {"feature_address": int(FeatureAddress.IO_DRIVE_STRENGTH),
+                "params": (1, 0, 0, 0)}),
+    ("get_features", get_features_op,
+     lambda c: {"feature_address": int(FeatureAddress.IO_DRIVE_STRENGTH)}),
+    ("read_id", read_id_op, lambda c: {}),
+    ("read_parameter_page", read_parameter_page_op,
+     lambda c: {"param_busy_ns": c.config.vendor.timing.t_param_read_ns}),
+    ("reset", reset_op, lambda c: {}),
+    ("cache_read", cache_read_sequential_op,
+     lambda c: {"codec": c.codec, "start": PhysicalAddress(block=8, page=0),
+                "dram_addresses": [0, PAGE]}),
+    ("cache_program", cache_program_op,
+     lambda c: {"codec": c.codec,
+                "pages": [(PhysicalAddress(block=9, page=0), 0),
+                          (PhysicalAddress(block=9, page=1), 0)]}),
+    ("multiplane_read", multiplane_read_op,
+     lambda c: {"codec": c.codec, "addresses": [ADDR, ADDR_P1],
+                "dram_addresses": [0, PAGE]}),
+    ("multiplane_program", multiplane_program_op,
+     lambda c: {"codec": c.codec,
+                "pages": [(PhysicalAddress(block=10, page=0), 0),
+                          (PhysicalAddress(block=11, page=0), 0)]}),
+    ("multiplane_erase", multiplane_erase_op,
+     lambda c: {"codec": c.codec, "blocks": [10, 11]}),
+    ("gang_read", gang_read_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "positions": [0, 1],
+                "dram_address": 0}),
+    ("read_with_retry", read_with_retry_op,
+     lambda c: {"codec": c.codec, "address": ADDR, "dram_address": 0,
+                "validate": lambda handle: True}),
+    # suspend/resume need an in-flight suspendable operation; the
+    # harness probes them mid-erase (wrappers defined below).
+    ("suspend", suspend_op, None),
+    ("resume", resume_op, None),
+    ("erase_with_preemptive_read", erase_with_preemptive_read_op,
+     lambda c: {"codec": c.codec, "erase_block": 5, "read_address": ADDR,
+                "dram_address": 0,
+                "suspend_after_ns":
+                    c.config.vendor.timing.t_bers_ns // 4}),
+]
+
+
+def test_matrix_covers_the_whole_op_library():
+    library = {n for n in dir(op_library) if n.endswith("_op")}
+    covered = {op.__name__ for _, op, _ in MATRIX}
+    assert covered == library
+
+
+def _make(fidelity: str, runtime: str) -> tuple[Simulator, BabolController]:
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2, runtime=runtime,
+                         track_data=True, seed=6, fidelity=fidelity),
+    )
+    return sim, controller
+
+
+def _normalize(value):
+    """Make op results comparable across controller instances."""
+    if isinstance(value, DmaHandle):
+        delivered = (None if value.delivered is None
+                     else value.delivered.tobytes())
+        return ("dma", value.address, value.nbytes, value.bytes_moved,
+                delivered)
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, np.ndarray):
+        return ("array", value.tobytes())
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _snapshot(sim: Simulator, controller: BabolController) -> dict:
+    ops = {}
+    for lun in controller.luns:
+        for name, count in lun.op_counts.items():
+            if name != "READ_STATUS":   # poll skipping is the TLM contract
+                ops[(lun.position, name)] = count
+    return {
+        "now": sim.now,
+        "ops": ops,
+        "array": [(lun.array.reads, lun.array.programs, lun.array.erases)
+                  for lun in controller.luns],
+        "status": [lun.status.value() for lun in controller.luns],
+        "dram": controller.dram.read(0, DRAM_COMPARE_BYTES).tobytes(),
+    }
+
+
+def _start_erase(ctx, codec, block):
+    """Put an erase on the array without waiting for it (the shape of
+    ``erase_with_preemptive_read``'s opening move)."""
+    from repro.core.transaction import TxnKind
+    from repro.core.ufsm.ca_writer import addr, cmd
+    from repro.onfi.commands import CMD
+
+    row = codec.row_address(PhysicalAddress(block=block, page=0))
+    start = ctx.transaction(TxnKind.CMD_ADDR, label="erase-start")
+    start.add_segment(ctx.ufsm.ca_writer.emit(
+        [cmd(CMD.ERASE_1ST), addr(codec.encode_row(row)),
+         cmd(CMD.ERASE_2ND)],
+        chip_mask=ctx.chip_mask,
+    ))
+    yield from ctx.add_transaction(start)
+
+
+def _suspend_probe_op(ctx, codec):
+    """Exercise ``suspend_op`` mid-erase; leaves the die suspended."""
+    yield from _start_erase(ctx, codec, 5)
+    yield from ctx.sleep(TEST_PROFILE.timing.t_bers_ns // 4)
+    status = yield from suspend_op(ctx)
+    return status
+
+
+def _resume_probe_op(ctx, codec):
+    """Exercise ``resume_op`` after a suspend; completes the erase."""
+    from repro.core.ops.base import poll_until_ready
+
+    yield from _start_erase(ctx, codec, 5)
+    yield from ctx.sleep(TEST_PROFILE.timing.t_bers_ns // 4)
+    yield from suspend_op(ctx)
+    yield from resume_op(ctx)
+    status = yield from poll_until_ready(ctx)
+    return status
+
+
+_PROBES = {
+    "suspend": (_suspend_probe_op, lambda c: {"codec": c.codec}),
+    "resume": (_resume_probe_op, lambda c: {"codec": c.codec}),
+}
+
+
+@pytest.mark.parametrize("runtime", ["rtos", "coroutine"])
+@pytest.mark.parametrize("name,op,build_kwargs",
+                         MATRIX, ids=[m[0] for m in MATRIX])
+def test_tlm_matches_waveform_per_op(runtime, name, op, build_kwargs):
+    if name in _PROBES:
+        op, build_kwargs = _PROBES[name]
+    outcomes = {}
+    for fidelity in ("waveform", "tlm"):
+        sim, controller = _make(fidelity, runtime)
+        task = controller.submit(op, 0, **build_kwargs(controller))
+        result = controller.run_to_completion(task)
+        outcomes[fidelity] = (_normalize(result), _snapshot(sim, controller))
+
+    wave_result, wave_state = outcomes["waveform"]
+    tlm_result, tlm_state = outcomes["tlm"]
+    assert tlm_result == wave_result, f"{name}: op results diverge"
+    assert tlm_state["now"] == wave_state["now"], (
+        f"{name}: latency drift "
+        f"{tlm_state['now'] - wave_state['now']} ns"
+    )
+    assert tlm_state["dram"] == wave_state["dram"], f"{name}: DRAM differs"
+    for key in ("ops", "array", "status"):
+        assert tlm_state[key] == wave_state[key], f"{name}: {key} differ"
+
+
+@pytest.mark.parametrize("kind", ["sync", "async"])
+def test_tlm_matches_waveform_on_hw_baselines(kind):
+    cls = SyncHwController if kind == "sync" else AsyncHwController
+    outcomes = {}
+    for fidelity in ("waveform", "tlm"):
+        sim = Simulator()
+        controller = cls(sim, vendor=TEST_PROFILE, lun_count=2,
+                         track_data=True, seed=6, fidelity=fidelity)
+        result = measure_read_throughput(sim, controller, 2,
+                                         reads_per_lun=6, warmup_per_lun=1)
+        outcomes[fidelity] = (
+            sim.now,
+            result.elapsed_ns,
+            result.payload_bytes,
+            controller.dram.read(0, DRAM_COMPARE_BYTES).tobytes(),
+        )
+    assert outcomes["tlm"] == outcomes["waveform"]
+
+
+# ---------------------------------------------------------------------------
+# Compiled-plan fast path: behavioural identity at scale
+# ---------------------------------------------------------------------------
+
+
+def _scale_state(fidelity: str, track_data: bool = True):
+    from repro.host import ScaleEngine, ScaleJob, build_scale_stack, \
+        run_scale_workload
+    from repro.host.hic import HostOpcode
+
+    sim = Simulator()
+    controllers, ftl = build_scale_stack(
+        sim, channels=2, luns_per_channel=2, vendor=TEST_PROFILE,
+        track_data=track_data, fidelity=fidelity,
+    )
+    engine = ScaleEngine(sim, ftl, queue_depth=8)
+    run_scale_workload(sim, engine, ScaleJob(
+        pattern="random", opcode=HostOpcode.WRITE, io_count=48, seed=11))
+    run_scale_workload(sim, engine, ScaleJob(
+        pattern="random", opcode=HostOpcode.READ, io_count=48, seed=12))
+    dram = b"".join(
+        c.dram.read(0, 4 * PAGE).tobytes() for c in controllers)
+    arrays = [
+        (lun.array.reads, lun.array.programs, lun.array.erases)
+        for c in controllers for lun in c.luns
+    ]
+    mapping = [
+        sorted((lpn, e.lun, e.block, e.page)
+               for lpn, e in shard.map._forward.items())
+        for shard in ftl.shards
+    ]
+    return ftl.health_summary(), arrays, mapping, dram
+
+
+def test_fast_path_keeps_ftl_and_data_identical_across_tiers():
+    """Same seed => same FTL state, die counters, and DRAM payloads in
+    both tiers, even though the TLM scale path runs compiled plans."""
+    wave = _scale_state("waveform")
+    tlm = _scale_state("tlm")
+    assert tlm[0] == wave[0]          # health summary (GC, WA, mapping)
+    assert tlm[1] == wave[1]          # per-die array counters
+    assert tlm[2] == wave[2]          # logical-to-physical tables
+    assert tlm[3] == wave[3]          # host-visible data payloads
+
+
+def test_scale_stack_uses_the_plan_executor_under_tlm():
+    from repro.host import ScaleEngine, ScaleJob, build_scale_stack, \
+        run_scale_workload
+
+    sim = Simulator()
+    controllers, ftl = build_scale_stack(
+        sim, channels=1, luns_per_channel=2, vendor=TEST_PROFILE,
+        fidelity="tlm",
+    )
+    engine = ScaleEngine(sim, ftl, queue_depth=4)
+    run_scale_workload(sim, engine, ScaleJob(io_count=16))
+    fast = controllers[0].fast_ops
+    assert fast is not None
+    assert fast.ops_planned >= 16
+    assert fast.ops_templated >= 16   # the template path, not the fallback
+
+
+# ---------------------------------------------------------------------------
+# Closed-form compile pass vs measured occupancy
+# ---------------------------------------------------------------------------
+
+
+def test_timing_summary_matches_measured_channel_occupancy():
+    """``summarize_program``'s closed form must equal what the waveform
+    tier actually measures: non-poll occupancy plus one status round
+    trip per observed poll."""
+    from repro.core.opir.registry import _cached_program, _resolved_builder
+    from repro.core.opir.summarize import summarize_program
+
+    sim, controller = _make("waveform", "rtos")
+    program = _cached_program(
+        _resolved_builder("full_page_read", controller.config.vendor),
+        {"codec": controller.codec, "address": ADDR, "dram_address": 0},
+    )
+    summary = summarize_program(
+        program, controller.ufsm, controller.config.vendor.timing,
+        vendor=controller.config.vendor,
+    )
+    assert summary.exact
+
+    task = controller.submit(full_page_read_op, 0, codec=controller.codec,
+                             address=ADDR, dram_address=0)
+    controller.run_to_completion(task)
+    polls = controller.luns[0].op_counts.get("READ_STATUS", 0)
+    measured = controller.channel.stats.busy_ns
+    assert measured == summary.channel_ns + polls * summary.poll_txn_ns
+    assert summary.bytes_out == PAGE
+    assert summary.lun_busy_ns == TEST_PROFILE.timing.t_read_ns
+
+
+# ---------------------------------------------------------------------------
+# ShardedFtl aggregation edge cases
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_health_aggregation_with_one_empty_shard():
+    """Retirements on one shard only: the empty shard must contribute
+    nothing (and not break) the array-wide aggregation."""
+    from repro.host import build_scale_stack
+
+    sim = Simulator()
+    _, ftl = build_scale_stack(sim, channels=2, luns_per_channel=2,
+                               vendor=TEST_PROFILE, prefill_pages=0)
+    ftl.shards[0]._retire_block(1, 3, "test")
+    ftl.shards[0]._retire_block(0, 4, "test")
+
+    assert ftl.retired_blocks == [(0, 1, 3), (0, 0, 4)]
+    summary = ftl.health_summary()
+    assert summary["retired_blocks"] == 2
+    assert summary["channels"] == 2
+    # Shard 1 contributed zero retirements and zero journal entries.
+    assert all(ch == 0 for ch, _ in ftl.bad_block_records())
+
+
+# ---------------------------------------------------------------------------
+# Waveform-only observers fail fast under TLM
+# ---------------------------------------------------------------------------
+
+
+def test_logic_analyzer_fails_fast_under_tlm():
+    from repro.analysis.logic_analyzer import LogicAnalyzer
+    from repro.core.backend import FidelityError
+
+    sim, controller = _make("tlm", "rtos")
+    with pytest.raises(FidelityError, match="tlm"):
+        LogicAnalyzer(controller.channel)
+
+
+def test_bus_sanitizer_fails_fast_under_tlm():
+    from repro.core.backend import FidelityError
+    from repro.sanitize import attach_sanitizers
+
+    sim, controller = _make("tlm", "rtos")
+    with pytest.raises(FidelityError, match="sanitizer 'bus'"):
+        attach_sanitizers(controller, "bus")
+    # The flash sanitizer's chip-select check is also a channel tap.
+    with pytest.raises(FidelityError, match="sanitizer 'flash'"):
+        attach_sanitizers(controller, "flash")
+    # "all" includes both, so it must fail the same way.
+    with pytest.raises(FidelityError, match="waveform"):
+        attach_sanitizers(controller, "all")
+
+
+def test_transaction_safe_sanitizers_attach_under_tlm():
+    """Die/DRAM/kernel observers see identical events in both tiers and
+    must keep working under TLM."""
+    from repro.sanitize import attach_sanitizers
+
+    sim, controller = _make("tlm", "rtos")
+    attached = attach_sanitizers(controller, "memory,liveness")
+    assert [s.name for s in attached] == ["memory", "liveness"]
+
+    task = controller.submit(full_page_read_op, 0, codec=controller.codec,
+                             address=ADDR, dram_address=0)
+    controller.run_to_completion(task)
+    assert not attached[0].report.findings

@@ -104,6 +104,7 @@ def test_ftl_operates_normally_with_factory_bads():
         assert entry.block not in bads
 
 
+@pytest.mark.slow_waveform
 def test_grown_bad_block_retired_during_gc_churn():
     """Low endurance + heavy overwrite: blocks wear out mid-run; the
     FTL must retire them and keep serving writes."""

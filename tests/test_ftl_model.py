@@ -2,6 +2,7 @@
 executed against the real stack and a trivial dict model; the mapping
 layer must agree with the model and hold its invariants throughout."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import BabolController, ControllerConfig
@@ -98,6 +99,7 @@ def test_ftl_model_holds_under_cost_benefit_gc(ops):
     assert ftl.map.mapped_count == len(model)
 
 
+@pytest.mark.slow_waveform
 @settings(max_examples=10, deadline=None)
 @given(st.lists(st.integers(0, 7), min_size=20, max_size=80))
 def test_ftl_hot_overwrites_never_lose_latest_write(lpns):

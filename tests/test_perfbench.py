@@ -125,6 +125,39 @@ def test_gate_reports_no_comparable_cells():
                for p in compare_reports(current, baseline))
 
 
+# --- fidelity tiers ------------------------------------------------------
+
+
+def test_sweep_records_fidelity_per_cell():
+    report = tiny_sweep(fidelity="tlm")
+    assert report["schema"] == 2
+    assert all(cell["fidelity"] == "tlm"
+               for cell in report["cells"].values())
+
+
+def test_gate_only_compares_cells_of_matching_fidelity():
+    """A TLM run against a waveform baseline must not be gated on
+    throughput — the tiers' aggregate timelines legitimately differ."""
+    baseline = tiny_sweep()
+    current = copy.deepcopy(baseline)
+    for cell in current["cells"].values():
+        cell["fidelity"] = "tlm"
+        cell["throughput_mb_s"] *= 3.0   # would fail a naive comparison
+    problems = compare_reports(current, baseline)
+    assert problems == [
+        "no comparable cells between current run and baseline "
+        "(same cell key AND same fidelity tier)"
+    ]
+
+
+def test_gate_treats_schema1_baseline_cells_as_waveform():
+    baseline = tiny_sweep()
+    for cell in baseline["cells"].values():
+        del cell["fidelity"]
+    baseline["schema"] = 1
+    assert compare_reports(tiny_sweep(), baseline) == []
+
+
 # --- CLI -----------------------------------------------------------------
 
 

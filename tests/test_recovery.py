@@ -240,6 +240,7 @@ def test_recovery_and_reliability_metrics_registered():
 # --- the chaos runner -------------------------------------------------------
 
 
+@pytest.mark.slow_waveform
 def test_chaos_campaign_recovers_and_is_deterministic():
     report = run_chaos(seed=4, baselines=False)
     summary = report["summary"]

@@ -136,6 +136,7 @@ def test_level_wear_noop_when_balanced():
     assert sim.run_process(scenario()) == 0
 
 
+@pytest.mark.slow_waveform
 def test_level_wear_relocates_cold_block():
     sim, controller, ftl, hic = make_stack(lun_count=1)
     pages = ftl.pages_per_block
