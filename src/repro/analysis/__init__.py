@@ -6,6 +6,10 @@
 * :mod:`waveform_render` — ASCII timing diagrams (Figs. 2/9/11 style).
 * :mod:`loc` — source-line counting for the Table II comparison.
 * :mod:`op_lint` — static protocol linter for declarative op programs.
+* :mod:`cfg` — control-flow graphs over op-IR nodes, the structural
+  pass shared by the linter's dead-code rule and the verifier.
+* :mod:`opver` — static op-IR verifier: abstract interpretation
+  proving protocol, timing, and liveness properties over every path.
 * :mod:`diagnostics` — the unified Finding/DiagnosticReport engine the
   linters and the runtime sanitizers (:mod:`repro.sanitize`) share.
 * :mod:`area` — the structural FPGA area model behind Table III.
@@ -28,6 +32,14 @@ from repro.analysis.op_lint import (
     lint_all,
     lint_library,
     lint_program,
+)
+from repro.analysis.cfg import Cfg, CfgNode, build_cfg
+from repro.analysis.opver import (
+    VerifyCoverage,
+    VerifyFinding,
+    verify_library,
+    verify_op,
+    verify_program,
 )
 from repro.analysis.area import AreaEstimate, estimate_area
 from repro.analysis.metrics import LatencyStats, summarize_latencies
@@ -52,6 +64,14 @@ __all__ = [
     "lint_all",
     "lint_library",
     "lint_program",
+    "Cfg",
+    "CfgNode",
+    "build_cfg",
+    "VerifyCoverage",
+    "VerifyFinding",
+    "verify_library",
+    "verify_op",
+    "verify_program",
     "AreaEstimate",
     "estimate_area",
     "LatencyStats",

@@ -1,0 +1,205 @@
+"""Control-flow graph over op-IR step nodes — the shared structural pass.
+
+The op-IR keeps control flow explicit (:class:`Branch`, :class:`Loop`,
+:class:`BreakIf`, :class:`Return`), so a program's control-flow graph
+can be built without executing anything.  Two analysis layers consume
+it:
+
+* the static linter's dead-code rule (OPL009 in
+  :mod:`repro.analysis.op_lint`) reports step nodes no execution can
+  reach — code after a ``Return``, the body of a ``Loop(count=0)``, a
+  ``Branch`` arm whose predicate is a constant;
+* the op verifier (:mod:`repro.analysis.opver`) walks the same node
+  tree and uses the graph to skip unreachable nodes, mirroring the
+  interpreter, which never executes them.
+
+Graph contract
+--------------
+One :class:`CfgNode` per IR *step* node (segments live inside their
+``Txn``), plus a synthetic entry and exit.  Edges:
+
+* a step node's fall-through successor is the next step on its path;
+* ``Branch`` forks to the head of each arm that its predicate allows
+  (a constant literal predicate prunes the other arm); empty arms fall
+  through;
+* ``Loop`` with positive ``count`` enters its body and receives a back
+  edge from the body's tails; a zero/negative count skips the body
+  entirely (the body becomes unreachable);
+* ``BreakIf`` adds an edge to the innermost loop's continuation and
+  falls through (the not-taken case);
+* ``Return`` edges to the synthetic exit and ends its path.
+
+Predicates that depend on runtime state (:class:`Reg`,
+:class:`HandleRef`, :class:`E`, or any container holding one) are
+*dynamic*: both arms are considered reachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.opir.nodes import (
+    Branch,
+    BreakIf,
+    E,
+    HandleRef,
+    Loop,
+    OpProgram,
+    Reg,
+    Return,
+)
+
+__all__ = ["CfgNode", "Cfg", "build_cfg", "const_pred"]
+
+
+def const_pred(pred) -> Optional[bool]:
+    """Truth value of a predicate when it is a compile-time constant.
+
+    Returns ``True``/``False`` for literals and literal containers,
+    ``None`` when the predicate reads runtime state and both outcomes
+    are possible.
+    """
+    if isinstance(pred, (Reg, HandleRef, E)):
+        return None
+    if isinstance(pred, (tuple, list)):
+        if any(const_pred(item) is None for item in pred):
+            # A container is truthy by length, but flag it dynamic so
+            # nobody folds away an arm that inspects runtime values.
+            return None
+        return bool(pred)
+    return bool(pred)
+
+
+@dataclass
+class CfgNode:
+    """One vertex: an IR step node (or the synthetic entry/exit)."""
+
+    index: int
+    step: object  # IR step node; None for entry/exit
+    path: str     # e.g. "nodes[3].then[0]"
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    @property
+    def synthetic(self) -> bool:
+        return self.step is None
+
+    def describe(self) -> str:
+        kind = type(self.step).__name__ if self.step is not None else self.path
+        return f"#{self.index} {kind} @ {self.path}"
+
+
+class Cfg:
+    """The control-flow graph of one :class:`OpProgram`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: list[CfgNode] = []
+        self.entry = self._add(None, "entry")
+        self.exit = self._add(None, "exit")
+
+    # -- construction --------------------------------------------------
+
+    def _add(self, step, path: str) -> int:
+        node = CfgNode(index=len(self.nodes), step=step, path=path)
+        self.nodes.append(node)
+        return node.index
+
+    def _link(self, src: int, dst: int) -> None:
+        if dst not in self.nodes[src].succs:
+            self.nodes[src].succs.append(dst)
+            self.nodes[dst].preds.append(src)
+
+    # -- queries -------------------------------------------------------
+
+    def node_for(self, step) -> Optional[CfgNode]:
+        """The vertex wrapping ``step`` (identity match), if any."""
+        for node in self.nodes:
+            if node.step is step:
+                return node
+        return None
+
+    def reachable(self) -> set[int]:
+        """Indices reachable from the entry node."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.nodes[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def unreachable(self) -> list[CfgNode]:
+        """Step vertices no execution can reach, in program order."""
+        live = self.reachable()
+        return [n for n in self.nodes
+                if not n.synthetic and n.index not in live]
+
+    def describe(self) -> str:
+        lines = [f"cfg {self.name}: {len(self.nodes)} nodes"]
+        for node in self.nodes:
+            lines.append(f"  {node.describe()} -> {node.succs}")
+        return "\n".join(lines)
+
+
+def build_cfg(program: OpProgram) -> Cfg:
+    """Build the control-flow graph of ``program``."""
+    cfg = Cfg(program.name)
+    frontier = _build_seq(cfg, program.nodes, "nodes", [cfg.entry], [])
+    for index in frontier:
+        cfg._link(index, cfg.exit)
+    return cfg
+
+
+def _build_seq(cfg: Cfg, nodes, prefix: str,
+               frontier: list[int], loop_stack: list[list[int]]) -> list[int]:
+    """Wire a node sequence; returns the tail frontier that falls
+    through to whatever follows the sequence.
+
+    Nodes are always materialized as vertices, even when the incoming
+    frontier is empty — that is precisely how they end up with no
+    predecessors and get reported unreachable.
+    """
+    for index, node in enumerate(nodes):
+        path = f"{prefix}[{index}]"
+        vertex = cfg._add(node, path)
+        for src in frontier:
+            cfg._link(src, vertex)
+
+        if isinstance(node, Return):
+            cfg._link(vertex, cfg.exit)
+            frontier = []
+        elif isinstance(node, Branch):
+            taken = const_pred(node.pred)
+            then_in = [vertex] if taken is not False else []
+            else_in = [vertex] if taken is not True else []
+            then_out = _build_seq(cfg, node.then, f"{path}.then",
+                                  then_in, loop_stack)
+            else_out = _build_seq(cfg, node.orelse, f"{path}.orelse",
+                                  else_in, loop_stack)
+            # An empty arm leaves its incoming frontier unchanged, so
+            # the Branch vertex itself falls through — dedup the merge.
+            frontier = list(dict.fromkeys(then_out + else_out))
+        elif isinstance(node, Loop):
+            if node.count > 0:
+                breaks: list[int] = []
+                loop_stack.append(breaks)
+                body_out = _build_seq(cfg, node.body, f"{path}.body",
+                                      [vertex], loop_stack)
+                loop_stack.pop()
+                for src in body_out:
+                    cfg._link(src, vertex)  # back edge
+                frontier = list(dict.fromkeys(body_out + breaks))
+            else:
+                # Zero-trip loop: the body is never entered.
+                _build_seq(cfg, node.body, f"{path}.body", [], loop_stack)
+                frontier = [vertex]
+        elif isinstance(node, BreakIf):
+            if loop_stack:
+                loop_stack[-1].append(vertex)
+            frontier = [vertex]
+        else:
+            frontier = [vertex]
+    return frontier

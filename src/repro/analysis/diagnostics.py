@@ -32,6 +32,8 @@ SEVERITIES = ("error", "warning", "info")
 #: Documentation map of rule-id prefixes to their producing layer.
 RULE_NAMESPACES = {
     "OPL": "static op-program lint (repro.analysis.op_lint)",
+    "OPV": "static op-program verifier: abstract interpretation "
+           "(repro.analysis.opver)",
     "TCK": "logic-analyzer timing/protocol check (repro.analysis.timing_check)",
     "SAN1": "bus sanitizer: channel races and arbitration (repro.sanitize.bus)",
     "SAN2": "flash sanitizer: LUN state hazards (repro.sanitize.flash)",

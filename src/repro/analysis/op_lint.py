@@ -35,6 +35,11 @@ Rules
   explicit ``period_ns=0`` hammers the channel with back-to-back
   polls).  Requires vendor timing; pass ``timing=`` to
   :func:`lint_program` or use the library sweep.
+* **OPL009** — dead IR: a step node no execution can reach (code after
+  a ``Return``, the body of a ``Loop(count=0)``, a ``Branch`` arm
+  pruned by a constant predicate).  Built on the shared control-flow
+  graph pass (:mod:`repro.analysis.cfg`); warning severity, since dead
+  nodes are inert rather than hazardous.
 """
 
 from __future__ import annotations
@@ -279,6 +284,16 @@ def lint_program(program: OpProgram, timing=None) -> list[LintFinding]:
             "OPL003", "error", program.name, pending[0],
             f"{pending[1].value} confirm is never followed by a status "
             f"poll, timer, or sleep — the busy period is unterminated"))
+
+    # OPL009 — dead IR, from the shared control-flow graph.
+    from repro.analysis.cfg import build_cfg
+
+    for vertex in build_cfg(program).unreachable():
+        findings.append(LintFinding(
+            "OPL009", "warning", program.name, vertex.path,
+            f"{type(vertex.step).__name__} is unreachable — no execution "
+            f"path leads here (dead code after a Return, a zero-trip "
+            f"loop body, or a constant-predicate branch arm)"))
     return findings
 
 
@@ -420,12 +435,20 @@ def lint_library(
     else:
         vendors = list(vendors)
     findings: list[LintFinding] = []
-    registered = tuple(sorted(list_ops()))
+    registered_names: set[str] = set(list_ops())
     linted: set[str] = set()
     skipped: set[str] = set()
     for vendor in vendors:
         samples = kwargs_for(vendor)
-        for name in list_ops():
+        # Stock library plus any programs this vendor registers only
+        # through op_overrides / with_op_override — an override-only op
+        # must not escape the sweep.
+        names = list(list_ops())
+        for name, _builder in getattr(vendor, "op_overrides", ()) or ():
+            if name not in names:
+                names.append(name)
+        registered_names.update(names)
+        for name in names:
             if name not in samples:
                 skipped.add(name)
                 findings.append(LintFinding(
@@ -439,7 +462,7 @@ def lint_library(
             )
             linted.add(name)
     coverage = LintCoverage(
-        registered=registered,
+        registered=tuple(sorted(registered_names)),
         linted=tuple(sorted(linted)),
         skipped=tuple(sorted(skipped)),
         vendors=len(vendors),

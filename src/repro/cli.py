@@ -11,12 +11,14 @@ Usage examples::
     python -m repro.cli demo
     python -m repro.cli trace --out trace.json    # observability capture
     python -m repro.cli op-lint                   # static op-program lint
+    python -m repro.cli verify-ops                # static op-IR verifier
     python -m repro.cli sanitize                  # runtime sanitizer sweep
     python -m repro.cli chaos --seed 4 --json chaos_report.json
     python -m repro.cli bench-smoke --out BENCH_smoke.json
     python -m repro.cli perf --quick --check BENCH_scale.json
 
-Diagnostics-producing commands (``op-lint``, ``sanitize``, ``chaos``)
+Diagnostics-producing commands (``op-lint``, ``verify-ops``,
+``sanitize``, ``chaos``)
 share the exit-code convention of :mod:`repro.analysis.diagnostics`:
 0 clean, 1 error findings, 2 internal failure (the tool itself broke).
 
@@ -360,6 +362,62 @@ def cmd_op_lint(args) -> int:
     return EXIT_FINDINGS if report.exit_code() else EXIT_CLEAN
 
 
+def cmd_verify_ops(args) -> int:
+    """Statically verify every op program — abstract interpretation of
+    protocol, timing, and liveness over all paths (built-ins plus
+    vendor-override registrations, x vendor profiles x NV-DDR2 modes).
+    Exit 0 clean / 1 error findings (or incomplete coverage) / 2
+    internal error."""
+    from repro.analysis.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_INTERNAL,
+        DiagnosticReport,
+    )
+
+    try:
+        from repro.analysis import verify_library
+
+        vendors = ([profile_by_name(args.vendor)] if args.vendor
+                   else list(VENDOR_PROFILES.values()))
+        modes = (args.mode,) if args.mode else None
+        kwargs = {"vendors": vendors}
+        if modes is not None:
+            kwargs["modes"] = modes
+        findings, coverage = verify_library(**kwargs)
+        if not args.info:
+            findings = [f for f in findings if f.severity != "info"]
+        report = DiagnosticReport([f.to_finding() for f in findings])
+        obj = report.to_json_obj()
+        obj["coverage"] = {
+            "registered": list(coverage.registered),
+            "verified": list(coverage.verified),
+            "skipped": list(coverage.skipped),
+            "modes": list(coverage.modes),
+            "complete": coverage.complete,
+        }
+        if args.json:
+            text = json.dumps(obj, indent=2, sort_keys=True)
+            if args.json == "-":
+                print(text)
+            else:
+                with open(args.json, "w") as handle:
+                    handle.write(text + "\n")
+                print(f"verify-ops: findings -> {args.json}")
+        if args.json != "-":
+            for finding in findings:
+                print(finding)
+            print(f"verify-ops: {coverage.describe()}")
+            print(f"verify-ops: {report.counts_line()}")
+    except Exception as exc:  # the verifier itself broke — not a finding
+        print(f"verify-ops: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    if not coverage.complete:
+        # A builder nobody verifies is a silent hole in the CI gate.
+        return EXIT_FINDINGS
+    return EXIT_FINDINGS if report.exit_code() else EXIT_CLEAN
+
+
 def cmd_sanitize(args) -> int:
     """Run workloads (BABOL and, by default, both hardware baselines)
     under every runtime sanitizer plus the capture-time timing checker.
@@ -652,6 +710,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit findings as JSON")
     p.set_defaults(func=cmd_op_lint)
+
+    p = sub.add_parser("verify-ops",
+                       help="statically verify the op-program library "
+                            "(abstract interpretation)")
+    p.add_argument("--vendor", default=None, choices=sorted(VENDOR_PROFILES),
+                   help="verify one vendor profile (default: all)")
+    p.add_argument("--mode", default=None,
+                   choices=["NV-DDR2-100", "NV-DDR2-200"],
+                   help="verify one data mode (default: both)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write findings + coverage as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--info", action="store_true",
+                   help="include info-severity findings (OPV501 "
+                        "plannability notes)")
+    p.set_defaults(func=cmd_verify_ops)
 
     p = sub.add_parser("sanitize",
                        help="run workloads under the runtime sanitizers")

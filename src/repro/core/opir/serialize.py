@@ -64,6 +64,10 @@ def encode_value(value: Any) -> Any:
     if isinstance(value, AddressCodec):
         return {"$type": "codec",
                 "geometry": dataclasses.asdict(value.geometry)}
+    if isinstance(value, (bytes, bytearray)):
+        # DeclareHandle.data (inline payloads) is in the Value union as
+        # bytes; hex keeps the JSON readable and the round trip exact.
+        return {"$type": "bytes", "hex": bytes(value).hex()}
     if isinstance(value, tuple):
         return {"$type": "tuple", "items": [encode_value(v) for v in value]}
     if isinstance(value, list):
@@ -116,6 +120,8 @@ def decode_value(data: Any) -> Any:
                                column=data["column"])
     if tag == "codec":
         return AddressCodec(Geometry(**data["geometry"]))
+    if tag == "bytes":
+        return bytes.fromhex(data["hex"])
     if tag == "tuple":
         return tuple(decode_value(v) for v in data["items"])
     if tag == "dict":

@@ -272,46 +272,102 @@ def plan_check(program: OpProgram, vendor=None) -> bool:
     """True when the program's control flow is closed enough for the
     compiled-plan runner: every node type it can reach is replayable
     and every callee resolves with static arguments."""
-    return _plan_check_nodes(program.nodes, vendor, depth=0)
+    return _plan_walk(program.nodes, vendor, depth=0, prefix="nodes",
+                      out=None)
 
 
-def _plan_check_nodes(nodes, vendor, depth: int) -> bool:
+def plan_blockers(program: OpProgram,
+                  vendor=None) -> list[tuple[str, str]]:
+    """Every reason ``plan_check`` demotes this program, as
+    ``(node path, reason)`` pairs — empty when the program is
+    plannable.  This is the explanatory mode of the same walk; the
+    verifier surfaces the pairs as OPV501 info findings."""
+    out: list[tuple[str, str]] = []
+    _plan_walk(program.nodes, vendor, depth=0, prefix="nodes", out=out)
+    return out
+
+
+def _plan_walk(nodes, vendor, depth: int, prefix: str,
+               out: "list[tuple[str, str]] | None") -> bool:
+    """Shared plannability walk.  With ``out=None`` it is the fast
+    boolean gate (stops at the first blocker); with a list it keeps
+    walking and records every ``(path, reason)`` blocker."""
     from repro.core.opir.registry import _cached_program, _resolved_builder
 
-    for node in nodes:
+    ok = True
+
+    def blocked(path: str, reason: str) -> bool:
+        nonlocal ok
+        ok = False
+        if out is not None:
+            out.append((path, reason))
+        return out is not None  # keep walking only in explain mode
+
+    for index, node in enumerate(nodes):
+        path = f"{prefix}[{index}]"
         if isinstance(node, (BreakIf, SelectFirstReady)):
-            return False  # data-dependent exits / gang selection
-        if isinstance(node, Txn):
-            for seg in node.segments:
+            kind = type(node).__name__
+            if not blocked(path, f"{kind} is a data-dependent exit the "
+                                 f"plan runner cannot replay"):
+                return False
+        elif isinstance(node, Txn):
+            for seg_index, seg in enumerate(node.segments):
                 # The plan runner delivers to the op's single target
                 # die; segments that re-mask or gang via Chip Control
                 # stay on the exact path.
                 if getattr(seg, "chip_mask", None) is not None \
                         or getattr(seg, "via_chip_control", False):
-                    return False
+                    where = f"{path}.segments[{seg_index}]"
+                    if not blocked(where, "segment re-targets dies "
+                                          "(chip_mask / Chip Control)"):
+                        return False
         elif isinstance(node, PollStatus):
             if node.chip_mask is not None:
-                return False  # gang-masked polls stay on the exact path
+                if not blocked(path, "gang-masked poll stays on the "
+                                     "exact path"):
+                    return False
         elif isinstance(node, Branch):
-            if not (_plan_check_nodes(node.then, vendor, depth)
-                    and _plan_check_nodes(node.orelse, vendor, depth)):
-                return False
+            then_ok = _plan_walk(node.then, vendor, depth,
+                                 f"{path}.then", out)
+            else_ok = _plan_walk(node.orelse, vendor, depth,
+                                 f"{path}.orelse", out)
+            if not (then_ok and else_ok):
+                ok = False
+                if out is None:
+                    return False
         elif isinstance(node, Loop):
-            if not _plan_check_nodes(node.body, vendor, depth):
-                return False
+            if not _plan_walk(node.body, vendor, depth,
+                              f"{path}.body", out):
+                ok = False
+                if out is None:
+                    return False
         elif isinstance(node, CallOp):
             if depth >= 8:
-                return False
+                if not blocked(path, "call depth exceeds the plan "
+                                     "compiler's limit (8)"):
+                    return False
+                continue
             kwargs = _static_kwargs(node)
             if kwargs is None:
-                return False
+                if not blocked(path, f"callee {node.op!r} takes "
+                                     f"runtime-computed arguments"):
+                    return False
+                continue
             try:
                 builder = _resolved_builder(node.op, vendor)
                 callee = _cached_program(builder, kwargs)
-            except Exception:
-                return False
-            if not _plan_check_nodes(callee.nodes, vendor, depth + 1):
-                return False
+            except Exception as exc:
+                if not blocked(path, f"callee {node.op!r} failed to "
+                                     f"build: {exc}"):
+                    return False
+                continue
+            if not _plan_walk(callee.nodes, vendor, depth + 1,
+                              f"{path}.{node.op}", out):
+                ok = False
+                if out is None:
+                    return False
         elif not isinstance(node, _PLAN_SAFE):
-            return False
-    return True
+            if not blocked(path, f"{type(node).__name__} has no plan "
+                                 f"lowering"):
+                return False
+    return ok

@@ -55,6 +55,75 @@ def test_from_json_rejects_non_program_documents():
         from_json(json.dumps({"not": "a program"}))
 
 
+def test_every_node_type_round_trips():
+    """One synthetic program exercising EVERY IR node type with
+    non-default fields — including the bytes payload of an inline
+    DeclareHandle, which the hex codec must carry exactly."""
+    from repro.core.opir.nodes import (
+        SEGMENT_NODES,
+        STEP_NODES,
+        Branch,
+        BreakIf,
+        CallOp,
+        E,
+        Loop,
+        Reg,
+        SelectFirstReady,
+        SetReg,
+        SoftSleep,
+    )
+    from repro.onfi.geometry import AddressCodec, PhysicalAddress
+
+    codec = AddressCodec(TEST_PROFILE.geometry)
+    program = OpProgram("kitchen_sink", (
+        DeclareHandle("caps", "capture", nbytes=4),
+        DeclareHandle("page", "from_flash", nbytes=2048,
+                      dram_address=0x1000),
+        DeclareHandle("params", "inline", nbytes=4,
+                      data=b"\x01\x00\xfe\xff"),
+        SetReg("flag", E("and", (Reg("seed"), 0x40))),
+        Txn(TxnKind.CMD_ADDR, (
+            LatchSeq((cmd(CMD.READ_1ST), addr((1, 2, 3, 4, 5)),
+                      cmd(CMD.READ_2ND)),
+                     chip_mask=0b01, label="seed-latches",
+                     via_chip_control=True),
+            TimerWait(ns=120, reason="documented hold"),
+            TimerWait(param="tCCS", chip_mask=1, label="ccs"),
+            DataXfer("out", 16, HandleRef("caps"), column=8,
+                     after_address=True, chip_mask=0b10, label="burst"),
+        ), label="everything-txn"),
+        PollStatus(until="array_ready", dest="st", chip_mask=3,
+                   max_polls=77, period_ns=1_000),
+        SoftSleep(2_500),
+        CallOp("read_page",
+               kwargs=(("address", PhysicalAddress(block=1, page=2)),
+                       ("codec", codec),
+                       ("dram_address", 0)),
+               dest="r"),
+        Branch(E("ne", (Reg("st"), 0)),
+               then=(SoftSleep(1),),
+               orelse=(SetReg("x", 0),)),
+        Loop("i", 3, body=(
+            BreakIf(E("gt", (Reg("i"), 1)), sets=(("x", Reg("i")),)),
+        )),
+        SelectFirstReady(positions=(0, 1), dest_pos="w",
+                         dest_mask="wm", max_rounds=9),
+        Return(Reg("r")),
+    ), doc="every node type with non-default fields")
+
+    covered = {type(node).__name__ for node in program.walk()}
+    expected = {cls.__name__ for cls in STEP_NODES + SEGMENT_NODES}
+    assert covered >= expected, f"missing: {expected - covered}"
+
+    text = to_json(program)
+    again = from_json(text)
+    assert again == program
+    assert to_json(again) == text
+    inline = again.nodes[2]
+    assert inline.data == b"\x01\x00\xfe\xff"
+    assert isinstance(inline.data, bytes)
+
+
 def test_deserialized_program_replays_identically():
     """A program rebuilt from its JSON must drive the exact waveform."""
 

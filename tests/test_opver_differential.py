@@ -1,0 +1,340 @@
+"""Differential verifier <-> sanitizer tests.
+
+Every test seeds one defective op program and pins the agreement the
+static verifier promises: the OPV rule flags the defect *ahead of
+time*, and the matching runtime check (SAN sanitizer rule, TCK
+timing-checker rule, or the die model's raise) catches the same defect
+when the program actually runs.  A final test pins the negative side:
+a clean program is clean through both lenses.
+
+The TEST_PROFILE vendor has jitter 0, so array times are exact on both
+sides and the interval analysis cannot hide behind slack.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import LogicAnalyzer, TimingChecker
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.op_lint import sample_kwargs
+from repro.analysis.opver import verify_program
+from repro.core.controller import BabolController, ControllerConfig
+from repro.core.opir.interp import run_program
+from repro.core.opir.nodes import (
+    DataXfer,
+    DeclareHandle,
+    HandleRef,
+    LatchSeq,
+    OpProgram,
+    PollStatus,
+    SoftSleep,
+    TimerWait,
+    Txn,
+)
+from repro.core.opir.registry import resolve_builder
+from repro.core.transaction import TxnKind
+from repro.core.ufsm.ca_writer import addr, cmd
+from repro.flash.errors import ErrorModelConfig
+from repro.flash.lun import LunProtocolError
+from repro.onfi.commands import CMD
+from repro.onfi.geometry import PhysicalAddress
+from repro.sanitize import LivenessSanitizer, attach_sanitizers
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+
+MODE = "NV-DDR2-200"  # the test controller's interface mode
+LUNS = 2
+
+
+def make_controller(track_data=False):
+    sim = Simulator()
+    controller = BabolController(sim, ControllerConfig(
+        vendor=TEST_PROFILE, lun_count=LUNS, runtime="rtos",
+        track_data=track_data, seed=6))
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    return sim, controller
+
+
+def static_errors(program, vendor=TEST_PROFILE, **kwargs):
+    """Error-severity OPV rules the verifier proves for ``program``."""
+    kwargs.setdefault("luns", LUNS)
+    return sorted({f.rule
+                   for f in verify_program(program, vendor, mode=MODE,
+                                           **kwargs)
+                   if f.severity == "error"})
+
+
+def run_runtime(program, *, sanitize="flash", track_data=False,
+                liveness_budget=None):
+    """Run ``program`` on the waveform simulator with sanitizers
+    attached; returns (report, analyzer, raised-exception-or-None)."""
+    sim, controller = make_controller(track_data=track_data)
+    report = DiagnosticReport()
+    attach_sanitizers(controller, sanitize, report)
+    if liveness_budget is not None:
+        LivenessSanitizer(max_stalled_polls=liveness_budget).attach(
+            controller, report)
+    analyzer = LogicAnalyzer(controller.channel)
+
+    def driver(ctx):
+        result = yield from run_program(ctx, program)
+        return result
+
+    error = None
+    try:
+        controller.run_to_completion(controller.submit(driver, 0))
+    except Exception as exc:  # noqa: BLE001 — the defect under test
+        error = exc
+    return report, analyzer, error
+
+
+def runtime_rules(report):
+    return sorted({f.rule for f in report.findings})
+
+
+def tck_rules(analyzer, timing=None):
+    if timing is None:
+        timing = _channel_timing()
+    checker = TimingChecker(timing, lun_count=LUNS)
+    return sorted({v.rule for v in checker.check_analyzer(analyzer)})
+
+
+def _channel_timing():
+    _, controller = make_controller()
+    return controller.channel.timing
+
+
+def _codec():
+    _, controller = make_controller()
+    return controller.codec
+
+
+CODEC = _codec()
+ROW = CODEC.encode(PhysicalAddress(block=3, page=1))
+ERASE_ROW = CODEC.encode_row(CODEC.row_address(PhysicalAddress(block=3,
+                                                               page=0)))
+COL0 = CODEC.encode_column(0)
+T_READ = TEST_PROFILE.timing.t_read_ns
+
+
+# 1 — command latched while the array is busy -----------------------------
+
+
+def test_busy_program_latch_opv101_vs_san201():
+    program = OpProgram("defect_busy_latch", (
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.ERASE_1ST), addr(ERASE_ROW),
+                       cmd(CMD.ERASE_2ND))),)),
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.PROGRAM_1ST), addr(ROW))),)),
+    ), "program latch lands inside tBERS")
+    assert "OPV101" in static_errors(program)
+    report, _analyzer, error = run_runtime(program)
+    assert "SAN201" in runtime_rules(report)
+    assert isinstance(error, LunProtocolError)
+
+
+# 2 — data-out with no source armed ---------------------------------------
+
+
+def test_unarmed_burst_opv102_vs_san202():
+    program = OpProgram("defect_unarmed_burst", (
+        DeclareHandle("h", "capture", nbytes=16),
+        Txn(TxnKind.DATA_OUT, (DataXfer("out", 16, HandleRef("h")),)),
+    ), "burst with nothing armed")
+    assert "OPV102" in static_errors(program)
+    report, _analyzer, error = run_runtime(program)
+    assert "SAN202" in runtime_rules(report)
+    assert isinstance(error, LunProtocolError)
+
+
+# 3 — burst races the array: sleep covers only a third of tR --------------
+
+
+def test_premature_burst_opv102_vs_san202():
+    program = OpProgram("defect_premature_burst", (
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.READ_1ST), addr(ROW),
+                       cmd(CMD.READ_2ND))),)),
+        SoftSleep(T_READ // 3),
+        DeclareHandle("h", "from_flash", nbytes=512, dram_address=0),
+        Txn(TxnKind.DATA_OUT, (DataXfer("out", 512, HandleRef("h")),)),
+    ), "data out a third of the way into tR")
+    assert "OPV102" in static_errors(program)
+    report, _analyzer, error = run_runtime(program)
+    assert "SAN202" in runtime_rules(report)
+    assert isinstance(error, LunProtocolError)
+
+
+def test_covering_sleep_is_clean_on_both_sides():
+    """The same shape with a sleep past worst-case tR is clean — the
+    verifier proves the wait, it does not just dislike sleeps."""
+    builder = resolve_builder("read_page_timed_wait", TEST_PROFILE)
+    program = builder(**sample_kwargs(TEST_PROFILE)["read_page_timed_wait"])
+    assert static_errors(program) == []
+    report, _analyzer, error = run_runtime(program)
+    assert error is None
+    assert runtime_rules(report) == []
+
+
+# 4 — data burst selecting two dies ---------------------------------------
+
+
+def test_two_die_burst_opv103_vs_san203():
+    program = OpProgram("defect_two_die_burst", (
+        DeclareHandle("h", "capture", nbytes=4),
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((cmd(CMD.READ_STATUS),)),)),
+        Txn(TxnKind.DATA_OUT,
+            (DataXfer("out", 4, HandleRef("h"), chip_mask=0b11),)),
+    ), "both dies would drive DQ")
+    assert "OPV103" in static_errors(program)
+    report, _analyzer, _error = run_runtime(program)
+    assert "SAN203" in runtime_rules(report)
+
+
+# 5 — status poll addressed to a ghost die --------------------------------
+
+
+def test_ghost_die_burst_opv103_vs_san203():
+    program = OpProgram("defect_ghost_die", (
+        DeclareHandle("h", "capture", nbytes=4),
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((cmd(CMD.READ_STATUS),)),)),
+        Txn(TxnKind.DATA_OUT,
+            (DataXfer("out", 4, HandleRef("h"), chip_mask=0b100),)),
+    ), "chip_mask selects nothing on a 2-LUN channel")
+    assert "OPV103" in static_errors(program)
+    report, _analyzer, error = run_runtime(program)
+    assert "SAN203" in runtime_rules(report)
+    assert isinstance(error, ValueError)  # the channel refuses delivery
+
+
+# 6 — orphan address latch ------------------------------------------------
+
+
+def test_orphan_address_opv104_vs_tck003():
+    program = OpProgram("defect_orphan_address", (
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((addr((1, 2, 3)),)),)),
+    ), "address with no command pending")
+    assert "OPV104" in static_errors(program)
+    report, analyzer, error = run_runtime(program)
+    assert isinstance(error, LunProtocolError)
+    assert "orphan-address" in tck_rules(analyzer)
+
+
+# 7 — tCCS violated after a column change ---------------------------------
+
+
+def test_short_tccs_opv205_vs_tck005():
+    program = OpProgram("defect_short_tccs", (
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.READ_1ST), addr(ROW),
+                       cmd(CMD.READ_2ND))),)),
+        PollStatus(until="ready", dest="s"),
+        DeclareHandle("h", "from_flash", nbytes=512, dram_address=0),
+        Txn(TxnKind.DATA_OUT,
+            (LatchSeq((cmd(CMD.CHANGE_READ_COL_1ST), addr(COL0),
+                       cmd(CMD.CHANGE_READ_COL_2ND))),
+             TimerWait(ns=10, reason="seeded defect: a tenth of tCCS"),
+             DataXfer("out", 512, HandleRef("h")))),
+    ), "burst 10 ns after E0")
+    assert "OPV205" in static_errors(program)
+    report, analyzer, error = run_runtime(program)
+    assert error is None  # timing bugs do not stop the simulation...
+    assert "tCCS" in tck_rules(analyzer)  # ...the analyzer flags them
+
+
+# 8 — vendor-tightened tWHR on an otherwise stock program -----------------
+
+
+def test_tightened_twhr_opv202_vs_tck006():
+    tight = dataclasses.replace(TEST_PROFILE,
+                                timing_overrides=(("tWHR", 400),))
+    builder = resolve_builder("cache_read_sequential", tight)
+    program = builder(**sample_kwargs(tight)["cache_read_sequential"])
+    # Stock timing: clean through both lenses.
+    assert static_errors(program) == []
+    report, analyzer, error = run_runtime(program)
+    assert error is None and runtime_rules(report) == []
+    assert tck_rules(analyzer) == []
+    # Tightened vendor: the cache flip-to-burst gap is now too short —
+    # both the verifier and the (vendor-informed) checker agree.
+    assert "OPV202" in static_errors(program, vendor=tight)
+    tightened_timing = dataclasses.replace(_channel_timing(), tWHR=400)
+    assert "tWHR" in tck_rules(analyzer, timing=tightened_timing)
+
+
+# 9 — poll budget provably exhausts inside tBERS --------------------------
+
+
+def test_starved_poll_opv301_vs_san402():
+    program = OpProgram("defect_starved_poll", (
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.ERASE_1ST), addr(ERASE_ROW),
+                       cmd(CMD.ERASE_2ND))),)),
+        PollStatus(until="ready", dest="s", max_polls=3),
+    ), "3 polls against a millisecond erase")
+    assert "OPV301" in static_errors(program)
+    report, _analyzer, error = run_runtime(program, liveness_budget=2)
+    assert isinstance(error, RuntimeError)
+    assert "poll budget exhausted" in str(error)
+    assert "SAN402" in runtime_rules(report)
+
+
+# 10 — data-in sourced from a window never staged for writes --------------
+
+
+def test_wrong_direction_opv401_vs_san301():
+    program = OpProgram("defect_wrong_direction", (
+        DeclareHandle("h", "from_flash", nbytes=512, dram_address=0),
+        Txn(TxnKind.DATA_IN,
+            (LatchSeq((cmd(CMD.PROGRAM_1ST), addr(ROW))),
+             DataXfer("in", 512, HandleRef("h"), after_address=True))),
+        Txn(TxnKind.CMD_ADDR, (LatchSeq((cmd(CMD.PROGRAM_2ND),)),)),
+        PollStatus(until="ready", dest="s"),
+    ), "programs from a window minted for capture")
+    assert "OPV401" in static_errors(program)
+    report, _analyzer, error = run_runtime(program, sanitize="memory",
+                                           track_data=True)
+    assert error is None
+    assert "SAN301" in runtime_rules(report)
+
+
+# 11 — burst size disagrees with the minted DMA window --------------------
+
+
+def test_short_window_opv402_vs_san303():
+    program = OpProgram("defect_short_window", (
+        Txn(TxnKind.CMD_ADDR,
+            (LatchSeq((cmd(CMD.READ_1ST), addr(ROW),
+                       cmd(CMD.READ_2ND))),)),
+        PollStatus(until="ready", dest="s"),
+        DeclareHandle("h", "from_flash", nbytes=2048, dram_address=0),
+        Txn(TxnKind.DATA_OUT,
+            (LatchSeq((cmd(CMD.CHANGE_READ_COL_1ST), addr(COL0),
+                       cmd(CMD.CHANGE_READ_COL_2ND))),
+             TimerWait(param="tCCS"),
+             DataXfer("out", 1024, HandleRef("h")))),
+    ), "1024-B burst through a 2048-B window")
+    assert "OPV402" in static_errors(program)
+    report, _analyzer, error = run_runtime(program, sanitize="memory",
+                                           track_data=True)
+    assert error is None
+    assert "SAN303" in runtime_rules(report)
+
+
+# negative control: a stock program is clean through both lenses ----------
+
+
+@pytest.mark.parametrize("name", ["read_page", "erase_block",
+                                  "cache_read_sequential"])
+def test_stock_program_clean_through_both_lenses(name):
+    builder = resolve_builder(name, TEST_PROFILE)
+    program = builder(**sample_kwargs(TEST_PROFILE)[name])
+    assert static_errors(program) == []
+    report, analyzer, error = run_runtime(program, sanitize="flash")
+    assert error is None
+    assert runtime_rules(report) == []
+    assert tck_rules(analyzer) == []
