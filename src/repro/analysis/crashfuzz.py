@@ -1,0 +1,429 @@
+"""Crash-consistency fuzzing: kill power mid-workload, remount, verify.
+
+One fuzz *seed* is an oracle plus a family of crashes:
+
+1. **Oracle run** — a seeded read/write/flush mix drives the
+   queue-depth host engine (:class:`~repro.host.engine.ScaleEngine`,
+   ``record_acks=True``) over a persistence-enabled
+   :class:`~repro.ftl.ftl.ShardedFtl` to completion.  Its ack ledger
+   and elapsed window are ground truth.
+2. **Crash points** — ``points`` nanoseconds drawn uniformly from the
+   oracle's window.  Each point rebuilds the identical stack, arms a
+   :class:`~repro.faults.power.PowerCut` there, and replays the same
+   command stream until the lights go out.
+3. **Remount + verify** — the dead machine's media transplants into a
+   fresh stack, :func:`~repro.ftl.spor.mount_sharded` brings it back,
+   and the verifier checks the crash-consistency contract:
+
+   * the crashed run's ack ledger is a prefix of the oracle's (the
+     simulator is deterministic — a mismatch is a harness/kernel bug,
+     not a durability bug, and exits ``EXIT_INTERNAL``);
+   * no mapped LPN points at a torn page;
+   * every host-acked write reads back with its acked contents (or a
+     newer version the host had already submitted — roll-forward is
+     allowed, rollback is not);
+   * the rebuilt wear counters equal the durable projection
+     (:meth:`~repro.ftl.persist.PersistenceLayer.durable_wear`) of the
+     crashed stack;
+   * every durably-recorded retirement survives the remount.
+
+Everything derives from seeded RNGs and simulated time: the same
+``(base_seed, seeds, points)`` triple produces a byte-identical report
+under either fidelity tier.
+
+Exit codes follow the house convention: 0 = contract held at every
+point, 1 = at least one violation, 2 = internal error (determinism
+cross-check failed or a run died unexpectedly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.core import BabolController, ControllerConfig
+from repro.faults.power import (
+    PowerCut,
+    PowerLossError,
+    apply_power_cut,
+    restore_media,
+    snapshot_media,
+)
+from repro.flash.errors import ErrorModelConfig
+from repro.flash.vendors import VendorProfile, profile_by_name
+from repro.ftl import FtlConfig, ShardedFtl
+from repro.ftl.spor import mount_sharded
+from repro.host.engine import ScaleCommand, ScaleEngine
+from repro.host.hic import HostOpcode
+from repro.sim import Simulator
+
+EXIT_OK = 0
+EXIT_VIOLATION = 1
+EXIT_INTERNAL = 2
+
+_DRAM_STRIDE = 32 * 1024
+
+# Small geometry, real code paths: 160 logical pages per shard once the
+# meta region is carved out, checkpoints every 48 writes so most crash
+# points land between checkpoints.
+_FUZZ_FTL = FtlConfig(
+    blocks_per_lun=10, overprovision_blocks=4,
+    checkpoint_interval=48, journal_flush_records=16, meta_blocks=2,
+    gc_staging_base=48 * 1024 * 1024,
+)
+
+
+def _fuzz_profile(vendor: VendorProfile) -> VendorProfile:
+    geometry = dataclasses.replace(
+        vendor.geometry,
+        page_size=2048,
+        spare_size=64,
+        pages_per_block=16,
+        blocks_per_plane=16,
+        planes=2,
+    )
+    return dataclasses.replace(vendor, geometry=geometry,
+                               factory_bad_rate=0.0)
+
+
+def _payload(lpn: int, version: int, nbytes: int) -> np.ndarray:
+    data = np.full(nbytes, (lpn * 37 + version * 101) % 251, dtype=np.uint8)
+    data[0] = lpn & 0xFF
+    data[1] = (lpn >> 8) & 0xFF
+    data[2] = version & 0xFF
+    data[3] = (version >> 8) & 0xFF
+    return data
+
+
+def _controllers(sim: Simulator, profile: VendorProfile, channels: int,
+                 luns: int, fidelity: str) -> list[BabolController]:
+    controllers = []
+    for channel in range(channels):
+        controller = BabolController(sim, ControllerConfig(
+            vendor=profile, lun_count=luns, track_data=True,
+            seed=channel, fidelity=fidelity,
+        ))
+        # Content verification must see stored bytes, not RBER noise.
+        for lun in controller.luns:
+            lun.array.error_model.config = ErrorModelConfig.noiseless()
+        controllers.append(controller)
+    return controllers
+
+
+def _build_ops(rng: np.random.Generator, ios: int, span: int,
+               channels: int, qd: int) -> list[tuple[str, int, int]]:
+    """The seeded command stream: ~70% writes, ~25% reads, ~5% flushes.
+
+    Reads only target LPNs whose first write is provably complete:
+    with at least ``qd`` later submissions on the same channel queue
+    pair, backpressure guarantees the write left the queue before the
+    read was staged (the span is prefilled, so any read is mapped — the
+    guard just keeps read-after-write ordering trivially true).
+    """
+    ops: list[tuple[str, int, int]] = []
+    versions: dict[int, int] = {}
+    # Per-pair submission counters mirror the submitter's strict FIFO.
+    pair_subs = [0] * channels
+    write_sub: dict[int, int] = {}
+    readable: list[int] = []
+    for _ in range(ios):
+        roll = rng.random()
+        settled = [
+            lpn for lpn in readable
+            if pair_subs[lpn % channels] - write_sub[lpn] >= qd
+        ]
+        if roll < 0.05 and versions:
+            lpn = int(rng.choice(sorted(versions)))
+            ops.append(("flush", lpn, 0))
+        elif roll < 0.30 and settled:
+            lpn = settled[int(rng.integers(0, len(settled)))]
+            ops.append(("read", lpn, 0))
+        else:
+            lpn = int(rng.integers(0, span))
+            version = versions.get(lpn, 0) + 1
+            versions[lpn] = version
+            if version == 1:
+                readable.append(lpn)
+            ops.append(("write", lpn, version))
+            write_sub[lpn] = pair_subs[lpn % channels] + 1
+        pair_subs[lpn % channels] += 1
+    return ops
+
+
+def _drive(sim: Simulator, engine: ScaleEngine,
+           ops: list[tuple[str, int, int]], page_size: int) -> None:
+    """Replay ``ops`` with the closed-loop backpressure submitter."""
+
+    def submitter() -> Generator:
+        queue = deque(ops)
+        while queue:
+            while queue:
+                kind, lpn, version = queue[0]
+                pair = engine.pair_for(lpn)
+                if pair.free_slots <= 0:
+                    break
+                queue.popleft()
+                if kind == "write":
+                    engine.submit(ScaleCommand(
+                        opcode=HostOpcode.WRITE, lpn=lpn,
+                        payload=_payload(lpn, version, page_size),
+                        tag=version,
+                    ))
+                elif kind == "read":
+                    engine.submit(ScaleCommand(
+                        opcode=HostOpcode.READ, lpn=lpn))
+                else:
+                    engine.submit(ScaleCommand(
+                        opcode=HostOpcode.FLUSH, lpn=lpn))
+            if not queue:
+                break
+            engine.ring_doorbells()
+            yield from engine.completion_pulse.wait()
+        yield from engine.drain()
+
+    sim.run_process(submitter(), name="crashfuzz-submitter")
+
+
+def _build_stack(profile: VendorProfile, channels: int, luns: int,
+                 qd: int, fidelity: str):
+    """One identical stack per run: half the LPN space prefilled, so
+    every read in the stream targets a mapped page."""
+    sim = Simulator()
+    controllers = _controllers(sim, profile, channels, luns, fidelity)
+    ftl = ShardedFtl(sim, controllers, _FUZZ_FTL)
+    span = max(1, ftl.logical_pages // 2)
+    ftl.prefill(span)
+    engine = ScaleEngine(sim, ftl, queue_depth=qd, record_acks=True,
+                         auto_dram=True, dram_stride=_DRAM_STRIDE)
+    return sim, controllers, ftl, engine, span
+
+
+def _ledger(commands) -> list[tuple[str, int, int]]:
+    return [(c.opcode.value, c.lpn, c.tag) for c in commands]
+
+
+def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
+                  crash_ns: int, max_version: dict, profile, channels: int,
+                  luns: int, fidelity: str) -> dict:
+    """Crash is final: transplant media, remount, check the contract."""
+    point: dict = {"cut_ns": crash_ns, "acked": len(engine.acks)}
+    violations: list[str] = []
+    internal: list[str] = []
+
+    # Determinism cross-check: the crashed ledger must be the oracle's
+    # ledger truncated at the cut (completions *at* the cut nanosecond
+    # lose to the blackout event, which was scheduled first).
+    expect = _ledger(c for c in oracle_acks if c.finished_at < crash_ns)
+    got = _ledger(engine.acks)
+    if got != expect:
+        internal.append(
+            f"ack ledger diverged from oracle prefix at {crash_ns} ns "
+            f"({len(got)} vs {len(expect)} entries)"
+        )
+
+    apply_power_cut(controllers, crash_ns)
+    images = snapshot_media(controllers)
+    durable_wear = {
+        shard_index: shard.persist.durable_wear()
+        for shard_index, shard in enumerate(crashed_ftl.shards)
+    }
+    durable_retired = {
+        shard_index: shard.persist.durable_retirements()
+        for shard_index, shard in enumerate(crashed_ftl.shards)
+    }
+
+    sim2 = Simulator()
+    controllers2 = _controllers(sim2, profile, channels, luns, fidelity)
+    restore_media(controllers2, images)
+    ftl2, report = mount_sharded(sim2, controllers2, _FUZZ_FTL)
+    point["mount"] = {
+        "journal_replay_entries": report.journal_replay_entries,
+        "mount_ns": report.mount_ns,
+        "rolled_forward": report.rolled_forward,
+        "torn_pages_discarded": report.torn_pages_discarded,
+        "unsafe_shutdowns": report.unsafe_shutdowns,
+    }
+
+    # 1. No mapped LPN may point at a torn page.
+    for index, shard in enumerate(ftl2.shards):
+        for lpn, entry in sorted(shard.map._forward.items()):
+            block = shard.controller.luns[entry.lun].array.block(entry.block)
+            if entry.page in block.torn:
+                violations.append(
+                    f"shard {index}: LPN {lpn} mapped to torn page "
+                    f"(lun {entry.lun} block {entry.block} page {entry.page})"
+                )
+
+    # 2. Every acked write reads back as its acked version or newer.
+    page_size = profile.geometry.page_size
+    acked: dict[int, int] = {}
+    for command in engine.acks:
+        if command.opcode is HostOpcode.WRITE:
+            acked[command.lpn] = max(acked.get(command.lpn, 0), command.tag)
+    for lpn in sorted(acked):
+        if not ftl2.is_mapped(lpn):
+            violations.append(f"acked LPN {lpn} unmapped after remount")
+            continue
+
+        def check(lpn=lpn) -> Generator:
+            yield from ftl2.read(lpn, 0)
+
+        sim2.run_process(check())
+        channel, _ = ftl2.router.route(lpn)
+        got_bytes = controllers2[channel].dram.read(0, page_size)
+        ok = any(
+            np.array_equal(got_bytes, _payload(lpn, v, page_size))
+            for v in range(acked[lpn], max_version.get(lpn, acked[lpn]) + 1)
+        )
+        if not ok:
+            violations.append(
+                f"acked LPN {lpn} content mismatch after remount "
+                f"(acked version {acked[lpn]})"
+            )
+
+    # 3. Rebuilt wear counters equal the durable projection.
+    for index, shard in enumerate(ftl2.shards):
+        if shard.wear.counts != durable_wear[index]:
+            violations.append(
+                f"shard {index}: rebuilt wear diverges from the durable "
+                f"projection"
+            )
+    # 4. Durably-recorded retirements survive the remount.
+    for index, shard in enumerate(ftl2.shards):
+        for key, reason in sorted(durable_retired[index].items()):
+            if key not in shard.bad_blocks:
+                violations.append(
+                    f"shard {index}: durable retirement of block {key} "
+                    f"({reason}) lost across remount"
+                )
+
+    point["violations"] = violations
+    if internal:
+        point["internal"] = internal
+    return point
+
+
+def run_crashfuzz(
+    seeds: int = 3,
+    points: int = 50,
+    channels: int = 2,
+    luns: int = 2,
+    qd: int = 8,
+    ios: int = 400,
+    fidelity: str = "tlm",
+    vendor: str = "hynix",
+    base_seed: int = 7,
+) -> dict:
+    """Run the fuzz campaign; returns the JSON-ready report dict."""
+    if seeds <= 0 or points <= 0 or ios <= 0:
+        raise ValueError("seeds, points and ios must be positive")
+    profile = _fuzz_profile(profile_by_name(vendor))
+    page_size = profile.geometry.page_size
+
+    results: list[dict] = []
+    total_violations = 0
+    total_internal = 0
+    for index in range(seeds):
+        seed = base_seed + index
+        rng = np.random.default_rng(seed * 1000 + 17)
+
+        # -- oracle -----------------------------------------------------
+        sim, controllers, ftl, engine, span = _build_stack(
+            profile, channels, luns, qd, fidelity)
+        ops = _build_ops(rng, ios, span, channels, qd)
+        start_ns = sim.now
+        _drive(sim, engine, ops, page_size)
+        elapsed = sim.now - start_ns
+        oracle_acks = list(engine.acks)
+        max_version: dict[int, int] = {}
+        for kind, lpn, version in ops:
+            if kind == "write":
+                max_version[lpn] = version
+
+        entry: dict = {
+            "seed": seed,
+            "oracle": {
+                "acked": len(oracle_acks),
+                "elapsed_ns": elapsed,
+                "ios": len(ops),
+            },
+            "points": [],
+        }
+
+        # -- fuzzed crash points ---------------------------------------
+        cuts = sorted(
+            start_ns + 1 + int(u * max(elapsed - 1, 1))
+            for u in rng.random(points)
+        )
+        for cut_ns in cuts:
+            sim_c, controllers_c, ftl_c, engine_c, _ = _build_stack(
+                profile, channels, luns, qd, fidelity)
+            cut = PowerCut(sim_c, cut_ns).arm(controllers_c)
+            fired = True
+            try:
+                _drive(sim_c, engine_c, ops, page_size)
+                fired = False
+            except PowerLossError:
+                pass
+            if not fired:
+                cut.cancel()  # the run outlived this cut point
+            crash_ns = cut_ns if fired else sim_c.now + 1
+            point = _verify_point(
+                controllers_c, ftl_c, engine_c, oracle_acks, crash_ns,
+                max_version, profile, channels, luns, fidelity,
+            )
+            point["fired"] = fired
+            total_violations += len(point["violations"])
+            total_internal += len(point.get("internal", ()))
+            entry["points"].append(point)
+        results.append(entry)
+
+    exit_code = EXIT_OK
+    if total_violations:
+        exit_code = EXIT_VIOLATION
+    if total_internal:
+        exit_code = EXIT_INTERNAL
+    return {
+        "schema": 1,
+        "base_seed": base_seed,
+        "channels": channels,
+        "exit_code": exit_code,
+        "fidelity": fidelity,
+        "internal_errors": total_internal,
+        "ios": ios,
+        "luns_per_channel": luns,
+        "points": points,
+        "queue_depth": qd,
+        "results": results,
+        "seeds": seeds,
+        "vendor": vendor,
+        "violations": total_violations,
+    }
+
+
+def summarize(report: dict) -> list[str]:
+    """Human-readable lines for the CLI."""
+    lines = [
+        f"crashfuzz: {report['seeds']} seed(s) x {report['points']} "
+        f"point(s), fidelity={report['fidelity']}",
+    ]
+    for entry in report["results"]:
+        fired = sum(1 for p in entry["points"] if p["fired"])
+        torn = sum(p["mount"]["torn_pages_discarded"]
+                   for p in entry["points"])
+        replayed = sum(p["mount"]["journal_replay_entries"]
+                       for p in entry["points"])
+        bad = sum(len(p["violations"]) for p in entry["points"])
+        lines.append(
+            f"  seed {entry['seed']}: {entry['oracle']['acked']} acks "
+            f"oracle, {fired} cuts fired, {torn} torn discarded, "
+            f"{replayed} journal entries replayed, {bad} violation(s)"
+        )
+    lines.append(
+        f"verdict: {report['violations']} violation(s), "
+        f"{report['internal_errors']} internal error(s)"
+    )
+    return lines

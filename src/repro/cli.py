@@ -488,6 +488,43 @@ def cmd_chaos(args) -> int:
     return report["exit_code"]
 
 
+def cmd_crashfuzz(args) -> int:
+    """Crash-consistency fuzzing: a seeded workload through the
+    queue-depth host engine, power killed at fuzzed nanoseconds, the
+    media remounted, and every host-acked write verified readable with
+    its acked contents.  Exit 0 when the contract held at every crash
+    point, 1 on any violation, 2 when the harness itself broke."""
+    from repro.analysis.crashfuzz import (
+        EXIT_INTERNAL as FUZZ_INTERNAL,
+        run_crashfuzz,
+        summarize,
+    )
+
+    try:
+        report = run_crashfuzz(
+            seeds=args.seeds,
+            points=args.points,
+            channels=args.channels,
+            luns=args.luns,
+            qd=args.qd,
+            ios=args.ios,
+            fidelity=args.fidelity,
+            vendor=args.vendor,
+            base_seed=args.seed,
+        )
+        if args.json:
+            with open(args.json, "w") as handle:
+                handle.write(json.dumps(report, indent=2, sort_keys=True)
+                             + "\n")
+            print(f"crashfuzz: report -> {args.json}")
+        for line in summarize(report):
+            print(line)
+    except Exception as exc:  # the harness broke — not a finding
+        print(f"crashfuzz: internal error: {exc!r}")
+        return FUZZ_INTERNAL
+    return report["exit_code"]
+
+
 def cmd_bench_smoke(args) -> int:
     """CI benchmark smoke: tiny, fast cells of Table I and Fig. 11 with
     wall-clock timings, serialized to JSON so the perf trajectory of the
@@ -566,6 +603,53 @@ def cmd_bench_smoke(args) -> int:
         "status_polls": polls,
         "status_us_per_op": round(poll_wall / polls * 1e6, 1),
     }
+    # Power-loss recovery cell: one deterministic mid-workload crash and
+    # remount, with the SPOR counters scraped through the obs registry —
+    # the same pull collectors a monitoring stack would read.
+    from repro.analysis.crashfuzz import (
+        _build_ops,
+        _build_stack,
+        _controllers as _fuzz_controllers,
+        _drive,
+        _FUZZ_FTL,
+        _fuzz_profile,
+    )
+    from repro.faults.power import (
+        PowerCut,
+        PowerLossError,
+        apply_power_cut,
+        restore_media,
+        snapshot_media,
+    )
+    from repro.ftl.spor import mount_sharded
+    from repro.obs import MetricsRegistry, register_spor_metrics
+
+    import numpy as np
+
+    spor_started = time.perf_counter()
+    profile = _fuzz_profile(vendor)
+    spor_sim, spor_controllers, _, spor_engine, spor_span = _build_stack(
+        profile, 2, 2, 8, args.fidelity)
+    spor_ops = _build_ops(np.random.default_rng(1234), 120, spor_span, 2, 8)
+    cut_ns = spor_sim.now + 10_000_000
+    PowerCut(spor_sim, cut_ns).arm(spor_controllers)
+    try:
+        _drive(spor_sim, spor_engine, spor_ops, profile.geometry.page_size)
+    except PowerLossError:
+        pass
+    apply_power_cut(spor_controllers, cut_ns)
+    images = snapshot_media(spor_controllers)
+    mount_sim = Simulator()
+    mount_controllers = _fuzz_controllers(mount_sim, profile, 2, 2,
+                                          args.fidelity)
+    restore_media(mount_controllers, images)
+    _, mount_report = mount_sharded(mount_sim, mount_controllers, _FUZZ_FTL)
+    registry = MetricsRegistry()
+    register_spor_metrics(registry, mount_report)
+    spor_cell = dict(registry.snapshot()["collected"]["spor"])
+    spor_cell["wall_s"] = round(time.perf_counter() - spor_started, 4)
+    results["spor"] = spor_cell
+
     results["wall_s"] = round(time.perf_counter() - started, 4)
 
     rendered = json.dumps(results, indent=2, sort_keys=True)
@@ -753,6 +837,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the FTL phase against BABOL only")
     fidelity_opt(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser("crashfuzz",
+                       help="crash-consistency fuzzing: power-cut at "
+                            "fuzzed ns, remount, verify every acked "
+                            "write (exit 0 clean / 1 violation / "
+                            "2 internal)")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="number of seeded workloads")
+    p.add_argument("--points", type=int, default=50,
+                   help="crash points fuzzed per seed")
+    p.add_argument("--channels", type=int, default=2)
+    p.add_argument("--luns", type=int, default=2,
+                   help="LUNs per channel")
+    p.add_argument("--qd", type=int, default=8, help="queue depth")
+    p.add_argument("--ios", type=int, default=400,
+                   help="host commands per workload")
+    p.add_argument("--seed", type=int, default=7,
+                   help="base seed the per-workload seeds derive from")
+    p.add_argument("--vendor", default="hynix", choices=sorted(VENDOR_PROFILES))
+    p.add_argument("--json", default=None, help="write the full report here")
+    fidelity_opt(p)
+    p.set_defaults(func=cmd_crashfuzz)
 
     p = sub.add_parser("bench-smoke",
                        help="fast benchmark cells as JSON (CI artifact)")

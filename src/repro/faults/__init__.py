@@ -14,6 +14,7 @@ from repro.faults.chaos import (
     EXIT_UNRECOVERED,
     FTL_KINDS,
     OPS_KINDS,
+    SPOR_KINDS,
     default_campaign,
     run_chaos,
 )
@@ -22,7 +23,17 @@ from repro.faults.plan import (
     RECOVERABLE_KINDS,
     FaultCampaign,
     FaultKind,
+    FaultPlanError,
     FaultSpec,
+)
+from repro.faults.power import (
+    PowerCut,
+    PowerLossError,
+    apply_power_cut,
+    crash_state,
+    restore_media,
+    snapshot_media,
+    unsafe_shutdown_ns,
 )
 
 __all__ = [
@@ -31,12 +42,21 @@ __all__ = [
     "EXIT_UNRECOVERED",
     "FTL_KINDS",
     "OPS_KINDS",
+    "SPOR_KINDS",
     "FaultCampaign",
     "FaultInjector",
     "FaultKind",
+    "FaultPlanError",
     "FaultSpec",
     "InjectionRecord",
+    "PowerCut",
+    "PowerLossError",
     "RECOVERABLE_KINDS",
+    "apply_power_cut",
+    "crash_state",
     "default_campaign",
+    "restore_media",
     "run_chaos",
+    "snapshot_media",
+    "unsafe_shutdown_ns",
 ]

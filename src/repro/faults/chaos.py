@@ -49,21 +49,31 @@ from repro.faults.plan import (
     FaultKind,
     FaultSpec,
 )
+from repro.faults.power import (
+    PowerLossError,
+    apply_power_cut,
+    restore_media,
+    snapshot_media,
+)
 from repro.flash.errors import ErrorModelConfig
 from repro.flash.vendors import VendorProfile, profile_by_name
-from repro.ftl import FtlConfig, PageMappedFtl
+from repro.ftl import FtlConfig, PageMappedFtl, ShardedFtl
 from repro.ftl.badblocks import REASON_ERASE_FAIL, REASON_FACTORY, REASON_PROGRAM_FAIL
+from repro.ftl.spor import mount_sharded
 from repro.sim import Simulator, WaitProcess
 
 # Kinds exercised through the FTL (media failures the translation layer
 # must absorb) vs. through raw controller ops (protocol/bus failures the
-# recovery manager and reliable reader must absorb).
+# recovery manager and reliable reader must absorb) vs. the power cut,
+# which gets its own crash/remount phase (it ends the whole run, so it
+# cannot share a phase with anything else).
 FTL_KINDS = frozenset({
     FaultKind.PROGRAM_FAIL,
     FaultKind.ERASE_FAIL,
     FaultKind.GROWN_BAD_BLOCK,
 })
-OPS_KINDS = frozenset(FaultKind) - FTL_KINDS
+SPOR_KINDS = frozenset({FaultKind.POWER_CUT})
+OPS_KINDS = frozenset(FaultKind) - FTL_KINDS - SPOR_KINDS
 
 # Chaos runs use a shrunken geometry (full code paths, small state) so
 # a three-target campaign finishes in seconds.
@@ -77,6 +87,10 @@ _FEATURE_PARAMS = (2, 0, 0, 0)
 EXIT_OK = 0
 EXIT_UNRECOVERED = 1
 EXIT_INTERNAL = 2
+
+# Default nanosecond for the stock campaign's power cut: a few dozen
+# writes into the spor phase's workload, well before it finishes.
+_SPOR_CUT_NS = 20_000_000
 
 
 def default_campaign(seed: int = 4) -> FaultCampaign:
@@ -101,6 +115,9 @@ def default_campaign(seed: int = 4) -> FaultCampaign:
             FaultSpec(kind=FaultKind.STUCK_BUSY, lun=1, count=1),
             FaultSpec(kind=FaultKind.DIE_HANG, lun=2, count=None),
             FaultSpec(kind=FaultKind.FEATURE_DROP, lun=_FEATURE_LUN, count=1),
+            # -- spor phase (crash + remount; timed cut mid-workload) --
+            FaultSpec(kind=FaultKind.POWER_CUT, count=1,
+                      after_ns=_SPOR_CUT_NS),
         ],
     )
 
@@ -383,6 +400,145 @@ def _ops_recovery_accounting(recovery: RecoveryManager,
 
 
 # ----------------------------------------------------------------------
+# Phase 3: power cut + SPOR remount (BABOL only)
+# ----------------------------------------------------------------------
+
+_SPOR_FTL = FtlConfig(
+    blocks_per_lun=10, overprovision_blocks=4,
+    checkpoint_interval=24, journal_flush_records=8, meta_blocks=2,
+)
+
+
+def _spor_payload(lpn: int, version: int, nbytes: int) -> np.ndarray:
+    data = np.full(nbytes, (lpn * 37 + version * 101) % 251, dtype=np.uint8)
+    data[0] = lpn & 0xFF
+    data[1] = (lpn >> 8) & 0xFF
+    data[2] = version & 0xFF
+    data[3] = (version >> 8) & 0xFF
+    return data
+
+
+def _spor_controller(sim: Simulator, profile: VendorProfile, seed: int,
+                     fidelity: str) -> BabolController:
+    controller = BabolController(sim, ControllerConfig(
+        vendor=profile, lun_count=_FTL_LUNS, track_data=True, seed=seed,
+        fidelity=fidelity,
+    ))
+    # Content verification must see the stored bytes, not RBER noise.
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    return controller
+
+
+def _run_spor_phase(profile: VendorProfile, campaign: FaultCampaign,
+                    inject: bool, fidelity: str = "waveform") -> dict:
+    sim = Simulator()
+    controller = _spor_controller(sim, profile, campaign.seed, fidelity)
+    ftl = ShardedFtl(sim, [controller], _SPOR_FTL)
+    injector: Optional[FaultInjector] = None
+    if inject:
+        injector = FaultInjector(campaign, kinds=SPOR_KINDS).attach(controller)
+
+    page_bytes = profile.geometry.page_size
+    span = max(1, ftl.logical_pages // 2)
+    writes = 4 * span
+    acked: dict[int, int] = {}
+    versions: dict[int, int] = {}
+    latencies: list[int] = []
+    cut_ns: Optional[int] = None
+    error = ""
+
+    def workload() -> Generator:
+        for i in range(writes):
+            lpn = i % span
+            version = versions.get(lpn, 0) + 1
+            versions[lpn] = version
+            controller.dram.write(0, _spor_payload(lpn, version, page_bytes))
+            start = sim.now
+            yield from ftl.write(lpn, 0)
+            latencies.append(sim.now - start)
+            acked[lpn] = version
+
+    try:
+        sim.run_process(workload())
+    except PowerLossError as exc:
+        cut_ns = exc.time_ns
+    except Exception as exc:  # the report carries the failure
+        error = f"{type(exc).__name__}: {exc}"
+    if injector is not None:
+        injector.detach()
+
+    phase: dict = {
+        "writes_acked": len(latencies),
+        "writes_attempted": writes,
+        "latency": _percentiles(latencies),
+    }
+    if error:
+        phase["error"] = error
+    if injector is not None:
+        phase["injected"] = [r.as_dict() for r in injector.records]
+        phase["fires_by_kind"] = injector.fires_by_kind()
+        fired = phase["fires_by_kind"].get(FaultKind.POWER_CUT.value, 0)
+        recovered = 0
+        violations: list[str] = []
+        if fired and cut_ns is not None and not error:
+            violations = _spor_crash_and_verify(
+                controller, profile, campaign.seed, fidelity, cut_ns,
+                acked, versions, phase,
+            )
+            recovered = 1 if not violations else 0
+        phase["violations"] = violations
+        phase["recovered_by_kind"] = {
+            FaultKind.POWER_CUT.value: min(recovered, fired)}
+        phase["unrecovered_by_kind"] = {
+            FaultKind.POWER_CUT.value: fired - min(recovered, fired)}
+    return phase
+
+
+def _spor_crash_and_verify(controller, profile, seed: int, fidelity: str,
+                           cut_ns: int, acked: dict, versions: dict,
+                           phase: dict) -> list[str]:
+    """Finalize the crash, remount on a fresh stack, verify durability."""
+    apply_power_cut([controller], cut_ns)
+    images = snapshot_media([controller])
+
+    sim2 = Simulator()
+    controller2 = _spor_controller(sim2, profile, seed, fidelity)
+    restore_media([controller2], images)
+    ftl2, mount_report = mount_sharded(sim2, [controller2], _SPOR_FTL)
+    phase["mount"] = mount_report.as_dict()
+
+    page_bytes = profile.geometry.page_size
+    violations: list[str] = []
+    # 1. no mapped LPN may point at a torn page.
+    for shard in ftl2.shards:
+        for lpn, entry in sorted(shard.map._forward.items()):
+            block = shard.controller.luns[entry.lun].array.block(entry.block)
+            if entry.page in block.torn:
+                violations.append(f"LPN {lpn} mapped to torn page {entry}")
+    # 2. every acked write must read back as its acked version (or a
+    # newer one the host had already submitted).
+    for lpn in sorted(acked):
+        if not ftl2.is_mapped(lpn):
+            violations.append(f"acked LPN {lpn} unmapped after remount")
+            continue
+
+        def check(lpn=lpn) -> Generator:
+            yield from ftl2.read(lpn, 0)
+
+        sim2.run_process(check())
+        got = controller2.dram.read(0, page_bytes)
+        ok = any(
+            np.array_equal(got, _spor_payload(lpn, v, page_bytes))
+            for v in range(acked[lpn], versions.get(lpn, acked[lpn]) + 1)
+        )
+        if not ok:
+            violations.append(
+                f"acked LPN {lpn} content mismatch after remount")
+    return violations
+
+
+# ----------------------------------------------------------------------
 # The campaign runner
 # ----------------------------------------------------------------------
 
@@ -451,6 +607,20 @@ def run_chaos(
                 if count:
                     unrecovered[f"{target}/ops/{kind}"] = count
             degraded_luns = ops["degraded_luns"]
+
+            spor = _run_spor_phase(profile, campaign, inject=True,
+                                   fidelity=fidelity)
+            spor_clean = _run_spor_phase(profile, campaign, inject=False,
+                                         fidelity=fidelity)
+            spor["latency_clean"] = spor_clean["latency"]
+            spor["added_p99_ns"] = (
+                spor["latency"]["p99_ns"] - spor_clean["latency"]["p99_ns"])
+            entry["spor"] = spor
+            injected_total += len(spor.get("injected", ()))
+            recovered_total += sum(spor.get("recovered_by_kind", {}).values())
+            for kind, count in spor.get("unrecovered_by_kind", {}).items():
+                if count:
+                    unrecovered[f"{target}/spor/{kind}"] = count
 
         report["targets"][target] = entry
 

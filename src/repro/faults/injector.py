@@ -31,6 +31,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.faults.plan import _STUCK_BUSY_KINDS, FaultCampaign, FaultKind, FaultSpec
+from repro.faults.power import PowerLossError
 from repro.onfi.signals import SegmentKind
 
 
@@ -59,12 +60,13 @@ _MIN_CORRUPT_BYTES = 16
 
 
 class _Armed:
-    __slots__ = ("spec", "remaining", "fired")
+    __slots__ = ("spec", "remaining", "fired", "scheduled")
 
     def __init__(self, spec: FaultSpec):
         self.spec = spec
         self.remaining = spec.count  # None = unlimited
         self.fired = 0
+        self.scheduled = False  # power_cut: kernel event already armed
 
 
 class FaultInjector:
@@ -97,12 +99,48 @@ class FaultInjector:
         if channel is not None:
             channel._fault_hook = self
             self._channels.append(channel)
+        self._arm_timed_power_cuts(controller)
         return self
+
+    def _arm_timed_power_cuts(self, controller) -> None:
+        """Pure-time power cuts arm at attach: the array freeze must be
+        in place before any TLM transaction can pre-commit state past
+        the cut, and the blackout event fires at the exact nanosecond
+        (before anything else scheduled there)."""
+        for armed in self._armed:
+            spec = armed.spec
+            if spec.kind is not FaultKind.POWER_CUT:
+                continue
+            if not self._is_timed_cut(spec):
+                continue  # opportunistic trigger: handled in on_busy
+            for lun in controller.luns:
+                lun.array.set_power_fail(spec.after_ns)
+            if not armed.scheduled and controller.luns:
+                sim = controller.luns[0].sim
+                if spec.after_ns > sim.now:
+                    sim.schedule(
+                        spec.after_ns - sim.now,
+                        lambda a=armed, ns=spec.after_ns: self._blackout(a, ns),
+                    )
+                    armed.scheduled = True
+
+    @staticmethod
+    def _is_timed_cut(spec: FaultSpec) -> bool:
+        return (spec.after_ns > 0 and spec.after_op == 0
+                and spec.probability >= 1.0)
+
+    def _blackout(self, armed: _Armed, cut_ns: int) -> None:
+        if armed.remaining == 0:
+            return
+        self._fire(armed, armed.spec.lun if armed.spec.lun is not None else -1,
+                   cut_ns, detail="power lost (timed cut)")
+        raise PowerLossError(cut_ns)
 
     def detach(self) -> None:
         """Restore every hook to ``None`` (zero overhead again)."""
         for lun in self._luns:
             lun._fault_hook = None
+            lun.array.set_power_fail(None)
         for channel in self._channels:
             channel._fault_hook = None
         self._luns.clear()
@@ -157,6 +195,20 @@ class FaultInjector:
     def on_busy(self, lun, busy_kind: str, duration: int) -> Optional[int]:
         now = lun.sim.now
         opps = self._bump(lun.position, "busy")
+        for armed in self._armed:
+            # Opportunistic power cut (op-count or probability trigger):
+            # the cut lands at the busy's logical start, so the op being
+            # confirmed never begins and the world ends.  (Pure-time cuts
+            # are armed as a kernel event at attach instead.)
+            if armed.spec.kind is FaultKind.POWER_CUT \
+                    and not self._is_timed_cut(armed.spec) \
+                    and self._eligible(armed, lun.position, None, now, opps):
+                cut_ns = lun._now()
+                for target in self._luns:
+                    target.array.set_power_fail(cut_ns)
+                self._fire(armed, lun.position, cut_ns,
+                           detail=f"power lost before {busy_kind} busy")
+                raise PowerLossError(cut_ns)
         for armed in self._armed:
             if armed.spec.kind is not FaultKind.DIE_HANG:
                 continue

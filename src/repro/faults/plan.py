@@ -19,15 +19,27 @@ The kinds span the stack's layers:
 ``grown_bad_block`` a block starts failing program/erase once its erase
                     count reaches ``pe_threshold``
 ``feature_drop``    SET FEATURES silently ignored (breaks read-retry)
+``power_cut``       power dies at an arbitrary nanosecond: the kernel
+                    halts, in-flight programs tear, in-flight erases
+                    are interrupted (recovery = the SPOR mount path)
 =================   ========================================================
+
+Malformed plans — unknown kinds, non-positive triggers, parameters that
+only apply to a different kind — raise :class:`FaultPlanError` (a
+``ValueError`` subclass) with a message naming the offending field, both
+at construction and on the JSON load path.
 """
 
 from __future__ import annotations
 
 import enum
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
+
+
+class FaultPlanError(ValueError):
+    """A malformed fault spec or campaign (bad kind, trigger, or combo)."""
 
 
 class FaultKind(str, enum.Enum):
@@ -38,6 +50,7 @@ class FaultKind(str, enum.Enum):
     TRANSFER_CORRUPT = "transfer_corrupt"
     GROWN_BAD_BLOCK = "grown_bad_block"
     FEATURE_DROP = "feature_drop"
+    POWER_CUT = "power_cut"
 
 
 # Kinds the recovery stack is expected to fully absorb.  A die hang is
@@ -68,22 +81,47 @@ class FaultSpec:
     direction: Optional[str] = None  # transfer_corrupt: "in", "out", or both
 
     def __post_init__(self) -> None:
-        self.kind = FaultKind(self.kind)
+        try:
+            self.kind = FaultKind(self.kind)
+        except ValueError:
+            known = ", ".join(k.value for k in FaultKind)
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r} (known: {known})"
+            ) from None
         self.validate()
 
     def validate(self) -> None:
         if self.count is not None and self.count < 1:
-            raise ValueError("count must be >= 1 (or None for unlimited)")
+            raise FaultPlanError("count must be >= 1 (or None for unlimited)")
         if not 0.0 < self.probability <= 1.0:
-            raise ValueError("probability must be in (0, 1]")
+            raise FaultPlanError("probability must be in (0, 1]")
         if self.after_op < 0 or self.after_ns < 0:
-            raise ValueError("triggers cannot be negative")
+            raise FaultPlanError("triggers cannot be negative")
         if self.stretch < 0:
-            raise ValueError("stretch must be >= 0")
+            raise FaultPlanError("stretch must be >= 0")
+        if self.stretch and self.kind is not FaultKind.STUCK_BUSY:
+            raise FaultPlanError(
+                f"stretch only applies to stuck_busy, not {self.kind.value}"
+            )
         if self.kind is FaultKind.GROWN_BAD_BLOCK and self.block is None:
-            raise ValueError("grown_bad_block needs a target block")
+            raise FaultPlanError("grown_bad_block needs a target block")
+        if self.pe_threshold and self.kind is not FaultKind.GROWN_BAD_BLOCK:
+            raise FaultPlanError(
+                f"pe_threshold only applies to grown_bad_block, "
+                f"not {self.kind.value}"
+            )
         if self.direction not in (None, "in", "out"):
-            raise ValueError("direction must be 'in', 'out', or None")
+            raise FaultPlanError("direction must be 'in', 'out', or None")
+        if self.direction and self.kind is not FaultKind.TRANSFER_CORRUPT:
+            raise FaultPlanError(
+                f"direction only applies to transfer_corrupt, "
+                f"not {self.kind.value}"
+            )
+        if self.kind is FaultKind.POWER_CUT and self.block is not None:
+            raise FaultPlanError(
+                "power_cut strikes the whole array; a block target is "
+                "meaningless"
+            )
 
     def to_dict(self) -> dict:
         data = {"kind": self.kind.value}
@@ -100,7 +138,22 @@ class FaultSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultSpec":
-        return cls(**data)
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault spec must be an object, got {data!r}")
+        if "kind" not in data:
+            raise FaultPlanError("fault spec is missing its 'kind'")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault spec field(s): {', '.join(unknown)}"
+            )
+        try:
+            return cls(**data)
+        except FaultPlanError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault spec: {exc}") from None
 
 
 @dataclass
@@ -136,16 +189,34 @@ class FaultCampaign:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultCampaign":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"campaign must be an object, got {data!r}")
+        for required in ("name", "seed"):
+            if required not in data:
+                raise FaultPlanError(f"campaign is missing {required!r}")
+        try:
+            seed = int(data["seed"])
+        except (TypeError, ValueError):
+            raise FaultPlanError(
+                f"campaign seed must be an integer, got {data['seed']!r}"
+            ) from None
+        faults = data.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("campaign 'faults' must be a list")
         return cls(
-            name=data["name"],
-            seed=int(data["seed"]),
-            faults=[FaultSpec.from_dict(item) for item in data.get("faults", [])],
+            name=str(data["name"]),
+            seed=seed,
+            faults=[FaultSpec.from_dict(item) for item in faults],
             description=data.get("description", ""),
         )
 
     @classmethod
     def from_json(cls, text: str) -> "FaultCampaign":
-        return cls.from_dict(json.loads(text))
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"campaign is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
 
     @classmethod
     def load(cls, path: str) -> "FaultCampaign":

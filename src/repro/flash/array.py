@@ -42,6 +42,13 @@ class Block:
     programmed: set[int] = field(default_factory=set)
     programmed_at_ns: dict[int, int] = field(default_factory=dict)
     worn_out: bool = False
+    # Power-loss media state: spare-area records committed with each
+    # page, pages caught mid-tPROG by a power cut (indeterminate cell
+    # charge), and the interrupted-erase flag (cells read erased but
+    # are unreliable until the erase is re-run).
+    oob: dict[int, np.ndarray] = field(default_factory=dict)
+    torn: set[int] = field(default_factory=set)
+    erase_interrupted: bool = False
 
     def is_programmed(self, page: int) -> bool:
         return page in self.programmed
@@ -83,6 +90,16 @@ class FlashArray:
         self.reads = 0
         self.programs = 0
         self.erases = 0
+        # Spare-area records staged by the FTL for the next program of
+        # (block, page); attached atomically when the program commits.
+        self._staged_oob: dict[tuple[int, int], np.ndarray] = {}
+        # Power-cut freeze: once set, no array mutation whose *logical
+        # end time* is at or past this nanosecond commits.  Operations
+        # already in flight (begun before the cut) leave torn pages or
+        # interrupted erases instead — identical under both fidelity
+        # tiers, because the decision depends only on logical times.
+        self.power_fail_ns: Optional[int] = None
+        self.seed = seed
 
     # -- block access -----------------------------------------------------
 
@@ -106,18 +123,39 @@ class FlashArray:
 
     # -- operations ------------------------------------------------------
 
-    def erase(self, block_index: int, cell_mode: Optional[CellMode] = None) -> bool:
+    def erase(
+        self,
+        block_index: int,
+        cell_mode: Optional[CellMode] = None,
+        now_ns: int = 0,
+        begun_ns: Optional[int] = None,
+    ) -> bool:
         """Erase a block, optionally re-dedicating it to ``cell_mode``.
 
         Returns True on success, False when the block is worn out (the
-        LUN reports this as a status FAIL).
+        LUN reports this as a status FAIL).  ``now_ns`` is the logical
+        completion time and ``begun_ns`` the tBERS start: when a power
+        cut intervenes, an erase begun before the cut leaves the block
+        in the interrupted-erase state instead of completing.
         """
         block = self.block(block_index)
         if block.worn_out:
             return False
+        freeze = self.power_fail_ns
+        if freeze is not None and now_ns >= freeze:
+            if begun_ns is not None and begun_ns < freeze:
+                self.interrupt_erase(block_index)
+            return True  # nothing past the cut is observable anyway
         block.pages.clear()
         block.programmed.clear()
         block.programmed_at_ns.clear()
+        block.oob.clear()
+        block.torn.clear()
+        block.erase_interrupted = False
+        self._staged_oob = {
+            key: value for key, value in self._staged_oob.items()
+            if key[0] != block_index
+        }
         block.erase_count += 1
         if cell_mode is not None:
             block.cell_mode = cell_mode
@@ -133,15 +171,27 @@ class FlashArray:
         data: np.ndarray,
         now_ns: int = 0,
         cell_mode: Optional[CellMode] = None,
+        begun_ns: Optional[int] = None,
     ) -> bool:
-        """Program one full page.  NAND forbids in-place rewrites."""
+        """Program one full page.  NAND forbids in-place rewrites.
+
+        ``begun_ns`` is the tPROG start time; a program caught by a
+        power cut (committed at ``now_ns`` past the cut, begun before
+        it) tears the page instead of committing it.
+        """
         block = self.block(addr.block)
         if block.is_programmed(addr.page):
             raise ProgramEraseError(
                 f"page {addr.describe()} already programmed (erase first)"
             )
+        staged = self._staged_oob.pop((addr.block, addr.page), None)
         if block.worn_out:
             return False
+        freeze = self.power_fail_ns
+        if freeze is not None and now_ns >= freeze:
+            if begun_ns is not None and begun_ns < freeze:
+                self._tear(block, addr.page)
+            return True  # the "success" is never observed: power is gone
         if cell_mode is not None:
             block.cell_mode = cell_mode
         full = self.geometry.full_page_size
@@ -152,8 +202,118 @@ class FlashArray:
             block.pages[addr.page] = page
         block.programmed.add(addr.page)
         block.programmed_at_ns[addr.page] = now_ns
+        if staged is not None:
+            block.oob[addr.page] = staged
         self.programs += 1
         return True
+
+    # -- power-loss media state --------------------------------------------
+
+    def stage_oob(self, block: int, page: int, spare: np.ndarray) -> None:
+        """Stage the spare-area record for the next program of a page.
+
+        The FTL stages this before issuing the program op; the array
+        attaches it when (and only when) the program actually commits,
+        so a torn or failed program never presents a valid record.
+        """
+        self._staged_oob[(block, page)] = np.asarray(spare, dtype=np.uint8)
+
+    def read_oob(self, block: int, page: int) -> Optional[np.ndarray]:
+        """The committed spare-area bytes of a page (None if absent).
+
+        A torn page returns deterministic garbage that never decodes as
+        a valid :class:`~repro.flash.oob.OobRecord`.
+        """
+        info = self.block(block)
+        if page in info.torn:
+            return self._torn_bytes(block, page, 64)
+        return info.oob.get(page)
+
+    def mark_torn(self, addr: PhysicalAddress) -> None:
+        """Tear a page: a program was in flight when power died.
+
+        The cells hold indeterminate charge — modeled as deterministic
+        garbage content and an undecodable spare area.  The page counts
+        as programmed (it is not erased, so it cannot be reprogrammed
+        without an erase).
+        """
+        block = self.block(addr.block)
+        if addr.page in block.programmed and addr.page not in block.torn:
+            return  # already committed before the cut; nothing to tear
+        self._tear(block, addr.page)
+
+    def _tear(self, block: Block, page: int) -> None:
+        block.programmed.add(page)
+        block.torn.add(page)
+        block.programmed_at_ns.setdefault(page, self.power_fail_ns or 0)
+        block.oob.pop(page, None)
+        if self.track_data:
+            block.pages[page] = self._torn_bytes(
+                block.index, page, self.geometry.full_page_size
+            )
+
+    def interrupt_erase(self, block_index: int) -> None:
+        """Power died mid-tBERS: cells read erased but are unreliable.
+
+        The erase count is *not* bumped (the cycle never completed);
+        the SPOR mount re-erases such blocks before reuse.
+        """
+        block = self.block(block_index)
+        block.pages.clear()
+        block.programmed.clear()
+        block.programmed_at_ns.clear()
+        block.oob.clear()
+        block.torn.clear()
+        block.erase_interrupted = True
+
+    def _torn_bytes(self, block: int, page: int, nbytes: int) -> np.ndarray:
+        """Deterministic per-page garbage for torn cells."""
+        rng = np.random.default_rng(
+            (self.seed & 0xFFFF) ^ (block << 20) ^ (page << 4) ^ 0x70_51
+        )
+        return rng.integers(0, 256, size=nbytes, dtype=np.uint8)
+
+    def set_power_fail(self, at_ns: Optional[int]) -> None:
+        self.power_fail_ns = at_ns
+
+    def media_image(self) -> dict:
+        """Deep-copy the persistent media state (for crash/remount)."""
+        blocks = {}
+        for index, block in self._blocks.items():
+            blocks[index] = {
+                "erase_count": block.erase_count,
+                "cell_mode": block.cell_mode,
+                "optimal_retry_level": block.optimal_retry_level,
+                "pages": {p: v.copy() for p, v in block.pages.items()},
+                "programmed": set(block.programmed),
+                "programmed_at_ns": dict(block.programmed_at_ns),
+                "worn_out": block.worn_out,
+                "oob": {p: v.copy() for p, v in block.oob.items()},
+                "torn": set(block.torn),
+                "erase_interrupted": block.erase_interrupted,
+            }
+        return {"blocks": blocks}
+
+    def restore_media(self, image: dict) -> None:
+        """Load a :meth:`media_image` into this (freshly built) array."""
+        self._blocks.clear()
+        self._staged_oob.clear()
+        self.power_fail_ns = None
+        for index, state in image["blocks"].items():
+            block = Block(
+                index=index,
+                erase_count=state["erase_count"],
+                cell_mode=state["cell_mode"],
+                optimal_retry_level=state["optimal_retry_level"],
+                pages={p: v.copy() for p, v in state["pages"].items()},
+                programmed=set(state["programmed"]),
+                programmed_at_ns=dict(state["programmed_at_ns"]),
+                worn_out=state["worn_out"],
+                oob={p: v.copy() for p, v in state["oob"].items()},
+                torn=set(state["torn"]),
+                erase_interrupted=state["erase_interrupted"],
+            )
+            self._blocks[index] = block
 
     def load_page(
         self,

@@ -193,6 +193,11 @@ class Lun:
         # the polling period.
         self.last_status_sample_ns: Optional[int] = None
 
+        # Array operations in flight (confirmed, not yet committed):
+        # dicts of {kind, targets, begun}.  A power cut consults this to
+        # tear partially-programmed pages and mark interrupted erases.
+        self.inflight_ops: list[dict] = []
+
         self._pslc_override = False
         self._busy_kind: Optional[_BusyKind] = None
         self._busy_event = None
@@ -699,8 +704,13 @@ class Lun:
             self.codec.plane_of(t): self._ensure_register(self.codec.plane_of(t)).copy()
             for t in targets
         }
+        inflight = {"kind": "program", "targets": list(targets),
+                    "begun": self._now()}
+        self.inflight_ops.append(inflight)
 
         def finish() -> None:
+            if inflight in self.inflight_ops:
+                self.inflight_ops.remove(inflight)
             failed = False
             if self._fault_hook is not None and self._fault_hook.on_program(
                 self, targets
@@ -714,7 +724,7 @@ class Lun:
                     plane = self.codec.plane_of(target)
                     ok = self.array.program(
                         target, registers[plane], now_ns=self._now(),
-                        cell_mode=mode
+                        cell_mode=mode, begun_ns=inflight["begun"],
                     )
                     failed = failed or not ok
             self.programs_completed += len(targets)
@@ -752,8 +762,13 @@ class Lun:
         self._mp_queue = []
         duration = self._sample(self.profile.timing.t_bers_ns)
         mode = self._effective_mode()
+        inflight = {"kind": "erase", "targets": list(targets),
+                    "begun": self._now()}
+        self.inflight_ops.append(inflight)
 
         def finish() -> None:
+            if inflight in self.inflight_ops:
+                self.inflight_ops.remove(inflight)
             failed = False
             if self._fault_hook is not None and self._fault_hook.on_erase(
                 self, targets
@@ -761,7 +776,9 @@ class Lun:
                 failed = True
             else:
                 for target in targets:
-                    ok = self.array.erase(target.block, cell_mode=mode)
+                    ok = self.array.erase(target.block, cell_mode=mode,
+                                          now_ns=self._now(),
+                                          begun_ns=inflight["begun"])
                     failed = failed or not ok
             self.erases_completed += len(targets)
             self.status.finish_operation(failed=failed)
@@ -832,6 +849,7 @@ class Lun:
         if self._busy_event is not None and self._busy_event.pending:
             self._busy_event.cancel()
         self._busy_finish = None
+        self.inflight_ops.clear()  # aborted ops never reached the array
         self._mp_queue = []
         self._pslc_override = False
         self._data_source = _DataSource.NONE

@@ -10,7 +10,9 @@ global LPNs round-robin over one :class:`PageMappedFtl` per channel.
 from repro.ftl.badblocks import GrownBadBlockTable, RetirementRecord
 from repro.ftl.mapping import MapEntry, PageMapTable, ShardRouter
 from repro.ftl.gc import CostBenefitPolicy, GreedyPolicy, VictimPolicy
-from repro.ftl.ftl import FtlConfig, PageMappedFtl, ShardedFtl
+from repro.ftl.ftl import BlockInfo, FtlConfig, FtlError, PageMappedFtl, ShardedFtl
+from repro.ftl.persist import PersistenceLayer
+from repro.ftl.spor import MountReport, mount_sharded
 from repro.ftl.wear import WearTracker
 
 __all__ = [
@@ -22,8 +24,13 @@ __all__ = [
     "CostBenefitPolicy",
     "GreedyPolicy",
     "VictimPolicy",
+    "BlockInfo",
     "FtlConfig",
+    "FtlError",
+    "MountReport",
     "PageMappedFtl",
+    "PersistenceLayer",
     "ShardedFtl",
     "WearTracker",
+    "mount_sharded",
 ]

@@ -44,12 +44,32 @@ class FtlConfig:
     gc_free_threshold: int = 2        # reclaim when a pool dips below this
     overprovision_blocks: int = 4     # per LUN, withheld from logical capacity
     gc_staging_base: int = 48 * 1024 * 1024  # DRAM region for GC moves
+    # Power-loss protection (0 = off: the historical volatile FTL).
+    # When on, the FTL reserves ``meta_blocks`` blocks on LUN 0 for
+    # checkpoints + journal and stamps every data page's spare area.
+    checkpoint_interval: int = 0      # checkpoint every N host writes
+    journal_flush_records: int = 32   # flush the journal at this batch size
+    meta_blocks: int = 2              # reserved checkpoint/journal blocks
 
     def validate(self) -> None:
         if self.blocks_per_lun <= self.overprovision_blocks:
             raise ValueError("need more blocks than overprovisioning")
         if self.gc_free_threshold < 1:
             raise ValueError("gc threshold must be >= 1")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.checkpoint_interval > 0:
+            if self.meta_blocks < 2:
+                raise ValueError("persistence needs >= 2 meta blocks "
+                                 "(ping-pong checkpoint rotation)")
+            if self.journal_flush_records < 1:
+                raise ValueError("journal_flush_records must be >= 1")
+            if self.overprovision_blocks <= self.meta_blocks:
+                raise ValueError(
+                    "persistence meta blocks must fit inside the "
+                    "overprovisioning budget (overprovision_blocks > "
+                    "meta_blocks)"
+                )
 
 
 @dataclass
@@ -63,6 +83,7 @@ class BlockInfo:
     valid: set = field(default_factory=set)
     closed_at_ns: int = 0
     inflight: int = 0  # pages allocated but not yet committed/validated
+    retired: bool = False  # grown-bad: must never be a GC victim again
 
     @property
     def valid_count(self) -> int:
@@ -102,6 +123,10 @@ class PageMappedFtl:
         self.logical_pages = self.lun_count * usable_blocks * self.pages_per_block
         self.map = PageMapTable(self.logical_pages)
         self.wear = WearTracker()
+        # Power-loss protection (attached below once the free lists
+        # exist; ``None`` keeps the historical volatile behaviour).
+        self.persist = None
+        self._entry_seq: dict[int, int] = {}
 
         self._free: list[deque[int]] = []
         self._active: list[Optional[BlockInfo]] = [None] * self.lun_count
@@ -130,6 +155,9 @@ class PageMappedFtl:
                 self._retire_block(lun, b, REASON_FACTORY)
             self._free.append(deque(usable))
 
+        if self.config.checkpoint_interval > 0:
+            self._attach_persistence(usable_blocks)
+
         self._write_rotor = 0
         self._gc_inflight: dict[int, int] = {}
         self._gc_done = Condition(sim)
@@ -138,6 +166,29 @@ class PageMappedFtl:
         self.gc_runs = 0
         self.gc_page_moves = 0
         self.program_fail_rewrites = 0
+
+    def _attach_persistence(self, usable_blocks: int) -> None:
+        """Reserve the meta region and stand up the persistence layer.
+
+        The last ``meta_blocks`` factory-good blocks of LUN 0 leave the
+        data rotation; logical capacity shrinks by the same amount so
+        the rest of the overprovisioning budget is untouched.
+        """
+        from repro.ftl.persist import PersistenceLayer
+
+        if not self.controller.luns[0].array.track_data:
+            raise FtlError("persistence requires track_data=True "
+                           "(checkpoints are read back from the arrays)")
+        free0 = self._free[0]
+        if len(free0) <= self.config.meta_blocks:
+            raise FtlError(
+                f"LUN 0 has only {len(free0)} good blocks; cannot reserve "
+                f"{self.config.meta_blocks} for the meta region"
+            )
+        meta = sorted(free0.pop() for _ in range(self.config.meta_blocks))
+        self.logical_pages -= self.config.meta_blocks * self.pages_per_block
+        self.map = PageMapTable(self.logical_pages)
+        self.persist = PersistenceLayer(self, meta, meta_lun=0)
 
     # ------------------------------------------------------------------
     # Host-facing I/O (generators: drive from a simulation process)
@@ -155,9 +206,16 @@ class PageMappedFtl:
         yield from self.controller.wait(task)
         return entry
 
-    def write(self, lpn: int, dram_address: int) -> Generator:
+    def write(self, lpn: int, dram_address: int, _seq: int = None) -> Generator:
         """Write one logical page from DRAM; returns the new map entry."""
         self.map._check_lpn(lpn)
+        persist = self.persist
+        seq = _seq
+        if persist is not None and seq is None:
+            # The version number is taken at *submission* order, before
+            # any GC yield, so per-LPN sequence order equals the order
+            # the host issued the writes in.
+            seq = persist.next_seq()
         lun = self._write_rotor % self.lun_count
         self._write_rotor += 1
         yield from self._gc_if_needed(lun)
@@ -170,6 +228,10 @@ class PageMappedFtl:
             # runs several workers) must never be handed page indexes
             # beyond the block.
             self._close_active(lun)
+        if persist is not None:
+            from repro.flash.oob import KIND_HOST
+
+            persist.stage_data_oob(lun, info.block, page, KIND_HOST, lpn, seq)
         task = self.controller.program_page(lun, info.block, page, dram_address)
         ok = yield from self.controller.wait(task)
         if not ok:
@@ -177,23 +239,55 @@ class PageMappedFtl:
             # retry the host write on a fresh block.
             info.inflight -= 1
             yield from self._retire(info)
-            entry = yield from self.write(lpn, dram_address)
+            entry = yield from self.write(lpn, dram_address, _seq=seq)
             self.program_fail_rewrites += 1
             return entry
         entry = MapEntry(lun=lun, block=info.block, page=page)
-        old = self.map.bind(lpn, entry)
-        info.valid.add(page)
+        if self._bind_versioned(lpn, entry, seq):
+            info.valid.add(page)
         info.inflight -= 1
+        self.host_writes += 1
+        if persist is not None:
+            yield from persist.after_host_write()
+        return entry
+
+    def _bind_versioned(self, lpn: int, entry: MapEntry, seq) -> bool:
+        """Bind unless a newer version of the LPN already landed.
+
+        With persistence off this is exactly the historical bind.  With
+        it on, concurrent writers (and GC relocations, which reuse the
+        original write's sequence number) may complete out of order;
+        the sequence number decides, and a superseded program's page is
+        simply left invalid for GC to reclaim.
+        """
+        persist = self.persist
+        if persist is None:
+            old = self.map.bind(lpn, entry)
+            if old is not None:
+                self._invalidate(old)
+            return True
+        current = self._entry_seq.get(lpn)
+        if current is not None and current > seq:
+            return False  # a newer version won the race
+        self._entry_seq[lpn] = seq
+        old = self.map.bind(lpn, entry)
         if old is not None:
             self._invalidate(old)
-        self.host_writes += 1
-        return entry
+        persist.note_bind(lpn, entry, seq)
+        return True
 
     def trim(self, lpn: int) -> None:
         """Discard a logical page (no media work until GC)."""
         old = self.map.unbind(lpn)
         if old is not None:
             self._invalidate(old)
+        persist = self.persist
+        if persist is not None:
+            # Tombstone: the trim gets its own sequence number so the
+            # mount's OOB scan cannot resurrect an older version.
+            seq = persist.next_seq()
+            self._entry_seq[lpn] = seq
+            persist.note_trim(lpn, seq)
 
     # ------------------------------------------------------------------
     # Prefill (zero-simulated-time initialization for experiments)
@@ -208,6 +302,7 @@ class PageMappedFtl:
 
         if logical_pages > self.logical_pages:
             raise FtlError("prefill exceeds logical capacity")
+        persist = self.persist
         payload = np.full(64, fill_byte, dtype=np.uint8)  # token content
         for lpn in range(logical_pages):
             lun = self._write_rotor % self.lun_count
@@ -215,6 +310,13 @@ class PageMappedFtl:
             info = self._active_block(lun)
             page = info.write_ptr
             info.write_ptr += 1
+            if persist is not None:
+                from repro.flash.oob import KIND_HOST
+
+                seq = persist.next_seq()
+                self._entry_seq[lpn] = seq
+                persist.stage_data_oob(lun, info.block, page,
+                                       KIND_HOST, lpn, seq)
             self.controller.luns[lun].array.program(
                 PhysicalAddress(block=info.block, page=page),
                 payload,
@@ -224,6 +326,10 @@ class PageMappedFtl:
             info.valid.add(page)
             if info.is_full:
                 self._close_active(lun)
+        if persist is not None:
+            # Anchor the prefilled state so a crash before the first
+            # periodic checkpoint still mounts.
+            persist.write_checkpoint_offline(self.sim.now)
 
     # ------------------------------------------------------------------
     # Block management
@@ -284,29 +390,52 @@ class PageMappedFtl:
                 self._gc_inflight[lun] -= 1
                 self._gc_done.notify()
 
+    def _gc_staging(self, lun: int, block: int) -> int:
+        """Per-victim staging buffer, growing *down* from the staging
+        base (meta staging and NVMe bounce slots own the space above
+        it).  A queue-depth host runs several GC collects at once —
+        relocations sharing one buffer write each other's bytes."""
+        full = self.controller.codec.geometry.full_page_size
+        slot = 1 + lun * self.config.blocks_per_lun + block
+        return self.config.gc_staging_base - slot * full
+
     def _collect(self, victim: BlockInfo) -> Generator:
         """Move the victim's valid pages, then erase it."""
         self.gc_runs += 1
         lun = victim.lun
-        staging = self.config.gc_staging_base
+        staging = self._gc_staging(lun, victim.block)
+        persist = self.persist
         for page in sorted(victim.valid):
-            lpn = self.map.owner_of(MapEntry(lun=lun, block=victim.block, page=page))
+            source = MapEntry(lun=lun, block=victim.block, page=page)
+            lpn = self.map.owner_of(source)
             if lpn is None:  # raced with a trim; nothing to preserve
                 continue
             task = self.controller.read_page(lun, victim.block, page, staging)
             yield from self.controller.wait(task)
+            if self.map.owner_of(source) != lpn:
+                continue  # a host write/trim superseded it mid-read
+            seq = self._entry_seq.get(lpn, 0)
             dest = self._active_block(lun)
             dest_page = dest.write_ptr
             dest.write_ptr += 1
             dest.inflight += 1
             if dest.is_full:
                 self._close_active(lun)
+            if persist is not None:
+                from repro.flash.oob import KIND_GC
+
+                # A relocation is the *same* logical version: it keeps
+                # the original write's sequence number so the mount can
+                # never prefer a stale copy over a newer host write.
+                persist.stage_data_oob(lun, dest.block, dest_page,
+                                       KIND_GC, lpn, seq)
             task = self.controller.program_page(lun, dest.block, dest_page, staging)
             ok = yield from self.controller.wait(task)
             if not ok:
                 raise FtlError("GC relocation program failed")
-            self.map.bind(lpn, MapEntry(lun=lun, block=dest.block, page=dest_page))
-            dest.valid.add(dest_page)
+            entry = MapEntry(lun=lun, block=dest.block, page=dest_page)
+            if self._bind_versioned(lpn, entry, seq):
+                dest.valid.add(dest_page)
             dest.inflight -= 1
             self.gc_page_moves += 1
         victim.valid.clear()
@@ -317,9 +446,15 @@ class PageMappedFtl:
             # The block wore out: retire it; the pool shrinks into the
             # overprovisioning budget.
             self._retire_block(lun, victim.block, REASON_ERASE_FAIL)
-            return
-        self.wear.record_erase(lun, victim.block)
-        self._free[lun].append(victim.block)
+        else:
+            self.wear.record_erase(lun, victim.block)
+            self._free[lun].append(victim.block)
+            if persist is not None:
+                persist.note_erase(lun, victim.block)
+        if persist is not None:
+            # Erases and retirements flush synchronously: the journal
+            # must not lag far behind a block being reused.
+            yield from persist.maybe_flush()
 
     def _retire(self, victim: BlockInfo) -> Generator:
         """Permanently remove a grown-bad block from the rotation,
@@ -329,30 +464,43 @@ class PageMappedFtl:
             self._active[lun] = None
         if victim in self._closed[lun]:
             self._closed[lun].remove(victim)
-        staging = self.config.gc_staging_base
+        staging = self._gc_staging(lun, victim.block)
+        persist = self.persist
         for page in sorted(victim.valid):
-            lpn = self.map.owner_of(MapEntry(lun=lun, block=victim.block, page=page))
+            source = MapEntry(lun=lun, block=victim.block, page=page)
+            lpn = self.map.owner_of(source)
             if lpn is None:
                 continue
             task = self.controller.read_page(lun, victim.block, page, staging)
             yield from self.controller.wait(task)
+            if self.map.owner_of(source) != lpn:
+                continue  # superseded while the rescue read ran
+            seq = self._entry_seq.get(lpn, 0)
             dest = self._active_block(lun)
             dest_page = dest.write_ptr
             dest.write_ptr += 1
             dest.inflight += 1
             if dest.is_full:
                 self._close_active(lun)
+            if persist is not None:
+                from repro.flash.oob import KIND_GC
+
+                persist.stage_data_oob(lun, dest.block, dest_page,
+                                       KIND_GC, lpn, seq)
             task = self.controller.program_page(lun, dest.block, dest_page, staging)
             ok = yield from self.controller.wait(task)
             dest.inflight -= 1
             if not ok:
                 raise FtlError("relocation during block retirement failed")
-            self.map.bind(lpn, MapEntry(lun=lun, block=dest.block, page=dest_page))
-            dest.valid.add(dest_page)
+            entry = MapEntry(lun=lun, block=dest.block, page=dest_page)
+            if self._bind_versioned(lpn, entry, seq):
+                dest.valid.add(dest_page)
             self.gc_page_moves += 1
         victim.valid.clear()
         self._info.pop((lun, victim.block), None)
         self._retire_block(lun, victim.block, REASON_PROGRAM_FAIL)
+        if persist is not None:
+            yield from persist.maybe_flush()
 
     def _retire_block(self, lun: int, block: int, reason: str) -> None:
         """Journal a retirement and drop the block from wear tracking
@@ -363,6 +511,21 @@ class PageMappedFtl:
         self.bad_blocks.retire(self.sim.now, lun, block, reason, pe_cycles=pe)
         self.retired_blocks.append((lun, block))
         self.wear.counts.pop((lun, block), None)
+        info = self._info.get((lun, block))
+        if info is not None:
+            info.retired = True
+        persist = getattr(self, "persist", None)
+        if persist is not None and reason != REASON_FACTORY:
+            persist.note_retire(lun, block, reason, pe, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Durability barrier
+    # ------------------------------------------------------------------
+
+    def flush(self) -> Generator:
+        """Force buffered journal records onto media (host FLUSH)."""
+        if self.persist is not None:
+            yield from self.persist.flush()
 
     # ------------------------------------------------------------------
     # Static wear leveling
@@ -478,6 +641,11 @@ class ShardedFtl:
         shard, local = self._route(lpn)
         self.shards[shard].trim(local)
 
+    def flush(self) -> Generator:
+        """Durability barrier: flush every shard's journal."""
+        for shard in self.shards:
+            yield from shard.flush()
+
     def is_mapped(self, lpn: int) -> bool:
         shard, local = self._route(lpn)
         return self.shards[shard].map.lookup(local) is not None
@@ -539,6 +707,20 @@ class ShardedFtl:
     @property
     def program_fail_rewrites(self) -> int:
         return sum(shard.program_fail_rewrites for shard in self.shards)
+
+    @property
+    def checkpoints_written(self) -> int:
+        return sum(
+            shard.persist.checkpoints_written
+            for shard in self.shards if shard.persist is not None
+        )
+
+    @property
+    def journal_pages_written(self) -> int:
+        return sum(
+            shard.persist.journal_pages_written
+            for shard in self.shards if shard.persist is not None
+        )
 
     @property
     def write_amplification(self) -> float:

@@ -1,9 +1,30 @@
-"""Garbage-collection victim selection policies."""
+"""Garbage-collection victim selection policies.
+
+Both policies share the eligibility rules: a victim must have at least
+one reclaimable page, no in-flight programs, and must never be a
+retired (grown-bad) block — erasing a retired block would put a dying
+die back into rotation.  Selection is fully deterministic: score ties
+break on ``(lun, block)`` so identical inputs always yield the same
+victim regardless of candidate-list order.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from typing import Optional, Sequence
+
+
+def _tie_key(block) -> tuple:
+    return (getattr(block, "lun", 0), getattr(block, "block", 0))
+
+
+def _eligible(candidates):
+    return [
+        b for b in candidates
+        if b.valid_count < b.capacity
+        and getattr(b, "inflight", 0) == 0
+        and not getattr(b, "retired", False)
+    ]
 
 
 class VictimPolicy(ABC):
@@ -22,13 +43,13 @@ class GreedyPolicy(VictimPolicy):
     name = "greedy"
 
     def select(self, candidates, now_ns):
-        eligible = [
-            b for b in candidates
-            if b.valid_count < b.capacity and getattr(b, "inflight", 0) == 0
-        ]
+        eligible = _eligible(candidates)
         if not eligible:
             return None
-        return min(eligible, key=lambda b: (b.valid_count, b.closed_at_ns))
+        return min(
+            eligible,
+            key=lambda b: (b.valid_count, b.closed_at_ns) + _tie_key(b),
+        )
 
 
 class CostBenefitPolicy(VictimPolicy):
@@ -37,10 +58,7 @@ class CostBenefitPolicy(VictimPolicy):
     name = "cost-benefit"
 
     def select(self, candidates, now_ns):
-        eligible = [
-            b for b in candidates
-            if b.valid_count < b.capacity and getattr(b, "inflight", 0) == 0
-        ]
+        eligible = _eligible(candidates)
         if not eligible:
             return None
 
@@ -51,4 +69,5 @@ class CostBenefitPolicy(VictimPolicy):
                 return float("inf")
             return age * (1.0 - utilization) / (2.0 * utilization)
 
-        return max(eligible, key=score)
+        # max score wins; ties break deterministically on (lun, block).
+        return min(eligible, key=lambda b: (-score(b),) + _tie_key(b))

@@ -96,9 +96,13 @@ class ScaleCommand:
     opcode: HostOpcode
     lpn: int
     dram_address: int = 0
+    payload: Optional[object] = None  # uint8 ndarray, staged into shard
+                                      # DRAM at submit
+    tag: int = 0                      # caller-owned (e.g. write version)
     cid: int = -1                 # engine-local, assigned at submit
     channel: int = -1             # routed shard, assigned at submit
     local_lpn: int = -1           # shard-local LPN, assigned at submit
+    slot: int = -1                # pair DRAM slot, held until completion
     submitted_at: int = 0
     started_at: Optional[int] = None
     finished_at: Optional[int] = None
@@ -124,6 +128,12 @@ class ChannelQueuePair:
         self._staged: list[ScaleCommand] = []   # written, doorbell not rung
         self._sq: deque[ScaleCommand] = deque()  # device-visible
         self._idle: deque[Trigger] = deque()     # parked workers, FIFO
+        # DRAM slot pool: a slot is held from stage to completion, so a
+        # buffer is never reused while its command is in flight.  (A
+        # plain ``submitted % depth`` scheme is only collision-free
+        # when completions are FIFO — mixed read/write latencies break
+        # that.)
+        self._slots: deque[int] = deque(range(depth))
         self.inflight = 0
         self.completions: list[ScaleCommand] = []
         self.cq_pulse = Trigger(sim)
@@ -151,6 +161,7 @@ class ChannelQueuePair:
                 f"channel {self.channel} queue full (depth {self.depth})"
             )
         command.submitted_at = self.sim.now
+        command.slot = self._slots.popleft()
         self.submitted += 1
         self._staged.append(command)
 
@@ -189,10 +200,13 @@ class ChannelQueuePair:
                 yield from ftl.read(command.local_lpn, command.dram_address)
             elif command.opcode is HostOpcode.WRITE:
                 yield from ftl.write(command.local_lpn, command.dram_address)
+            elif command.opcode is HostOpcode.FLUSH:
+                yield from ftl.flush()
             else:
                 ftl.trim(command.local_lpn)
             command.finished_at = self.sim.now
             self.inflight -= 1
+            self._slots.append(command.slot)
             self.completions.append(command)
             tracer = self.sim._tracer
             if tracer is not None:
@@ -221,6 +235,10 @@ class ScaleEngine:
         ftl,
         queue_depth: int = 32,
         doorbell_batch: int = 4,
+        record_acks: bool = False,
+        auto_dram: bool = False,
+        dram_base: int = 0,
+        dram_stride: int = 32 * 1024,
     ):
         if doorbell_batch <= 0:
             raise ValueError("doorbell_batch must be positive")
@@ -228,6 +246,16 @@ class ScaleEngine:
         self.ftl = ftl
         self.queue_depth = queue_depth
         self.doorbell_batch = doorbell_batch
+        # Ack ledger: completed state-changing commands in completion
+        # order, the ground truth a crash-consistency check replays
+        # against.  Opt-in — long throughput runs don't pay for it.
+        self.record_acks = record_acks
+        self.acks: list[ScaleCommand] = []
+        # auto_dram: address every command from its pair's slot pool,
+        # guaranteeing the buffer stays untouched for the whole flight.
+        self.auto_dram = auto_dram
+        self.dram_base = dram_base
+        self.dram_stride = dram_stride
         if isinstance(ftl, ShardedFtl):
             self._shards = ftl.shards
         else:
@@ -280,6 +308,16 @@ class ScaleEngine:
         command.cid = self._next_cid
         pair = self.pairs[channel]
         pair.stage(command)         # raises before any state is shared
+        if self.auto_dram:
+            command.dram_address = (
+                self.dram_base + command.slot * self.dram_stride
+            )
+        if command.payload is not None:
+            # Stage the write payload into the shard's DRAM now; the
+            # slot pool keeps the buffer untouched until completion.
+            self.shard(channel).controller.dram.write(
+                command.dram_address, command.payload
+            )
         self._next_cid += 1
         self.submitted += 1
         if len(pair._staged) >= self.doorbell_batch:
@@ -298,6 +336,8 @@ class ScaleEngine:
 
     def _completed(self, command: ScaleCommand) -> None:
         self.completed += 1
+        if self.record_acks and command.opcode is not HostOpcode.READ:
+            self.acks.append(command)
         self.completion_pulse.fire(command)
 
 
@@ -410,8 +450,9 @@ def run_scale_workload(
                 pair = engine.pair_for(queue[0])
                 if pair.free_slots <= 0:
                     break
-                # Per-channel DRAM slots: a window of `depth` consecutive
-                # per-pair sequence numbers is always collision-free.
+                # Single-opcode jobs complete near-FIFO, so sequence
+                # slots suffice; engines with ``auto_dram`` override
+                # the address from the pool for mixed workloads.
                 slot = pair.submitted % pair.depth
                 engine.submit(ScaleCommand(
                     opcode=job.opcode,

@@ -25,6 +25,7 @@ class HostOpcode(enum.Enum):
     READ = "read"
     WRITE = "write"
     TRIM = "trim"
+    FLUSH = "flush"
 
 
 @dataclass
@@ -76,6 +77,8 @@ class HostInterface:
                 yield from self.ftl.read(command.lpn, command.dram_address)
             elif command.opcode is HostOpcode.WRITE:
                 yield from self.ftl.write(command.lpn, command.dram_address)
+            elif command.opcode is HostOpcode.FLUSH:
+                yield from self.ftl.flush()
             else:
                 self.ftl.trim(command.lpn)
             command.finished_at = self.sim.now

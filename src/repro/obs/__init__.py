@@ -33,6 +33,7 @@ from repro.obs.instrument import (
     register_recovery_metrics,
     register_reliability_metrics,
     register_scale_metrics,
+    register_spor_metrics,
     traced_op,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -60,6 +61,7 @@ __all__ = [
     "register_recovery_metrics",
     "register_reliability_metrics",
     "register_scale_metrics",
+    "register_spor_metrics",
     "render_text_summary",
     "traced_op",
     "write_chrome_trace",

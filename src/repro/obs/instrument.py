@@ -210,3 +210,23 @@ def register_scale_metrics(registry: MetricsRegistry, engine,
         registry.register_collector(f"{p}scale_array_health",
                                     ftl.health_summary)
     return registry
+
+
+def register_spor_metrics(registry: MetricsRegistry, report,
+                          prefix: str = "") -> MetricsRegistry:
+    """Expose a :class:`~repro.ftl.spor.MountReport`'s power-loss
+    counters — SMART-style unsafe-shutdown accounting plus what the
+    recovery cost and discarded.  Pull collector like the rest: the
+    report object may keep accumulating across remounts."""
+    p = f"{prefix}." if prefix else ""
+
+    def spor_stats() -> dict:
+        return {
+            "unsafe_shutdowns": report.unsafe_shutdowns,
+            "torn_pages_discarded": report.torn_pages_discarded,
+            "journal_replay_entries": report.journal_replay_entries,
+            "mount_ns": report.mount_ns,
+        }
+
+    registry.register_collector(f"{p}spor", spor_stats)
+    return registry

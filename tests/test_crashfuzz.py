@@ -1,0 +1,144 @@
+"""Tests for the crash-consistency fuzz harness and the host-engine
+features it leans on (FLUSH commands, the ack ledger, the DRAM slot
+pool)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.crashfuzz import (
+    EXIT_OK,
+    _build_ops,
+    _build_stack,
+    _drive,
+    _fuzz_profile,
+    _payload,
+    run_crashfuzz,
+)
+from repro.flash.vendors import profile_by_name
+from repro.host.engine import ScaleCommand
+from repro.host.hic import HostOpcode
+
+SMALL = dict(seeds=1, points=4, ios=80, qd=4)
+
+
+def test_small_campaign_is_clean():
+    report = run_crashfuzz(fidelity="tlm", **SMALL)
+    assert report["exit_code"] == EXIT_OK
+    assert report["violations"] == 0
+    assert report["internal_errors"] == 0
+    entry = report["results"][0]
+    assert entry["oracle"]["acked"] > 0
+    assert len(entry["points"]) == 4
+    # The report carries the SPOR counters for every crash point.
+    for point in entry["points"]:
+        assert set(point["mount"]) >= {
+            "journal_replay_entries", "mount_ns",
+            "torn_pages_discarded", "unsafe_shutdowns",
+        }
+
+
+def test_campaign_is_deterministic():
+    a = run_crashfuzz(fidelity="tlm", **SMALL)
+    b = run_crashfuzz(fidelity="tlm", **SMALL)
+    assert a == b
+
+
+def test_fidelity_tiers_agree_on_the_verdict():
+    # The committed media state at any cut is tier-invariant by design,
+    # so both tiers must reach the same verdict.  (Cut nanoseconds
+    # differ — each tier's oracle window differs — so only the verdict
+    # triple is the contract, not the full report.)
+    tlm = run_crashfuzz(fidelity="tlm", seeds=1, points=3, ios=60, qd=4)
+    wav = run_crashfuzz(fidelity="waveform", seeds=1, points=3, ios=60, qd=4)
+    keys = ("exit_code", "violations", "internal_errors")
+    assert [tlm[k] for k in keys] == [wav[k] for k in keys]
+
+
+def test_rejects_nonsense_parameters():
+    with pytest.raises(ValueError):
+        run_crashfuzz(seeds=0)
+    with pytest.raises(ValueError):
+        run_crashfuzz(points=0)
+    with pytest.raises(ValueError):
+        run_crashfuzz(ios=-1)
+
+
+def test_build_ops_reads_only_settled_writes():
+    rng = np.random.default_rng(42)
+    ops = _build_ops(rng, 300, span=64, channels=2, qd=4)
+    assert len(ops) == 300
+    kinds = {kind for kind, _, _ in ops}
+    assert kinds == {"write", "read", "flush"}
+    # A read of an LPN is only legal once its first write has >= qd
+    # later submissions on the same queue pair (strict-FIFO guarantee).
+    pair_subs = [0, 0]
+    first_write_sub = {}
+    for kind, lpn, _ in ops:
+        if kind == "write" and lpn not in first_write_sub:
+            first_write_sub[lpn] = pair_subs[lpn % 2] + 1
+        if kind == "read":
+            assert pair_subs[lpn % 2] - first_write_sub[lpn] >= 4
+        pair_subs[lpn % 2] += 1
+
+
+# --- engine features the fuzzer leans on -----------------------------------
+
+
+def drive_stack(ios=60, qd=4):
+    profile = _fuzz_profile(profile_by_name("hynix"))
+    sim, controllers, ftl, engine, span = _build_stack(
+        profile, channels=2, luns=2, qd=qd, fidelity="tlm")
+    ops = _build_ops(np.random.default_rng(5), ios, span, 2, qd)
+    _drive(sim, engine, ops, profile.geometry.page_size)
+    return sim, controllers, ftl, engine, ops
+
+
+def test_engine_ack_ledger_records_writes_and_flushes_only():
+    sim, controllers, ftl, engine, ops = drive_stack()
+    assert engine.completed == len(ops)
+    by_kind = {"write": 0, "flush": 0}
+    for kind, _, _ in ops:
+        if kind in by_kind:
+            by_kind[kind] += 1
+    acks = [c.opcode for c in engine.acks]
+    assert HostOpcode.READ not in acks
+    assert len(acks) == by_kind["write"] + by_kind["flush"]
+    # finished_at stamps are monotone per queue pair (FIFO completion).
+    for channel in range(2):
+        times = [c.finished_at for c in engine.acks
+                 if c.lpn % 2 == channel and c.opcode is HostOpcode.WRITE]
+        assert times == sorted(times)
+
+
+def test_engine_slot_pool_is_returned_after_completion():
+    sim, controllers, ftl, engine, ops = drive_stack(qd=4)
+    for pair in engine.pairs:
+        # Every slot handed out during the run came back.
+        assert sorted(pair._slots) == list(range(4))
+
+
+def test_auto_dram_addresses_never_collide_in_flight():
+    # Two in-flight commands on the same pair must never share a DRAM
+    # staging region: addresses are slot-derived and slots are held
+    # from stage to completion.
+    sim, controllers, ftl, engine, ops = drive_stack(ios=120, qd=4)
+    stride = engine.dram_stride
+    for command in engine.acks:
+        assert command.dram_address % stride == 0
+        assert 0 <= command.slot < 4
+
+
+def test_flush_opcode_reaches_the_ftl_journal():
+    sim, controllers, ftl, engine, ops = drive_stack(ios=100)
+    # After a drained run with flushes in the stream, no shard's
+    # journal buffer holds a sync-flagged backlog.
+    for shard in ftl.shards:
+        assert not shard.persist._sync
+
+
+def test_payload_encodes_identity():
+    a = _payload(7, 3, 2048)
+    b = _payload(7, 4, 2048)
+    assert a.dtype == np.uint8 and len(a) == 2048
+    assert not np.array_equal(a, b)
+    assert int(a[0]) == 7 and int(a[2]) == 3

@@ -12,6 +12,7 @@ from repro.faults import (
     FaultCampaign,
     FaultInjector,
     FaultKind,
+    FaultPlanError,
     FaultSpec,
     RECOVERABLE_KINDS,
     default_campaign,
@@ -83,6 +84,58 @@ def test_spec_validation_rejects_nonsense():
 
 def test_die_hang_is_the_only_unrecoverable_kind():
     assert set(FaultKind) - RECOVERABLE_KINDS == {FaultKind.DIE_HANG}
+
+
+def test_campaign_load_raises_fault_plan_error_on_bad_json():
+    with pytest.raises(FaultPlanError, match="not valid JSON"):
+        FaultCampaign.from_json("{nope")
+    with pytest.raises(FaultPlanError, match="must be an object"):
+        FaultCampaign.from_json("[1, 2]")
+
+
+def test_campaign_load_names_the_missing_field():
+    with pytest.raises(FaultPlanError, match="'name'"):
+        FaultCampaign.from_dict({"seed": 3})
+    with pytest.raises(FaultPlanError, match="'seed'"):
+        FaultCampaign.from_dict({"name": "x"})
+    with pytest.raises(FaultPlanError, match="seed must be an integer"):
+        FaultCampaign.from_dict({"name": "x", "seed": "soon"})
+    with pytest.raises(FaultPlanError, match="'faults' must be a list"):
+        FaultCampaign.from_dict({"name": "x", "seed": 1, "faults": {}})
+
+
+def test_spec_load_rejects_unknown_and_missing_fields():
+    with pytest.raises(FaultPlanError, match="missing its 'kind'"):
+        FaultSpec.from_dict({"lun": 0})
+    with pytest.raises(FaultPlanError, match="unknown fault spec field"):
+        FaultSpec.from_dict({"kind": "program_fail", "blast_radius": 9})
+    with pytest.raises(FaultPlanError, match="must be an object"):
+        FaultSpec.from_dict(["power_cut"])
+    with pytest.raises(FaultPlanError, match="unknown fault kind"):
+        FaultSpec.from_dict({"kind": "emp_burst"})
+
+
+def test_power_cut_spec_rejects_block_target():
+    with pytest.raises(FaultPlanError, match="whole array"):
+        FaultSpec(kind=FaultKind.POWER_CUT, block=3)
+    # A LUN-less, block-less power cut is a valid spec and round-trips.
+    spec = FaultSpec(kind=FaultKind.POWER_CUT, count=1)
+    assert FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+
+def test_default_campaign_includes_power_cut():
+    campaign = default_campaign(seed=5)
+    assert FaultKind.POWER_CUT in campaign.kinds()
+
+
+def test_campaign_file_roundtrip_and_load_errors(tmp_path):
+    path = tmp_path / "campaign.json"
+    campaign = default_campaign(seed=9)
+    campaign.dump(str(path))
+    assert FaultCampaign.load(str(path)).to_dict() == campaign.to_dict()
+    path.write_text('{"name": "broken", "seed": 1, "faults": [{"lun": 0}]}')
+    with pytest.raises(FaultPlanError, match="missing its 'kind'"):
+        FaultCampaign.load(str(path))
 
 
 # --- injector hooks ---------------------------------------------------------

@@ -389,6 +389,28 @@ def test_cli_bench_smoke_writes_json(tmp_path, capsys):
     assert set(payload["fig11"]) == {"rtos", "coroutine"}
     assert payload["fig11"]["coroutine"]["polls"] >= 1
     assert payload["wall_s"] >= 0
+    # The power-loss recovery cell: SPOR counters scraped through the
+    # obs registry after a deterministic crash + remount.
+    spor = payload["spor"]
+    assert spor["unsafe_shutdowns"] >= 1
+    assert spor["journal_replay_entries"] >= 0
+    assert spor["torn_pages_discarded"] >= 0
+    assert spor["mount_ns"] > 0
+
+
+def test_register_spor_metrics_pulls_live_report():
+    from repro.ftl.spor import MountReport
+    from repro.obs import MetricsRegistry, register_spor_metrics
+
+    report = MountReport(unsafe_shutdowns=1, torn_pages_discarded=3,
+                         journal_replay_entries=17, mount_ns=42_000)
+    registry = register_spor_metrics(MetricsRegistry(), report)
+    snap = registry.snapshot()["collected"]["spor"]
+    assert snap == {"unsafe_shutdowns": 1, "torn_pages_discarded": 3,
+                    "journal_replay_entries": 17, "mount_ns": 42_000}
+    # Pull collector: the next snapshot sees report mutations.
+    report.unsafe_shutdowns += 1
+    assert registry.snapshot()["collected"]["spor"]["unsafe_shutdowns"] == 2
 
 
 def test_cli_fig11_trace_flag(tmp_path):

@@ -1,0 +1,138 @@
+"""Tests for power-cut injection: the blackout event, the array freeze,
+in-flight tearing, and the media snapshot/restore transplant."""
+
+import numpy as np
+import pytest
+
+from repro.core import BabolController, ControllerConfig
+from repro.flash.errors import ErrorModelConfig
+from repro.flash.oob import decode_oob
+from repro.faults.power import (
+    PowerCut,
+    PowerLossError,
+    apply_power_cut,
+    crash_state,
+    restore_media,
+    snapshot_media,
+    unsafe_shutdown_ns,
+)
+from repro.onfi.geometry import PhysicalAddress
+from repro.sim import Simulator
+
+from tests.helpers import TEST_PROFILE
+
+FULL_PAGE = TEST_PROFILE.geometry.full_page_size
+
+
+def make_controller(seed=11):
+    sim = Simulator()
+    controller = BabolController(
+        sim,
+        ControllerConfig(vendor=TEST_PROFILE, lun_count=2, runtime="rtos",
+                         track_data=True, seed=seed),
+    )
+    for lun in controller.luns:
+        lun.array.error_model.config = ErrorModelConfig.noiseless()
+    return sim, controller
+
+
+def start_program(controller, lun, block, page, fill=0x5C):
+    data = np.full(FULL_PAGE, fill, dtype=np.uint8)
+    controller.dram.write(0, data)
+    return controller.program_page(lun, block, page, 0)
+
+
+def test_cut_must_be_armed_in_the_future():
+    sim, controller = make_controller()
+    with pytest.raises(ValueError):
+        PowerCut(sim, sim.now)
+
+
+def test_blackout_halts_the_run_and_tears_inflight_program():
+    sim, controller = make_controller()
+    cut_ns = sim.now + TEST_PROFILE.timing.t_prog_ns // 2
+    cut = PowerCut(sim, cut_ns).arm([controller])
+    task = start_program(controller, 0, 1, 0)
+    with pytest.raises(PowerLossError):
+        controller.run_to_completion(task)
+    assert cut.fired
+    assert sim.now == cut_ns  # nothing past the cut executed
+    tallies = apply_power_cut([controller], cut_ns)
+    assert tallies["torn_inflight"] == 1
+    block = controller.luns[0].array.block(1)
+    assert 0 in block.torn
+    # The torn page occupies cells but never decodes as committed.
+    assert decode_oob(controller.luns[0].array.read_oob(1, 0)) is None
+
+
+def test_cancel_disarms_freeze_and_event():
+    sim, controller = make_controller()
+    cut = PowerCut(sim, sim.now + 10 * TEST_PROFILE.timing.t_prog_ns)
+    cut.arm([controller])
+    assert unsafe_shutdown_ns([controller]) is not None
+    cut.cancel()
+    assert unsafe_shutdown_ns([controller]) is None
+    ok = controller.run_to_completion(start_program(controller, 0, 1, 0))
+    assert ok is True  # the disarmed cut never fires
+    assert not cut.fired
+
+
+def test_program_completing_before_cut_commits_cleanly():
+    sim, controller = make_controller()
+    ok = controller.run_to_completion(start_program(controller, 0, 1, 0))
+    assert ok is True
+    cut_ns = sim.now + TEST_PROFILE.timing.t_prog_ns // 2
+    PowerCut(sim, cut_ns).arm([controller])
+    with pytest.raises(PowerLossError):
+        controller.run_to_completion(start_program(controller, 0, 1, 1))
+    apply_power_cut([controller], cut_ns)
+    block = controller.luns[0].array.block(1)
+    assert 0 in block.programmed and 0 not in block.torn
+    assert 1 in block.torn
+    state = crash_state([controller])
+    assert state["torn_pages"] == 1
+
+
+def test_interrupted_erase_is_recorded():
+    sim, controller = make_controller()
+    # Program the block so the erase has visible work to interrupt.
+    controller.run_to_completion(start_program(controller, 0, 2, 0))
+    cut_ns = sim.now + TEST_PROFILE.timing.t_bers_ns // 2
+    PowerCut(sim, cut_ns).arm([controller])
+    with pytest.raises(PowerLossError):
+        controller.run_to_completion(controller.erase_block(0, 2))
+    tallies = apply_power_cut([controller], cut_ns)
+    assert tallies["erases_interrupted"] == 1
+    assert controller.luns[0].array.block(2).erase_interrupted
+    assert crash_state([controller])["interrupted_blocks"] == 1
+
+
+def test_snapshot_restore_transplants_media():
+    sim, controller = make_controller()
+    data = np.full(FULL_PAGE, 0x3C, dtype=np.uint8)
+    controller.dram.write(0, data)
+    controller.run_to_completion(controller.program_page(0, 4, 3, 0))
+    images = snapshot_media([controller])
+
+    sim2, controller2 = make_controller(seed=99)
+    restore_media([controller2], images)
+    block = controller2.luns[0].array.block(4)
+    assert 3 in block.programmed
+    page = controller2.luns[0].array.pristine_page(
+        PhysicalAddress(block=4, page=3)
+    )
+    np.testing.assert_array_equal(page[:FULL_PAGE], data)
+
+
+def test_restore_rejects_mismatched_stacks():
+    sim, controller = make_controller()
+    images = snapshot_media([controller])
+    with pytest.raises(ValueError):
+        restore_media([controller, controller], images)
+    sim3 = Simulator()
+    small = BabolController(
+        sim3, ControllerConfig(vendor=TEST_PROFILE, lun_count=1,
+                               runtime="rtos", track_data=True, seed=1),
+    )
+    with pytest.raises(ValueError):
+        restore_media([small], images)
