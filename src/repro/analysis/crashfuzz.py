@@ -2,7 +2,7 @@
 
 One fuzz *seed* is an oracle plus a family of crashes:
 
-1. **Oracle run** — a seeded read/write/flush mix drives the
+1. **Oracle run** — a seeded read/write/trim/flush mix drives the
    queue-depth host engine (:class:`~repro.host.engine.ScaleEngine`,
    ``record_acks=True``) over a persistence-enabled
    :class:`~repro.ftl.ftl.ShardedFtl` to completion.  Its ack ledger
@@ -19,9 +19,15 @@ One fuzz *seed* is an oracle plus a family of crashes:
      simulator is deterministic — a mismatch is a harness/kernel bug,
      not a durability bug, and exits ``EXIT_INTERNAL``);
    * no mapped LPN points at a torn page;
-   * every host-acked write reads back with its acked contents (or a
-     newer version the host had already submitted — roll-forward is
-     allowed, rollback is not);
+   * every host-acked write with no later trim reads back with its
+     acked contents (or a newer version the host had already submitted
+     — roll-forward is allowed, rollback is not);
+   * a trim follows NVMe-deallocate semantics: until its tombstone is
+     durable (journal flush or checkpoint) the LPN's contents are
+     indeterminate, but once a trim is durably the LPN's *latest*
+     recorded state it never resurrects — after remount the LPN is
+     unmapped or holds a write submitted after a trim, never an older
+     version;
    * the rebuilt wear counters equal the durable projection
      (:meth:`~repro.ftl.persist.PersistenceLayer.durable_wear`) of the
      crashed stack;
@@ -115,40 +121,52 @@ def _controllers(sim: Simulator, profile: VendorProfile, channels: int,
 
 def _build_ops(rng: np.random.Generator, ios: int, span: int,
                channels: int, qd: int) -> list[tuple[str, int, int]]:
-    """The seeded command stream: ~70% writes, ~25% reads, ~5% flushes.
+    """The seeded command stream: ~65% writes, ~25% reads, ~5% trims,
+    ~5% flushes.
 
-    Reads only target LPNs whose first write is provably complete:
-    with at least ``qd`` later submissions on the same channel queue
-    pair, backpressure guarantees the write left the queue before the
-    read was staged (the span is prefilled, so any read is mapped — the
-    guard just keeps read-after-write ordering trivially true).
+    Reads and trims only target LPNs whose last touch is provably
+    complete: with at least ``qd`` later submissions on the same
+    channel queue pair, backpressure guarantees the earlier command
+    left the queue before this one was staged (the span is prefilled,
+    so any read is mapped — the guard keeps per-LPN ordering trivially
+    true, which is what lets the verifier reason about "the last acked
+    operation" per LPN).  Trims share the per-LPN version counter so
+    the verifier can totally order writes and trims on one LPN.
     """
     ops: list[tuple[str, int, int]] = []
     versions: dict[int, int] = {}
     # Per-pair submission counters mirror the submitter's strict FIFO.
     pair_subs = [0] * channels
-    write_sub: dict[int, int] = {}
+    touch_sub: dict[int, int] = {}  # last write/read/trim on this LPN
     readable: list[int] = []
     for _ in range(ios):
         roll = rng.random()
         settled = [
             lpn for lpn in readable
-            if pair_subs[lpn % channels] - write_sub[lpn] >= qd
+            if pair_subs[lpn % channels] - touch_sub[lpn] >= qd
         ]
         if roll < 0.05 and versions:
             lpn = int(rng.choice(sorted(versions)))
             ops.append(("flush", lpn, 0))
-        elif roll < 0.30 and settled:
+        elif roll < 0.10 and settled:
+            lpn = settled[int(rng.integers(0, len(settled)))]
+            version = versions[lpn] + 1
+            versions[lpn] = version
+            readable.remove(lpn)  # unmapped until rewritten
+            ops.append(("trim", lpn, version))
+            touch_sub[lpn] = pair_subs[lpn % channels] + 1
+        elif roll < 0.35 and settled:
             lpn = settled[int(rng.integers(0, len(settled)))]
             ops.append(("read", lpn, 0))
+            touch_sub[lpn] = pair_subs[lpn % channels] + 1
         else:
             lpn = int(rng.integers(0, span))
             version = versions.get(lpn, 0) + 1
             versions[lpn] = version
-            if version == 1:
+            if lpn not in readable:
                 readable.append(lpn)
             ops.append(("write", lpn, version))
-            write_sub[lpn] = pair_subs[lpn % channels] + 1
+            touch_sub[lpn] = pair_subs[lpn % channels] + 1
         pair_subs[lpn % channels] += 1
     return ops
 
@@ -175,6 +193,9 @@ def _drive(sim: Simulator, engine: ScaleEngine,
                 elif kind == "read":
                     engine.submit(ScaleCommand(
                         opcode=HostOpcode.READ, lpn=lpn))
+                elif kind == "trim":
+                    engine.submit(ScaleCommand(
+                        opcode=HostOpcode.TRIM, lpn=lpn, tag=version))
                 else:
                     engine.submit(ScaleCommand(
                         opcode=HostOpcode.FLUSH, lpn=lpn))
@@ -206,8 +227,8 @@ def _ledger(commands) -> list[tuple[str, int, int]]:
 
 
 def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
-                  crash_ns: int, max_version: dict, profile, channels: int,
-                  luns: int, fidelity: str) -> dict:
+                  crash_ns: int, write_versions: dict, trims: dict,
+                  profile, channels: int, luns: int, fidelity: str) -> dict:
     """Crash is final: transplant media, remount, check the contract."""
     point: dict = {"cut_ns": crash_ns, "acked": len(engine.acks)}
     violations: list[str] = []
@@ -234,6 +255,13 @@ def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
         shard_index: shard.persist.durable_retirements()
         for shard_index, shard in enumerate(crashed_ftl.shards)
     }
+    # LPNs whose durably-recorded latest state at the cut is a trim
+    # tombstone — the only trims the contract holds binding.
+    durable_trimmed: set[int] = set()
+    for shard_index, shard in enumerate(crashed_ftl.shards):
+        for local in shard.persist.durable_trims():
+            durable_trimmed.add(
+                crashed_ftl.router.global_lpn(shard_index, local))
 
     sim2 = Simulator()
     controllers2 = _controllers(sim2, profile, channels, luns, fidelity)
@@ -257,15 +285,58 @@ def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
                     f"(lun {entry.lun} block {entry.block} page {entry.page})"
                 )
 
-    # 2. Every acked write reads back as its acked version or newer.
+    # 2. Per LPN, the last acked state-changing op (writes and trims
+    #    share one per-LPN version counter, and the stream's settled
+    #    guard keeps per-LPN completion order = submission order) must
+    #    hold after remount:
+    #      * no trim at or after the last acked write → the LPN reads
+    #        back as that version or a newer *submitted* write
+    #        (roll-forward is allowed, rollback is not) and may not be
+    #        unmapped;
+    #      * a trim was submitted at or after the last acked write →
+    #        NVMe-deallocate semantics: contents are indeterminate
+    #        until the tombstone reaches media, but once the durable
+    #        projection says the LPN's latest recorded state is a trim,
+    #        only unmapped or a post-trim write is legal — a pre-trim
+    #        version resurrecting past a durable tombstone is the bug
+    #        class the checkpoint tombstones exist to prevent.
     page_size = profile.geometry.page_size
-    acked: dict[int, int] = {}
+    acked: dict[int, tuple[int, HostOpcode]] = {}
     for command in engine.acks:
-        if command.opcode is HostOpcode.WRITE:
-            acked[command.lpn] = max(acked.get(command.lpn, 0), command.tag)
+        if command.opcode in (HostOpcode.WRITE, HostOpcode.TRIM):
+            prev = acked.get(command.lpn)
+            if prev is None or command.tag > prev[0]:
+                acked[command.lpn] = (command.tag, command.opcode)
     for lpn in sorted(acked):
+        version, opcode = acked[lpn]
+        trim_lo, trim_hi = trims.get(lpn, (0, 0))
+        trimmed = opcode is HostOpcode.TRIM or trim_hi > version
         if not ftl2.is_mapped(lpn):
-            violations.append(f"acked LPN {lpn} unmapped after remount")
+            if not trimmed:
+                violations.append(f"acked LPN {lpn} unmapped after remount")
+            continue
+        if trimmed:
+            if lpn not in durable_trimmed:
+                # The tombstone never reached media before the cut:
+                # the deallocate is still advisory at this crash point.
+                continue
+            candidates = [
+                v for v in write_versions.get(lpn, ()) if v > trim_lo
+            ]
+            label = (
+                f"durably-trimmed LPN {lpn} resurrected after remount "
+                f"(pre-trim data despite a durable tombstone)"
+            )
+        else:
+            candidates = [
+                v for v in write_versions.get(lpn, ()) if v >= version
+            ]
+            label = (
+                f"acked LPN {lpn} content mismatch after remount "
+                f"(last acked write version {version})"
+            )
+        if not candidates:
+            violations.append(label)
             continue
 
         def check(lpn=lpn) -> Generator:
@@ -276,13 +347,10 @@ def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
         got_bytes = controllers2[channel].dram.read(0, page_size)
         ok = any(
             np.array_equal(got_bytes, _payload(lpn, v, page_size))
-            for v in range(acked[lpn], max_version.get(lpn, acked[lpn]) + 1)
+            for v in candidates
         )
         if not ok:
-            violations.append(
-                f"acked LPN {lpn} content mismatch after remount "
-                f"(acked version {acked[lpn]})"
-            )
+            violations.append(label)
 
     # 3. Rebuilt wear counters equal the durable projection.
     for index, shard in enumerate(ftl2.shards):
@@ -338,10 +406,14 @@ def run_crashfuzz(
         _drive(sim, engine, ops, page_size)
         elapsed = sim.now - start_ns
         oracle_acks = list(engine.acks)
-        max_version: dict[int, int] = {}
+        write_versions: dict[int, list[int]] = {}
+        trims: dict[int, tuple[int, int]] = {}  # lpn -> (first, last)
         for kind, lpn, version in ops:
             if kind == "write":
-                max_version[lpn] = version
+                write_versions.setdefault(lpn, []).append(version)
+            elif kind == "trim":
+                first, _ = trims.get(lpn, (version, version))
+                trims[lpn] = (first, version)
 
         entry: dict = {
             "seed": seed,
@@ -373,7 +445,7 @@ def run_crashfuzz(
             crash_ns = cut_ns if fired else sim_c.now + 1
             point = _verify_point(
                 controllers_c, ftl_c, engine_c, oracle_acks, crash_ns,
-                max_version, profile, channels, luns, fidelity,
+                write_versions, trims, profile, channels, luns, fidelity,
             )
             point["fired"] = fired
             total_violations += len(point["violations"])

@@ -60,13 +60,13 @@ _MIN_CORRUPT_BYTES = 16
 
 
 class _Armed:
-    __slots__ = ("spec", "remaining", "fired", "scheduled")
+    __slots__ = ("spec", "remaining", "fired", "event")
 
     def __init__(self, spec: FaultSpec):
         self.spec = spec
         self.remaining = spec.count  # None = unlimited
         self.fired = 0
-        self.scheduled = False  # power_cut: kernel event already armed
+        self.event = None  # power_cut: the armed kernel blackout event
 
 
 class FaultInjector:
@@ -115,14 +115,13 @@ class FaultInjector:
                 continue  # opportunistic trigger: handled in on_busy
             for lun in controller.luns:
                 lun.array.set_power_fail(spec.after_ns)
-            if not armed.scheduled and controller.luns:
+            if armed.event is None and controller.luns:
                 sim = controller.luns[0].sim
                 if spec.after_ns > sim.now:
-                    sim.schedule(
+                    armed.event = sim.schedule(
                         spec.after_ns - sim.now,
                         lambda a=armed, ns=spec.after_ns: self._blackout(a, ns),
                     )
-                    armed.scheduled = True
 
     @staticmethod
     def _is_timed_cut(spec: FaultSpec) -> bool:
@@ -145,6 +144,13 @@ class FaultInjector:
             channel._fault_hook = None
         self._luns.clear()
         self._channels.clear()
+        # Cancel any blackout event still pending in the kernel — an
+        # orphaned one would raise PowerLossError into whatever runs on
+        # this simulator after the injector is gone.
+        for armed in self._armed:
+            if armed.event is not None:
+                armed.event.cancel()
+                armed.event = None
 
     # -- reporting ------------------------------------------------------
 

@@ -225,6 +225,12 @@ class PersistenceLayer:
             yield from self._write_checkpoint_pages()
         finally:
             self._busy = False
+        # Records noted by concurrent workers *during* the checkpoint's
+        # chunk programs (their maybe_flush saw _busy and bailed) stay
+        # in the buffer; if one of them demanded a sync flush — a GC
+        # erase, a retirement — honour it now rather than at the next
+        # host write.
+        yield from self.maybe_flush()
 
     def _take_chunk(self) -> list[list]:
         """Pop a prefix of the buffer that serializes within one page."""
@@ -278,6 +284,10 @@ class PersistenceLayer:
 
     def _write_checkpoint_pages(self) -> Generator:
         new_id = self.checkpoint_id + 1
+        # The state below absorbs exactly the records buffered *now*;
+        # anything appended while the chunk programs yield is not in it
+        # and must survive the commit for the next journal flush.
+        absorbed = len(self._buffer)
         state = self._serialize(new_id)
         chunks = self._chunk_payload(
             json.dumps(state, separators=(",", ":"), sort_keys=True).encode()
@@ -299,14 +309,21 @@ class PersistenceLayer:
                 # journal) stays authoritative.
                 self.meta_program_failures += 1
                 return
-        self._commit_checkpoint(new_id, state)
+        self._commit_checkpoint(new_id, state, absorbed)
 
-    def _commit_checkpoint(self, new_id: int, state: dict) -> None:
+    def _commit_checkpoint(self, new_id: int, state: dict,
+                           absorbed: int) -> None:
         self.checkpoint_id = new_id
         self.checkpoint_state = state
         self.durable_journal = []
-        self._buffer.clear()
-        self._sync = False
+        # Only the records the serialized state absorbed are disposable;
+        # records appended by concurrent workers during the chunk
+        # programs (binds, trims, GC erases) are *not* in the state and
+        # stay buffered for the next flush under the new epoch.
+        del self._buffer[:absorbed]
+        self._sync = any(
+            rec[0] in (REC_ERASE, REC_RETIRE) for rec in self._buffer
+        )
         self._writes_since_ckpt = 0
         self.checkpoints_written += 1
 
@@ -340,6 +357,7 @@ class PersistenceLayer:
         experiment prefill and the tail of the SPOR mount.
         """
         new_id = self.checkpoint_id + 1
+        absorbed = len(self._buffer)  # no yields below: this is all of it
         state = self._serialize(new_id)
         chunks = self._chunk_payload(
             json.dumps(state, separators=(",", ":"), sort_keys=True).encode()
@@ -375,7 +393,7 @@ class PersistenceLayer:
                 raise self._FtlError(
                     "meta block wore out during offline checkpoint"
                 )
-        self._commit_checkpoint(new_id, state)
+        self._commit_checkpoint(new_id, state, absorbed)
 
     # ------------------------------------------------------------------
     # Serialization
@@ -384,13 +402,24 @@ class PersistenceLayer:
     def _serialize(self, new_id: int) -> dict:
         ftl = self.ftl
         entry_seq = ftl._entry_seq
+        mapped = ftl.map._forward
         return {
             "ckpt": new_id,
             "write_seq": self.write_seq,
             "rotor": ftl._write_rotor,
             "map": [
                 [lpn, e.lun, e.block, e.page, entry_seq.get(lpn, 0)]
-                for lpn, e in sorted(ftl.map._forward.items())
+                for lpn, e in sorted(mapped.items())
+            ],
+            # Trim tombstones: an LPN with a sequence number but no
+            # mapping was trimmed.  Without these the checkpoint would
+            # absorb (and clear) the REC_TRIM journal record while
+            # leaving no durable floor, and the mount's OOB scan could
+            # resurrect the pre-trim version from uncollected pages.
+            "trim": [
+                [lpn, seq]
+                for lpn, seq in sorted(entry_seq.items())
+                if lpn not in mapped
             ],
             "wear": [
                 [lun, block, count]
@@ -416,6 +445,30 @@ class PersistenceLayer:
             elif rec[0] == REC_RETIRE:
                 counts.pop((rec[1], rec[2]), None)
         return counts
+
+    def durable_trims(self) -> set:
+        """LPNs whose durably-recorded *latest* state is a trim.
+
+        Replays the checkpoint and the durable journal in order and
+        keeps the LPNs whose last record is a tombstone with no later
+        durable bind.  A write acked after the trim may still be
+        durable via its OOB record alone (the mount's roll-forward
+        handles that); what this projection promises is only that the
+        trim itself reached media, so the mount can never resurrect a
+        *pre*-trim version of these LPNs.
+        """
+        latest_is_trim: dict[int, bool] = {}
+        if self.checkpoint_state is not None:
+            for lpn, *_ in self.checkpoint_state["map"]:
+                latest_is_trim[lpn] = False
+            for lpn, _seq in self.checkpoint_state.get("trim", ()):
+                latest_is_trim[lpn] = True
+        for rec in self.durable_journal:
+            if rec[0] == REC_BIND:
+                latest_is_trim[rec[1]] = False
+            elif rec[0] == REC_TRIM:
+                latest_is_trim[rec[1]] = True
+        return {lpn for lpn, trimmed in latest_is_trim.items() if trimmed}
 
     def durable_retirements(self) -> dict:
         """Non-factory retirements provable from media, keyed by block."""

@@ -184,6 +184,12 @@ def _rebuild_shard(sim, shard: PageMappedFtl, report: MountReport) -> None:
         for lpn, lun, blk, page, seq in state["map"]:
             current[lpn] = (seq, MapEntry(lun=lun, block=blk, page=page))
             write_seq = max(write_seq, seq)
+        # Checkpointed trim tombstones: the durable floor below which
+        # the OOB scan must never resurrect an older version.  (``get``
+        # tolerates pre-tombstone checkpoints already on media.)
+        for lpn, seq in state.get("trim", []):
+            floor[lpn] = seq
+            write_seq = max(write_seq, seq)
         wear = {(lun, blk): count for lun, blk, count in state["wear"]}
         bad_records = [dict(rec) for rec in state["bad"]]
         write_seq = max(write_seq, state["write_seq"])

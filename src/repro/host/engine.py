@@ -442,6 +442,19 @@ def run_scale_workload(
 
     start = sim.now
 
+    # DRAM buffers come from the pair's slot pool (a slot is held from
+    # stage to completion), never from a ``submitted % depth`` sequence:
+    # even single-opcode jobs complete out of order when some commands
+    # stall on GC or checkpoint work, and a modulo slot could be reused
+    # while the earlier command holding it is still in flight.  Engines
+    # already configured with ``auto_dram`` keep their own addressing.
+    restore = None
+    if not engine.auto_dram:
+        restore = (engine.dram_base, engine.dram_stride)
+        engine.auto_dram = True
+        engine.dram_base = job.dram_base
+        engine.dram_stride = job.dram_stride
+
     def submitter() -> Generator:
         queue = deque(int(lpn) for lpn in lpns)
         while queue:
@@ -450,14 +463,9 @@ def run_scale_workload(
                 pair = engine.pair_for(queue[0])
                 if pair.free_slots <= 0:
                     break
-                # Single-opcode jobs complete near-FIFO, so sequence
-                # slots suffice; engines with ``auto_dram`` override
-                # the address from the pool for mixed workloads.
-                slot = pair.submitted % pair.depth
                 engine.submit(ScaleCommand(
                     opcode=job.opcode,
                     lpn=queue.popleft(),
-                    dram_address=job.dram_base + slot * job.dram_stride,
                 ))
             if not queue:
                 break
@@ -468,7 +476,12 @@ def run_scale_workload(
             yield from engine.completion_pulse.wait()
         yield from engine.drain()
 
-    sim.run_process(submitter(), name="scale-submitter")
+    try:
+        sim.run_process(submitter(), name="scale-submitter")
+    finally:
+        if restore is not None:
+            engine.auto_dram = False
+            engine.dram_base, engine.dram_stride = restore
 
     completions = [c for pair in engine.pairs for c in pair.completions]
     latencies = sorted(c.latency_ns for c in completions)

@@ -63,21 +63,36 @@ def test_rejects_nonsense_parameters():
         run_crashfuzz(ios=-1)
 
 
-def test_build_ops_reads_only_settled_writes():
+def test_build_ops_reads_and_trims_only_settled_lpns():
     rng = np.random.default_rng(42)
     ops = _build_ops(rng, 300, span=64, channels=2, qd=4)
     assert len(ops) == 300
     kinds = {kind for kind, _, _ in ops}
-    assert kinds == {"write", "read", "flush"}
-    # A read of an LPN is only legal once its first write has >= qd
-    # later submissions on the same queue pair (strict-FIFO guarantee).
+    assert kinds == {"write", "read", "trim", "flush"}
+    # A read or trim of an LPN is only legal once its previous touch
+    # has >= qd later submissions on the same queue pair (strict-FIFO
+    # guarantee keeps per-LPN completion order = submission order),
+    # and a read never targets a trimmed-and-not-rewritten LPN.
     pair_subs = [0, 0]
-    first_write_sub = {}
-    for kind, lpn, _ in ops:
-        if kind == "write" and lpn not in first_write_sub:
-            first_write_sub[lpn] = pair_subs[lpn % 2] + 1
+    touch_sub = {}
+    live = set()
+    versions = {}
+    for kind, lpn, version in ops:
+        if kind in ("read", "trim"):
+            assert pair_subs[lpn % 2] - touch_sub[lpn] >= 4
         if kind == "read":
-            assert pair_subs[lpn % 2] - first_write_sub[lpn] >= 4
+            assert lpn in live
+        elif kind == "write":
+            live.add(lpn)
+        elif kind == "trim":
+            live.discard(lpn)
+        if kind in ("write", "trim"):
+            # Writes and trims share one strictly increasing per-LPN
+            # version counter (what lets the verifier order them).
+            assert version == versions.get(lpn, 0) + 1
+            versions[lpn] = version
+        if kind != "flush":
+            touch_sub[lpn] = pair_subs[lpn % 2] + 1
         pair_subs[lpn % 2] += 1
 
 
@@ -93,16 +108,16 @@ def drive_stack(ios=60, qd=4):
     return sim, controllers, ftl, engine, ops
 
 
-def test_engine_ack_ledger_records_writes_and_flushes_only():
+def test_engine_ack_ledger_records_state_changing_ops_only():
     sim, controllers, ftl, engine, ops = drive_stack()
     assert engine.completed == len(ops)
-    by_kind = {"write": 0, "flush": 0}
+    by_kind = {"write": 0, "trim": 0, "flush": 0}
     for kind, _, _ in ops:
         if kind in by_kind:
             by_kind[kind] += 1
     acks = [c.opcode for c in engine.acks]
     assert HostOpcode.READ not in acks
-    assert len(acks) == by_kind["write"] + by_kind["flush"]
+    assert len(acks) == by_kind["write"] + by_kind["trim"] + by_kind["flush"]
     # finished_at stamps are monotone per queue pair (FIFO completion).
     for channel in range(2):
         times = [c.finished_at for c in engine.acks

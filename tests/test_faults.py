@@ -14,6 +14,7 @@ from repro.faults import (
     FaultKind,
     FaultPlanError,
     FaultSpec,
+    PowerLossError,
     RECOVERABLE_KINDS,
     default_campaign,
 )
@@ -235,6 +236,30 @@ def test_detach_restores_nullable_hooks():
     assert controller.channel._fault_hook is None
     ok, _ = program(controller, 0, 1, 0)
     assert ok is True            # unlimited fault armed, but detached
+    assert injector.records == []
+
+
+def test_detach_cancels_pending_timed_power_cut():
+    cut_ns = TEST_PROFILE.timing.t_prog_ns // 2
+
+    # Control: an attached timed cut kills the program mid-flight.
+    sim, controller = make_controller()
+    injector = FaultInjector(campaign_of(
+        FaultSpec(kind=FaultKind.POWER_CUT, count=1, after_ns=cut_ns)))
+    injector.attach(controller)
+    with pytest.raises(PowerLossError):
+        program(controller, 0, 1, 0)
+
+    # Detached before the cut nanosecond: the kernel blackout event
+    # armed at attach must be cancelled, not left to raise
+    # PowerLossError into whatever runs on this simulator afterwards.
+    sim, controller = make_controller()
+    injector = FaultInjector(campaign_of(
+        FaultSpec(kind=FaultKind.POWER_CUT, count=1, after_ns=cut_ns)))
+    injector.attach(controller)
+    injector.detach()
+    ok, _ = program(controller, 0, 1, 0)
+    assert ok is True
     assert injector.records == []
 
 

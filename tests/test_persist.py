@@ -183,6 +183,95 @@ def test_big_journal_buffer_splits_across_pages():
     assert persist._buffer == []
 
 
+def test_checkpoint_keeps_binds_noted_during_chunk_programs():
+    # A concurrent worker notes a bind while the checkpoint's chunk
+    # programs are mid-flight (its maybe_flush bails on _busy).  The
+    # serialized state was captured before the record existed, so the
+    # commit must keep it buffered for the next flush — not clear it.
+    sim, controller, ftl = make_persistent_ftl(journal_flush_records=100,
+                                               checkpoint_interval=1000)
+    persist = ftl.persist
+    for i in range(4):
+        host_write(sim, controller, ftl, lpn=i, fill=i)
+    late = [REC_BIND, 99, 0, 1, 3, 777]
+    sim.schedule(TEST_PROFILE.timing.t_prog_ns // 2,
+                 lambda: persist._buffer.append(list(late)))
+    sim.run_process(persist.checkpoint())
+    assert persist.checkpoints_written == 1
+    assert late in persist._buffer          # survived the commit
+    assert late not in persist.durable_journal
+    assert all(lpn != 99 for lpn, *_ in persist.checkpoint_state["map"])
+
+
+def test_checkpoint_flushes_erases_noted_during_chunk_programs():
+    # Same window, but the late record is a GC erase (sync-flagged):
+    # after the checkpoint releases the layer it must flush promptly,
+    # so the erase is durable in the *new* epoch's journal rather than
+    # silently discarded.  A lost erase would let the committed map
+    # keep LPNs bound into a block that was erased and reused.
+    sim, controller, ftl = make_persistent_ftl(journal_flush_records=100,
+                                               checkpoint_interval=1000)
+    persist = ftl.persist
+    for i in range(4):
+        host_write(sim, controller, ftl, lpn=i, fill=i)
+    sim.schedule(TEST_PROFILE.timing.t_prog_ns // 2,
+                 lambda: persist.note_erase(1, 5))
+    sim.run_process(persist.checkpoint())
+    assert persist.checkpoints_written == 1
+    assert [REC_ERASE, 1, 5] in persist.durable_journal
+    assert persist._buffer == []
+    assert not persist._sync
+    # The checkpoint's wear table predates the erase; the durable
+    # projection (checkpoint + journal) still counts it.
+    assert (1, 5) not in {(l, b) for l, b, _ in
+                          persist.checkpoint_state["wear"]}
+    assert persist.durable_wear()[(1, 5)] == 1
+
+
+def test_checkpoint_serializes_trim_tombstones():
+    sim, controller, ftl = make_persistent_ftl(journal_flush_records=100,
+                                               checkpoint_interval=1000)
+    persist = ftl.persist
+    host_write(sim, controller, ftl, lpn=4, fill=9)
+    ftl.trim(4)
+    trim_seq = ftl._entry_seq[4]
+    sim.run_process(persist.checkpoint())
+    state = persist.checkpoint_state
+    assert [4, trim_seq] in state["trim"]
+    assert all(lpn != 4 for lpn, *_ in state["map"])
+    # The checkpoint absorbed the REC_TRIM journal record; the
+    # tombstone in the state is now the only durable floor.
+    assert persist.durable_journal == []
+
+
+def test_durable_trims_tracks_latest_recorded_state():
+    # The projection must replay checkpoint + journal *in order*: a
+    # trim superseded by a later durable bind is not durably-latest,
+    # and a buffered (unflushed) trim is not durable at all.
+    sim, controller, ftl = make_persistent_ftl(journal_flush_records=1,
+                                               checkpoint_interval=1000)
+    persist = ftl.persist
+    host_write(sim, controller, ftl, lpn=4, fill=9)
+    host_write(sim, controller, ftl, lpn=5, fill=9)
+    ftl.trim(4)
+    ftl.trim(5)
+    sim.run_process(persist.flush())
+    assert persist.durable_trims() == {4, 5}
+    # A later durable bind supersedes LPN 4's tombstone.
+    host_write(sim, controller, ftl, lpn=4, fill=10)
+    sim.run_process(persist.flush())
+    assert persist.durable_trims() == {5}
+    # A checkpoint absorbs the journal; the tombstone list carries it.
+    sim.run_process(persist.checkpoint())
+    assert persist.durable_journal == []
+    assert persist.durable_trims() == {5}
+    # A fresh trim sitting in the volatile buffer is not durable yet.
+    ftl.trim(4)
+    assert persist.durable_trims() == {5}
+    sim.run_process(persist.flush())
+    assert persist.durable_trims() == {4, 5}
+
+
 def test_meta_ring_rotation_survives_sustained_writes():
     # Enough traffic to wrap the two-block meta ring several times; the
     # ping-pong invariant (rotate -> fresh checkpoint first) must keep

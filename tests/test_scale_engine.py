@@ -221,6 +221,28 @@ def test_scaling_one_to_four_channels():
     assert results[4].throughput_mb_s >= 2 * results[1].throughput_mb_s
 
 
+def test_run_scale_workload_addresses_buffers_from_slot_pool():
+    # Buffers must come from the pair's held slot pool, not a
+    # ``submitted % depth`` sequence: even single-opcode jobs complete
+    # out of order when some commands stall on GC/checkpoint work, and
+    # a modulo slot can be rewritten while the earlier command holding
+    # it is still in flight.
+    sim, _, engine = make_array(channels=2, luns=2, prefill=64,
+                                queue_depth=8)
+    assert not engine.auto_dram
+    job = ScaleJob(io_count=48, pattern="random")
+    run_scale_workload(sim, engine, job)
+    for pair in engine.pairs:
+        for command in pair.completions:
+            assert 0 <= command.slot < pair.depth
+            assert command.dram_address == (
+                job.dram_base + command.slot * job.dram_stride
+            )
+    # The run-scoped auto_dram override is restored afterwards.
+    assert not engine.auto_dram
+    assert engine.dram_base == 0
+
+
 def test_engine_accepts_plain_page_mapped_ftl():
     sim = Simulator()
     controller = BabolController(

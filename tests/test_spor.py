@@ -199,6 +199,34 @@ def test_double_crash_recovers_from_remounted_state():
     assert_no_torn_served(ftl3)
 
 
+def test_trim_checkpoint_crash_does_not_resurrect():
+    # trim -> checkpoint -> crash -> mount: the checkpoint absorbs (and
+    # clears) the REC_TRIM journal record, so the tombstone serialized
+    # *in* the checkpoint is the only durable floor.  Without it the
+    # mount's OOB scan would resurrect the pre-trim version from the
+    # still-uncollected page.
+    sim, controller, ftl = make_stack()
+    acked = []
+    run_workload(sim, controller, ftl, write_plan(40), acked)
+    victim = acked[0][0]
+    assert ftl.is_mapped(victim)
+    ftl.trim(victim)
+    shard = ftl.shards[0]
+    sim.run_process(shard.persist.checkpoint())
+    assert shard.persist.durable_journal == []  # the trim was absorbed
+    assert any(lpn == victim
+               for lpn, _ in shard.persist.checkpoint_state["trim"])
+
+    cut_ns = sim.now + 1
+    apply_power_cut([controller], cut_ns)
+    sim2, controller2, ftl2, report = remount(controller)
+    assert not ftl2.is_mapped(victim), \
+        "trimmed LPN resurrected from uncollected pages after remount"
+    verify_acked(sim2, controller2, ftl2,
+                 [(lpn, ver) for lpn, ver in acked if lpn != victim])
+    assert_no_torn_served(ftl2)
+
+
 def test_interrupted_erase_is_reissued_before_reuse():
     sim, controller, ftl = make_stack()
     acked = []
