@@ -28,9 +28,12 @@ if __package__ in (None, ""):  # script mode: `python benchmarks/...`
     sys.path.insert(0, str(_root / "src"))
     sys.path.insert(0, str(_root))
 
+import dataclasses
+
 import pytest
 
-from repro.host import ScaleEngine, ScaleJob, build_scale_stack, run_scale_workload
+from repro.config import FtlSpec, StackSpec, build_stack
+from repro.host import ScaleEngine, ScaleJob, run_scale_workload
 from repro.host.hic import HostOpcode
 from repro.sim import Simulator
 
@@ -45,12 +48,16 @@ SPEEDUP_CHANNELS = 8
 SPEEDUP_DEPTH = 32
 SPEEDUP_IOS = 1920
 
+#: The sweep's stack template; per-cell channels/fidelity are swept via
+#: dataclasses.replace.
+BASE_STACK = StackSpec(luns_per_channel=4, ftl=FtlSpec())
+
 
 def run_cell(channels: int, depth: int, fidelity: str = "waveform",
              job: ScaleJob | None = None):
     sim = Simulator()
-    _, ftl = build_scale_stack(sim, channels=channels, luns_per_channel=4,
-                               vendor="hynix", fidelity=fidelity)
+    _, ftl = build_stack(sim, dataclasses.replace(
+        BASE_STACK, channels=channels, fidelity=fidelity))
     engine = ScaleEngine(sim, ftl, queue_depth=depth)
     return run_scale_workload(sim, engine, job or ScaleJob(io_count=IOS))
 
@@ -106,20 +113,20 @@ SPEEDUP_JOBS = (
 )
 
 
-def _timed_cell(fidelity: str, job: ScaleJob) -> tuple[float, object]:
+def _timed_cell(fidelity: str, job: ScaleJob,
+                stack: StackSpec | None = None) -> tuple[float, object]:
     """(workload wall seconds, ScaleRunResult) for one cell."""
     sim = Simulator()
-    _, ftl = build_scale_stack(
-        sim, channels=SPEEDUP_CHANNELS, luns_per_channel=4,
-        vendor="hynix", fidelity=fidelity,
-    )
+    _, ftl = build_stack(sim, dataclasses.replace(
+        stack or BASE_STACK, channels=SPEEDUP_CHANNELS, fidelity=fidelity))
     engine = ScaleEngine(sim, ftl, queue_depth=SPEEDUP_DEPTH)
     t0 = time.perf_counter()
     result = run_scale_workload(sim, engine, job)
     return time.perf_counter() - t0, result
 
 
-def run_fidelity_comparison(trials: int = 3, quiet: bool = False) -> dict:
+def run_fidelity_comparison(trials: int = 3, quiet: bool = False,
+                            stack: StackSpec | None = None) -> dict:
     """Best-of-``trials`` paired comparison at 8ch x QD32.
 
     Returns ``{job_name: {"waveform": ops/s, "tlm": ops/s,
@@ -131,7 +138,7 @@ def run_fidelity_comparison(trials: int = 3, quiet: bool = False) -> dict:
         results = {}
         for _ in range(max(trials, 1)):
             for fidelity in ("waveform", "tlm"):
-                wall, result = _timed_cell(fidelity, job)
+                wall, result = _timed_cell(fidelity, job, stack=stack)
                 best[fidelity] = min(best[fidelity], wall)
                 results[fidelity] = result
         ops = {fid: results[fid].commands / best[fid] for fid in best}
@@ -172,12 +179,33 @@ def _main(argv=None) -> int:
     )
     parser.add_argument("--trials", type=int, default=3,
                         help="paired rounds per cell; best is kept")
+    parser.add_argument("--spec", metavar="FILE", default=None,
+                        help="experiment spec whose stack section "
+                             "replaces the built-in stack template "
+                             "(channels/fidelity stay pinned to the "
+                             "comparison cell)")
+    parser.add_argument("--set", dest="overrides", action="append",
+                        default=[], metavar="KEY=VALUE",
+                        help="dotted spec override, e.g. "
+                             "--set stack.luns_per_channel=8")
     args = parser.parse_args(argv)
 
     if args.fidelity is None:
         parser.error("script mode needs --fidelity=waveform|tlm "
                      "(use pytest for the scaling sweep)")
-    report = run_fidelity_comparison(trials=args.trials)
+    stack = None
+    if args.spec or args.overrides:
+        from repro.config import ExperimentSpec, apply_overrides
+        from repro.config.io import load_spec_dict
+
+        document = load_spec_dict(args.spec) if args.spec else {}
+        apply_overrides(document, args.overrides)
+        spec = ExperimentSpec.from_dict(document)
+        stack = spec.stack
+        if stack.ftl is None:
+            stack = dataclasses.replace(stack, ftl=FtlSpec())
+        print(f"spec: {spec.name} spec_hash={spec.spec_hash()}")
+    report = run_fidelity_comparison(trials=args.trials, stack=stack)
     headline = report["seq-write"]["speedup"]
     print(f"\nheadline (seq-write) tlm speedup: {headline:.1f}x "
           f"{'(>= 10x: PASS)' if headline >= 10 else '(< 10x)'}")

@@ -82,17 +82,71 @@ _FUZZ_FTL = FtlConfig(
 )
 
 
+#: The shrunken fuzz array as spec data (mirrors :data:`CHAOS_GEOMETRY`
+#: in repro.faults.chaos — full code paths, tiny state).
+FUZZ_GEOMETRY = {
+    "page_size": 2048,
+    "spare_size": 64,
+    "pages_per_block": 16,
+    "blocks_per_plane": 16,
+    "planes": 2,
+}
+
+
 def _fuzz_profile(vendor: VendorProfile) -> VendorProfile:
-    geometry = dataclasses.replace(
-        vendor.geometry,
-        page_size=2048,
-        spare_size=64,
-        pages_per_block=16,
-        blocks_per_plane=16,
-        planes=2,
-    )
+    geometry = dataclasses.replace(vendor.geometry, **FUZZ_GEOMETRY)
     return dataclasses.replace(vendor, geometry=geometry,
                                factory_bad_rate=0.0)
+
+
+def crashfuzz_spec(seeds: int = 3, points: int = 50, channels: int = 2,
+                   luns: int = 2, qd: int = 8, ios: int = 400,
+                   fidelity: str = "tlm", vendor: str = "hynix",
+                   base_seed: int = 7):
+    """The :class:`~repro.config.specs.ExperimentSpec` describing one
+    fuzz campaign — the ``workload.mix = "crashfuzz"`` stream over a
+    persistence-enabled (checkpoint + journal) sharded FTL."""
+    from repro.config.specs import (
+        CampaignSpec,
+        ExperimentSpec,
+        FtlSpec,
+        GeometrySpec,
+        StackSpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="crashfuzz",
+        stack=StackSpec(
+            vendor=vendor,
+            channels=channels,
+            luns_per_channel=luns,
+            fidelity=fidelity,
+            track_data=True,
+            noiseless=True,
+            factory_bad_rate=0.0,
+            geometry=GeometrySpec(**FUZZ_GEOMETRY),
+            ftl=FtlSpec(
+                blocks_per_lun=_FUZZ_FTL.blocks_per_lun,
+                overprovision_blocks=_FUZZ_FTL.overprovision_blocks,
+                gc_free_threshold=_FUZZ_FTL.gc_free_threshold,
+                gc_staging_base=_FUZZ_FTL.gc_staging_base,
+                checkpoint_interval=_FUZZ_FTL.checkpoint_interval,
+                journal_flush_records=_FUZZ_FTL.journal_flush_records,
+                meta_blocks=_FUZZ_FTL.meta_blocks,
+            ),
+        ),
+        workload=WorkloadSpec(
+            mix="crashfuzz",
+            io_count=ios,
+            queue_depth=qd,
+            dram_stride=_DRAM_STRIDE,
+        ),
+        campaign=CampaignSpec(plan="crashfuzz", crash_seeds=seeds,
+                              crash_points=points, base_seed=base_seed),
+    )
+    spec.validate()
+    return spec
 
 
 def _payload(lpn: int, version: int, nbytes: int) -> np.ndarray:
@@ -209,12 +263,12 @@ def _drive(sim: Simulator, engine: ScaleEngine,
 
 
 def _build_stack(profile: VendorProfile, channels: int, luns: int,
-                 qd: int, fidelity: str):
+                 qd: int, fidelity: str, ftl_config: FtlConfig = _FUZZ_FTL):
     """One identical stack per run: half the LPN space prefilled, so
     every read in the stream targets a mapped page."""
     sim = Simulator()
     controllers = _controllers(sim, profile, channels, luns, fidelity)
-    ftl = ShardedFtl(sim, controllers, _FUZZ_FTL)
+    ftl = ShardedFtl(sim, controllers, ftl_config)
     span = max(1, ftl.logical_pages // 2)
     ftl.prefill(span)
     engine = ScaleEngine(sim, ftl, queue_depth=qd, record_acks=True,
@@ -228,7 +282,8 @@ def _ledger(commands) -> list[tuple[str, int, int]]:
 
 def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
                   crash_ns: int, write_versions: dict, trims: dict,
-                  profile, channels: int, luns: int, fidelity: str) -> dict:
+                  profile, channels: int, luns: int, fidelity: str,
+                  ftl_config: FtlConfig = _FUZZ_FTL) -> dict:
     """Crash is final: transplant media, remount, check the contract."""
     point: dict = {"cut_ns": crash_ns, "acked": len(engine.acks)}
     violations: list[str] = []
@@ -266,7 +321,7 @@ def _verify_point(controllers, crashed_ftl, engine, oracle_acks,
     sim2 = Simulator()
     controllers2 = _controllers(sim2, profile, channels, luns, fidelity)
     restore_media(controllers2, images)
-    ftl2, report = mount_sharded(sim2, controllers2, _FUZZ_FTL)
+    ftl2, report = mount_sharded(sim2, controllers2, ftl_config)
     point["mount"] = {
         "journal_replay_entries": report.journal_replay_entries,
         "mount_ns": report.mount_ns,
@@ -384,11 +439,44 @@ def run_crashfuzz(
     fidelity: str = "tlm",
     vendor: str = "hynix",
     base_seed: int = 7,
+    spec=None,
 ) -> dict:
-    """Run the fuzz campaign; returns the JSON-ready report dict."""
+    """Run the fuzz campaign; returns the JSON-ready report dict.
+
+    ``spec`` (an :class:`~repro.config.specs.ExperimentSpec` with
+    ``workload.mix == "crashfuzz"``) supersedes the individual kwargs;
+    without one, an equivalent spec is constructed when the kwargs are
+    spec-expressible, so the report embeds ``spec`` + ``spec_hash``.
+    """
+    if spec is not None:
+        from repro.config.build import stack_profile
+
+        spec.validate()
+        channels = spec.stack.channels
+        luns = spec.stack.luns_per_channel
+        fidelity = spec.stack.fidelity
+        vendor = spec.stack.vendor
+        qd = spec.workload.queue_depth
+        ios = spec.workload.io_count
+        if spec.campaign is not None:
+            seeds = spec.campaign.crash_seeds
+            points = spec.campaign.crash_points
+            base_seed = spec.campaign.base_seed
+        profile = stack_profile(spec.stack)
     if seeds <= 0 or points <= 0 or ios <= 0:
         raise ValueError("seeds, points and ios must be positive")
-    profile = _fuzz_profile(profile_by_name(vendor))
+    if spec is None:
+        profile = _fuzz_profile(profile_by_name(vendor))
+        try:
+            spec = crashfuzz_spec(seeds=seeds, points=points,
+                                  channels=channels, luns=luns, qd=qd,
+                                  ios=ios, fidelity=fidelity, vendor=vendor,
+                                  base_seed=base_seed)
+        except ValueError:
+            spec = None  # kwargs outside the spec's validity envelope
+    ftl_config = (spec.stack.ftl.to_ftl_config()
+                  if spec is not None and spec.stack.ftl is not None
+                  else _FUZZ_FTL)
     page_size = profile.geometry.page_size
 
     results: list[dict] = []
@@ -400,7 +488,7 @@ def run_crashfuzz(
 
         # -- oracle -----------------------------------------------------
         sim, controllers, ftl, engine, span = _build_stack(
-            profile, channels, luns, qd, fidelity)
+            profile, channels, luns, qd, fidelity, ftl_config)
         ops = _build_ops(rng, ios, span, channels, qd)
         start_ns = sim.now
         _drive(sim, engine, ops, page_size)
@@ -432,7 +520,7 @@ def run_crashfuzz(
         )
         for cut_ns in cuts:
             sim_c, controllers_c, ftl_c, engine_c, _ = _build_stack(
-                profile, channels, luns, qd, fidelity)
+                profile, channels, luns, qd, fidelity, ftl_config)
             cut = PowerCut(sim_c, cut_ns).arm(controllers_c)
             fired = True
             try:
@@ -446,6 +534,7 @@ def run_crashfuzz(
             point = _verify_point(
                 controllers_c, ftl_c, engine_c, oracle_acks, crash_ns,
                 write_versions, trims, profile, channels, luns, fidelity,
+                ftl_config,
             )
             point["fired"] = fired
             total_violations += len(point["violations"])
@@ -459,7 +548,7 @@ def run_crashfuzz(
     if total_internal:
         exit_code = EXIT_INTERNAL
     return {
-        "schema": 1,
+        "schema": 2,
         "base_seed": base_seed,
         "channels": channels,
         "exit_code": exit_code,
@@ -471,6 +560,8 @@ def run_crashfuzz(
         "queue_depth": qd,
         "results": results,
         "seeds": seeds,
+        "spec": spec.resolved() if spec is not None else None,
+        "spec_hash": spec.spec_hash() if spec is not None else None,
         "vendor": vendor,
         "violations": total_violations,
     }

@@ -80,6 +80,49 @@ def cell_key(channels: int, queue_depth: int) -> str:
     return f"c{channels}_qd{queue_depth}"
 
 
+def perf_spec(
+    channel_counts=(1, 2, 4),
+    queue_depths=(8, 32),
+    luns_per_channel: int = 4,
+    io_count: int = 192,
+    vendor: str = "hynix",
+    pattern: str = "sequential",
+    fidelity: str = "waveform",
+):
+    """The sweep's :class:`~repro.config.specs.ExperimentSpec` template.
+
+    Channels and queue depth are pinned at the sweep *maxima* — per-cell
+    values are sweep axes, not spec identity — so a ``--quick`` run and
+    the full sweep over the same axes hash identically and a baseline
+    check can insist on matching ``spec_hash``.
+    """
+    from repro.config.specs import (
+        ExperimentSpec,
+        FtlSpec,
+        StackSpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="perf",
+        stack=StackSpec(
+            vendor=vendor,
+            channels=max(channel_counts),
+            luns_per_channel=luns_per_channel,
+            fidelity=fidelity,
+            ftl=FtlSpec(),
+        ),
+        workload=WorkloadSpec(
+            mix="read",
+            pattern=pattern,
+            io_count=io_count,
+            queue_depth=max(queue_depths),
+        ),
+    )
+    spec.validate()
+    return spec
+
+
 def run_scale_cell(
     channels: int,
     queue_depth: int,
@@ -89,29 +132,44 @@ def run_scale_cell(
     pattern: str = "sequential",
     doorbell_batch: int = 4,
     fidelity: str = "waveform",
+    spec=None,
 ) -> dict:
     """One sweep cell: build the stack, run the job, report both the
-    simulated outcome and the host CPU cost of driving it."""
-    from repro.host.engine import (
-        ScaleEngine,
-        ScaleJob,
-        build_scale_stack,
-        run_scale_workload,
-    )
+    simulated outcome and the host CPU cost of driving it.
 
+    ``spec`` (the sweep template from :func:`perf_spec`) supersedes the
+    individual kwargs; ``channels``/``queue_depth`` are this cell's
+    sweep-axis coordinates either way.
+    """
+    import dataclasses
+
+    from repro.config.build import build_stack
+    from repro.host.engine import ScaleEngine, ScaleJob, run_scale_workload
+
+    if spec is None:
+        spec = perf_spec(
+            channel_counts=(channels,), queue_depths=(queue_depth,),
+            luns_per_channel=luns_per_channel, io_count=io_count,
+            vendor=vendor, pattern=pattern, fidelity=fidelity,
+        )
+    else:
+        doorbell_batch = spec.workload.doorbell_batch
+    workload = spec.workload
     sim = Simulator()
-    _, ftl = build_scale_stack(
-        sim, channels=channels, luns_per_channel=luns_per_channel,
-        vendor=vendor, fidelity=fidelity,
-    )
+    _, ftl = build_stack(sim, dataclasses.replace(spec.stack,
+                                                  channels=channels))
     engine = ScaleEngine(sim, ftl, queue_depth=queue_depth,
-                         doorbell_batch=doorbell_batch)
-    job = ScaleJob(pattern=pattern, io_count=io_count)
+                         doorbell_batch=min(doorbell_batch, queue_depth))
+    job = ScaleJob(pattern=workload.pattern, opcode=workload.opcode(),
+                   io_count=workload.io_count, seed=workload.seed,
+                   working_set_pages=workload.working_set_pages,
+                   dram_stride=workload.dram_stride,
+                   dram_base=workload.dram_base)
     started = time.process_time()
     result = run_scale_workload(sim, engine, job)
     wall_s = time.process_time() - started
     cell = result.to_json_obj()
-    cell["fidelity"] = fidelity
+    cell["fidelity"] = spec.stack.fidelity
     cell["host"] = {
         "dispatch_us_per_op": round(wall_s / max(result.commands, 1) * 1e6, 1),
         "wall_s": round(wall_s, 4),
@@ -129,6 +187,7 @@ def run_perf_sweep(
     quick: bool = False,
     microbench_events: Optional[int] = None,
     fidelity: str = "waveform",
+    spec=None,
 ) -> dict:
     """The full ``repro perf`` report.
 
@@ -140,9 +199,34 @@ def run_perf_sweep(
     recorded per cell; :func:`compare_reports` only compares cells run
     under the same tier (the tiers' simulated timelines legitimately
     differ in aggregate throughput).
+
+    ``spec`` (a :func:`perf_spec` template) supersedes the per-stack
+    kwargs — its ``stack.channels`` / ``workload.queue_depth`` are the
+    sweep maxima, so quick and full runs of the same axes embed the
+    same ``spec_hash``.  Without one, the equivalent template is
+    constructed and embedded.
     """
     channel_counts = sorted(set(channel_counts))
     queue_depths = sorted(set(queue_depths))
+    if spec is not None:
+        spec.validate()
+        channel_counts = sorted({
+            ch for ch in channel_counts if ch <= spec.stack.channels
+        } | {spec.stack.channels})
+        queue_depths = sorted({
+            qd for qd in queue_depths if qd <= spec.workload.queue_depth
+        } | {spec.workload.queue_depth})
+        luns_per_channel = spec.stack.luns_per_channel
+        io_count = spec.workload.io_count
+        vendor = spec.stack.vendor
+        pattern = spec.workload.pattern
+        fidelity = spec.stack.fidelity
+    else:
+        spec = perf_spec(
+            channel_counts=channel_counts, queue_depths=queue_depths,
+            luns_per_channel=luns_per_channel, io_count=io_count,
+            vendor=vendor, pattern=pattern, fidelity=fidelity,
+        )
     if quick:
         channel_counts = sorted({channel_counts[0], channel_counts[-1]})
         queue_depths = [queue_depths[-1]]
@@ -152,11 +236,7 @@ def run_perf_sweep(
     cells = {}
     for ch in channel_counts:
         for qd in queue_depths:
-            cells[cell_key(ch, qd)] = run_scale_cell(
-                ch, qd, luns_per_channel=luns_per_channel,
-                io_count=io_count, vendor=vendor, pattern=pattern,
-                fidelity=fidelity,
-            )
+            cells[cell_key(ch, qd)] = run_scale_cell(ch, qd, spec=spec)
 
     scaling = {}
     top_qd = queue_depths[-1]
@@ -190,7 +270,9 @@ def run_perf_sweep(
         },
         "quick": quick,
         "scaling": scaling,
-        "schema": 2,
+        "schema": 3,
+        "spec": spec.resolved(),
+        "spec_hash": spec.spec_hash(),
     }
 
 
@@ -207,12 +289,24 @@ def compare_reports(current: dict, baseline: dict) -> list[str]:
       different execution tier than the baseline's is excluded (the
       tiers' aggregate timelines legitimately differ).  Schema-1
       baselines predate the field and count as waveform.
+    * ``spec_hash`` must match when both reports carry one.  Schema ≤ 2
+      baselines predate experiment specs and count as "unknown spec":
+      the cell-level comparisons still run, nothing fails on the
+      missing hash.
     """
     problems: list[str] = []
     if current.get("params") != baseline.get("params"):
         problems.append(
             f"params mismatch: current {current.get('params')} "
             f"vs baseline {baseline.get('params')} — regenerate the baseline"
+        )
+        return problems
+    cur_hash = current.get("spec_hash")
+    base_hash = baseline.get("spec_hash")
+    if cur_hash and base_hash and cur_hash != base_hash:
+        problems.append(
+            f"spec_hash mismatch: current {cur_hash} vs baseline "
+            f"{base_hash} — different experiment, regenerate the baseline"
         )
         return problems
 

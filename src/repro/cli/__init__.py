@@ -1,0 +1,23 @@
+"""The ``repro`` command-line interface.
+
+One module per subcommand group:
+
+* :mod:`repro.cli.figures` — paper figures/tables (demo, table1,
+  fig10, fig11, fig12, table2, table3)
+* :mod:`repro.cli.tracecmd` — Chrome trace capture of a mixed workload
+* :mod:`repro.cli.staticchecks` — op-lint / verify-ops static analysis
+* :mod:`repro.cli.sanitizecmd` — runtime sanitizer sweeps
+* :mod:`repro.cli.faultscmd` — chaos / crashfuzz fault campaigns
+* :mod:`repro.cli.benchcmd` — bench-smoke / perf benchmark artifacts
+* :mod:`repro.cli.speccmd` — spec validate / show / hash
+
+Every stack-building subcommand resolves its parameters into one
+:class:`~repro.config.specs.ExperimentSpec` (``--spec`` / ``--set`` /
+legacy flags — see :func:`repro.cli.common.resolve_spec`) and embeds
+the resolved spec plus its ``spec_hash`` in whatever artifact it
+writes.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,57 @@
+"""Parser assembly for the ``repro`` CLI.
+
+Each subcommand group lives in its own module and contributes its
+parsers through an ``add_parsers(sub)`` hook; this module only wires
+them together.  Every stack-building subcommand accepts ``--spec FILE``
+and ``--set KEY=VALUE`` (see :mod:`repro.cli.common` for the
+precedence rules); ``repro spec`` inspects spec files without running
+anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.cli import (
+    benchcmd,
+    faultscmd,
+    figures,
+    sanitizecmd,
+    speccmd,
+    staticchecks,
+    tracecmd,
+)
+from repro.config.specs import SpecError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="babol-repro",
+        description="BABOL (MICRO 2024) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    figures.add_parsers(sub)
+    tracecmd.add_parsers(sub)
+    staticchecks.add_parsers(sub)
+    sanitizecmd.add_parsers(sub)
+    faultscmd.add_parsers(sub)
+    benchcmd.add_parsers(sub)
+    speccmd.add_parsers(sub)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SpecError as exc:
+        # A bad --spec file or --set override is a usage error, not an
+        # internal failure of the experiment it never got to run.
+        print(f"spec error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""``repro spec`` — validate, inspect, and hash experiment specs.
+
+These subcommands never build a stack; they operate purely on spec
+documents, so they are safe to run in CI against every file under
+``examples/specs/``.
+"""
+
+from __future__ import annotations
+
+
+def cmd_spec_validate(args) -> int:
+    """Parse + validate each FILE; print one line per file.  Exit 0 when
+    every file is a valid spec, 1 otherwise."""
+    from repro.config import SpecError, load_spec
+
+    failures = 0
+    for path in args.files:
+        try:
+            spec = load_spec(path)
+        except (OSError, SpecError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {path}  name={spec.name}  spec_hash={spec.spec_hash()}")
+    return 1 if failures else 0
+
+
+def cmd_spec_show(args) -> int:
+    """Print one spec as canonical JSON — sparse by default, fully
+    defaulted with ``--resolved`` (the exact document artifacts embed)."""
+    from repro.config import SpecError, load_spec, to_toml
+
+    try:
+        spec = load_spec(args.file)
+    except (OSError, SpecError) as exc:
+        print(f"spec: {exc}")
+        return 1
+    if args.toml:
+        print(to_toml(spec, resolved=args.resolved), end="")
+    else:
+        print(spec.to_json(resolved=args.resolved))
+    return 0
+
+
+def cmd_spec_hash(args) -> int:
+    """Print the canonical content hash of each FILE — the same
+    ``spec_hash`` a run of that spec embeds in its artifacts."""
+    from repro.config import SpecError, load_spec
+
+    failures = 0
+    for path in args.files:
+        try:
+            spec = load_spec(path)
+        except (OSError, SpecError) as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+            continue
+        if len(args.files) > 1:
+            print(f"{spec.spec_hash()}  {path}")
+        else:
+            print(spec.spec_hash())
+    return 1 if failures else 0
+
+
+def add_parsers(sub) -> None:
+    p = sub.add_parser("spec",
+                       help="validate / show / hash experiment spec files")
+    spec_sub = p.add_subparsers(dest="spec_command", required=True)
+
+    v = spec_sub.add_parser("validate",
+                            help="parse + validate spec files (exit 1 on "
+                                 "any failure)")
+    v.add_argument("files", nargs="+", metavar="FILE")
+    v.set_defaults(func=cmd_spec_validate)
+
+    s = spec_sub.add_parser("show",
+                            help="print a spec as canonical JSON")
+    s.add_argument("file", metavar="FILE")
+    s.add_argument("--resolved", action="store_true",
+                   help="print the fully-defaulted document (what "
+                        "artifacts embed) instead of the sparse one")
+    s.add_argument("--toml", action="store_true",
+                   help="render as TOML instead of JSON")
+    s.set_defaults(func=cmd_spec_show)
+
+    h = spec_sub.add_parser("hash",
+                            help="print the canonical spec_hash of spec "
+                                 "files")
+    h.add_argument("files", nargs="+", metavar="FILE")
+    h.set_defaults(func=cmd_spec_hash)

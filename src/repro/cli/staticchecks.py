@@ -1,0 +1,135 @@
+"""``repro op-lint`` / ``repro verify-ops`` — static op-program checks.
+
+These analyze the op-IR library itself (no stack is built), so they
+take no ``--spec``; their exit codes follow the 0 clean / 1 findings /
+2 internal convention of :mod:`repro.analysis.diagnostics`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.flash.vendors import VENDOR_PROFILES, profile_by_name
+
+
+def cmd_op_lint(args) -> int:
+    """Statically lint every op program (built-ins x vendor profiles,
+    honouring vendor overrides).  Exit 0 clean / 1 error findings (or
+    incomplete coverage) / 2 internal error."""
+    from repro.analysis.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_INTERNAL,
+        DiagnosticReport,
+    )
+
+    try:
+        from repro.analysis import lint_library
+
+        vendors = ([profile_by_name(args.vendor)] if args.vendor
+                   else list(VENDOR_PROFILES.values()))
+        findings, coverage = lint_library(vendors=vendors)
+        report = DiagnosticReport([f.to_finding() for f in findings])
+        if args.json:
+            obj = report.to_json_obj()
+            obj["coverage"] = {
+                "registered": list(coverage.registered),
+                "linted": list(coverage.linted),
+                "skipped": list(coverage.skipped),
+                "complete": coverage.complete,
+            }
+            print(json.dumps(obj, indent=2, sort_keys=True))
+        else:
+            for finding in findings:
+                print(finding)
+            print(f"op-lint: {coverage.describe()}")
+            print(f"op-lint: {report.counts_line()}")
+    except Exception as exc:  # the linter itself broke — not a finding
+        print(f"op-lint: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    if not coverage.complete:
+        # A builder nobody lints is a silent hole in the CI gate.
+        return EXIT_FINDINGS
+    return EXIT_FINDINGS if report.exit_code() else EXIT_CLEAN
+
+
+def cmd_verify_ops(args) -> int:
+    """Statically verify every op program — abstract interpretation of
+    protocol, timing, and liveness over all paths (built-ins plus
+    vendor-override registrations, x vendor profiles x NV-DDR2 modes).
+    Exit 0 clean / 1 error findings (or incomplete coverage) / 2
+    internal error."""
+    from repro.analysis.diagnostics import (
+        EXIT_CLEAN,
+        EXIT_FINDINGS,
+        EXIT_INTERNAL,
+        DiagnosticReport,
+    )
+
+    try:
+        from repro.analysis import verify_library
+
+        vendors = ([profile_by_name(args.vendor)] if args.vendor
+                   else list(VENDOR_PROFILES.values()))
+        modes = (args.mode,) if args.mode else None
+        kwargs = {"vendors": vendors}
+        if modes is not None:
+            kwargs["modes"] = modes
+        findings, coverage = verify_library(**kwargs)
+        if not args.info:
+            findings = [f for f in findings if f.severity != "info"]
+        report = DiagnosticReport([f.to_finding() for f in findings])
+        obj = report.to_json_obj()
+        obj["coverage"] = {
+            "registered": list(coverage.registered),
+            "verified": list(coverage.verified),
+            "skipped": list(coverage.skipped),
+            "modes": list(coverage.modes),
+            "complete": coverage.complete,
+        }
+        if args.json:
+            text = json.dumps(obj, indent=2, sort_keys=True)
+            if args.json == "-":
+                print(text)
+            else:
+                with open(args.json, "w") as handle:
+                    handle.write(text + "\n")
+                print(f"verify-ops: findings -> {args.json}")
+        if args.json != "-":
+            for finding in findings:
+                print(finding)
+            print(f"verify-ops: {coverage.describe()}")
+            print(f"verify-ops: {report.counts_line()}")
+    except Exception as exc:  # the verifier itself broke — not a finding
+        print(f"verify-ops: internal error: {exc!r}")
+        return EXIT_INTERNAL
+    if not coverage.complete:
+        # A builder nobody verifies is a silent hole in the CI gate.
+        return EXIT_FINDINGS
+    return EXIT_FINDINGS if report.exit_code() else EXIT_CLEAN
+
+
+def add_parsers(sub) -> None:
+    p = sub.add_parser("op-lint",
+                       help="statically lint the op-program library")
+    p.add_argument("--vendor", default=None, choices=sorted(VENDOR_PROFILES),
+                   help="lint one vendor profile (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON")
+    p.set_defaults(func=cmd_op_lint)
+
+    p = sub.add_parser("verify-ops",
+                       help="statically verify the op-program library "
+                            "(abstract interpretation)")
+    p.add_argument("--vendor", default=None, choices=sorted(VENDOR_PROFILES),
+                   help="verify one vendor profile (default: all)")
+    p.add_argument("--mode", default=None,
+                   choices=["NV-DDR2-100", "NV-DDR2-200"],
+                   help="verify one data mode (default: both)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write findings + coverage as JSON "
+                        "('-' for stdout)")
+    p.add_argument("--info", action="store_true",
+                   help="include info-severity findings (OPV501 "
+                        "plannability notes)")
+    p.set_defaults(func=cmd_verify_ops)

@@ -1,0 +1,91 @@
+"""``repro trace`` — dedicated observability capture."""
+
+from __future__ import annotations
+
+from repro.cli.common import resolve_spec, sanitize_opt, spec_opts, vendor_opt
+from repro.sim import Simulator
+
+TRACE_BASE = {
+    "name": "trace",
+    "stack": {"luns_per_channel": 4},
+    "workload": {"io_count": 24},
+}
+
+
+def cmd_trace(args) -> int:
+    """Run a mixed workload with the tracer and metrics registry on,
+    write the Chrome trace, and print the per-track + metrics
+    summaries."""
+    from repro.analysis import LogicAnalyzer
+    from repro.config.build import build_controllers
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        register_controller_metrics,
+        render_text_summary,
+        write_chrome_trace,
+    )
+
+    spec = resolve_spec(args, TRACE_BASE, flags=(
+        ("vendor", "stack.vendor"),
+        ("luns", "stack.luns_per_channel"),
+        ("ops", "workload.io_count"),
+        ("runtime", "stack.runtime"),
+        ("sanitize", "stack.sanitizers"),
+    ))
+    sim = Simulator()
+    tracer = Tracer(categories=None if not args.kernel else
+                    {"kernel", "channel", "txn", "cpu", "sched", "task", "op",
+                     "host", "analyzer", "user"})
+    sim.set_tracer(tracer)
+    controller = build_controllers(sim, spec.stack)[0]
+    analyzer = LogicAnalyzer(controller.channel)
+    registry = register_controller_metrics(MetricsRegistry(), controller)
+    op_latency = registry.histogram("op_latency_ns")
+
+    # A read/program mix fanned across every LUN: enough concurrency to
+    # make the channel-occupancy and queue-depth tracks interesting.
+    page = controller.codec.geometry.full_page_size
+    import numpy as np
+
+    luns = spec.stack.luns_per_channel
+    controller.dram.write(0, (np.arange(page) % 251).astype(np.uint8))
+    tasks = []
+    for i in range(spec.workload.io_count):
+        lun = i % luns
+        if i % 3 == 2:
+            tasks.append(controller.program_page(lun, 1, i // luns, 0))
+        else:
+            tasks.append(controller.read_page(lun, 1, i // luns,
+                                              page * (1 + lun)))
+    for task in tasks:
+        controller.run_to_completion(task)
+        op_latency.observe(task.finished_at - task.submitted_at)
+
+    registry.counter("analyzer_events").inc(len(analyzer.events))
+    print(controller.describe())
+    print(render_text_summary(tracer))
+    print(registry.render_text("metrics:"))
+    count = write_chrome_trace(args.out, tracer, metrics=registry, spec=spec)
+    print(f"trace: {count} events -> {args.out}")
+    if controller.diagnostics is not None and not controller.diagnostics.clean:
+        print(controller.diagnostics.render_text(title="sanitize"))
+        return controller.diagnostics.exit_code()
+    return 0
+
+
+def add_parsers(sub) -> None:
+    p = sub.add_parser("trace",
+                       help="observability capture of a mixed workload")
+    vendor_opt(p)
+    p.add_argument("--out", default="trace.json",
+                   help="Chrome trace_event output path")
+    p.add_argument("--luns", type=int, default=None)
+    p.add_argument("--ops", type=int, default=None,
+                   help="operations to run across the LUNs")
+    p.add_argument("--runtime", default=None, choices=["coroutine", "rtos"])
+    p.add_argument("--kernel", action="store_true",
+                   help="also record the kernel event firehose")
+    sanitize_opt(p)
+    spec_opts(p)
+    p.set_defaults(func=cmd_trace)

@@ -1,0 +1,299 @@
+"""One factory from spec to running stack.
+
+:func:`build_experiment` is the single construction path behind every
+CLI subcommand, benchmark, chaos campaign, and crash fuzzer: spec in,
+``(sim, controllers, ftl, engine)`` out.  The construction order —
+controllers, then the sharded FTL, then prefill, then the queue-depth
+engine — is exactly the order the legacy per-subcommand wiring used,
+so a spec-built stack is byte-identical to a keyword-built one (pinned
+by ``tests/test_config_build.py``).
+
+``legacy_kwargs_to_spec`` is the deprecation adapter: it maps the old
+``build_scale_stack(**kwargs)`` surface onto a :class:`StackSpec`, so
+the old entry point keeps working for one release while warning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.specs import (
+    ExperimentSpec,
+    FtlSpec,
+    GeometrySpec,
+    SpecError,
+    StackSpec,
+    WorkloadSpec,
+)
+
+
+def stack_profile(stack: StackSpec):
+    """The :class:`~repro.flash.vendors.VendorProfile` a stack resolves
+    to: the named vendor with the spec's data-only overrides applied."""
+    from repro.flash.vendors import profile_by_name
+
+    profile = profile_by_name(stack.vendor)
+    overrides = {
+        name: value
+        for name, value in stack.geometry.to_dict().items()
+        if value is not None
+    }
+    if overrides:
+        profile = dataclasses.replace(
+            profile, geometry=dataclasses.replace(profile.geometry, **overrides)
+        )
+    if stack.factory_bad_rate is not None:
+        profile = dataclasses.replace(
+            profile, factory_bad_rate=stack.factory_bad_rate)
+    if stack.timing_overrides:
+        merged = dict(profile.timing_overrides)
+        merged.update(stack.timing_overrides)
+        profile = dataclasses.replace(
+            profile, timing_overrides=tuple(sorted(merged.items())))
+    return profile
+
+
+def _interface(stack: StackSpec):
+    from repro.onfi.datamodes import NVDDR2_100, NVDDR2_200
+
+    return NVDDR2_200 if stack.interface_mt == 200 else NVDDR2_100
+
+
+def build_controllers(sim, stack: StackSpec, profile=None,
+                      diagnostics=None) -> list:
+    """One :class:`BabolController` per channel, per the spec.
+
+    ``profile`` overrides the resolved vendor profile — the escape
+    hatch the ``build_scale_stack`` compatibility shim uses for
+    unregistered ad-hoc profiles.
+    """
+    from repro.core.controller import BabolController, ControllerConfig
+    from repro.flash.errors import ErrorModelConfig
+
+    stack.validate()
+    if profile is None:
+        profile = stack_profile(stack)
+    watchdog = None
+    if stack.watchdog:
+        from repro.core.recovery import Watchdog
+
+        watchdog = Watchdog.for_vendor(profile)
+    controllers = []
+    for channel in range(stack.channels):
+        config = ControllerConfig(
+            vendor=profile,
+            lun_count=stack.luns_per_channel,
+            interface=_interface(stack),
+            runtime=stack.runtime,
+            cpu_freq_hz=stack.cpu_freq_hz,
+            dram_size=stack.dram_size,
+            track_data=stack.track_data,
+            seed=stack.seed if stack.seed is not None else channel,
+            fidelity=stack.fidelity,
+            sanitizers=stack.sanitizers,
+            watchdog=watchdog,
+        )
+        controller = BabolController(sim, config, diagnostics=diagnostics)
+        if stack.noiseless:
+            for lun in controller.luns:
+                lun.array.error_model.config = ErrorModelConfig.noiseless()
+        controllers.append(controller)
+    return controllers
+
+
+def build_stack(sim, stack: StackSpec, profile=None):
+    """Controllers plus (when the spec asks for one) a sharded FTL.
+
+    Returns ``(controllers, ftl)``; ``ftl`` is ``None`` when
+    ``stack.ftl`` is, a :class:`~repro.ftl.ftl.ShardedFtl` otherwise —
+    prefilled per the spec (default: the historical
+    ``min(logical_pages, 64 * channels * luns)``).
+    """
+    controllers = build_controllers(sim, stack, profile=profile)
+    if stack.ftl is None:
+        return controllers, None
+    from repro.ftl.ftl import ShardedFtl
+
+    ftl = ShardedFtl(sim, controllers, stack.ftl.to_ftl_config())
+    prefill = stack.ftl.prefill_pages
+    if prefill is None:
+        prefill = min(ftl.logical_pages,
+                      64 * stack.channels * stack.luns_per_channel)
+    if prefill:
+        ftl.prefill(prefill)
+    return controllers, ftl
+
+
+@dataclass
+class BuiltExperiment:
+    """A stood-up experiment: the spec plus everything it built."""
+
+    spec: ExperimentSpec
+    sim: object
+    controllers: list
+    ftl: object = None
+    engine: object = None
+
+    @property
+    def controller(self):
+        """The single controller of a 1-channel stack."""
+        if len(self.controllers) != 1:
+            raise SpecError(
+                f"experiment has {len(self.controllers)} channels; "
+                f"use .controllers"
+            )
+        return self.controllers[0]
+
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash()
+
+    def scale_job(self, **overrides):
+        """The :class:`~repro.host.engine.ScaleJob` this spec's
+        workload describes (single-opcode mixes only)."""
+        from repro.host.engine import ScaleJob
+
+        workload = self.spec.workload
+        kwargs = dict(
+            pattern=workload.pattern,
+            opcode=workload.opcode(),
+            io_count=workload.io_count,
+            seed=workload.seed,
+            working_set_pages=workload.working_set_pages,
+            dram_stride=workload.dram_stride,
+            dram_base=workload.dram_base,
+        )
+        kwargs.update(overrides)
+        return ScaleJob(**kwargs)
+
+    def run_workload(self, job=None):
+        """Drive the spec's workload through the engine; returns the
+        :class:`~repro.host.engine.ScaleRunResult`."""
+        from repro.host.engine import run_scale_workload
+
+        if self.engine is None:
+            raise SpecError(
+                "experiment has no queue-depth engine (stack.ftl is null)"
+            )
+        return run_scale_workload(self.sim, self.engine,
+                                  job or self.scale_job())
+
+
+def build_experiment(spec: ExperimentSpec, sim=None,
+                     record_acks: bool = False,
+                     auto_dram: bool = False) -> BuiltExperiment:
+    """Stand up the whole experiment one spec describes.
+
+    A fresh :class:`~repro.sim.Simulator` is created unless ``sim`` is
+    passed.  When the stack has an FTL, a
+    :class:`~repro.host.engine.ScaleEngine` is built over it with the
+    workload's queue depth and doorbell batch.
+    """
+    spec.validate()
+    if sim is None:
+        from repro.sim import Simulator
+
+        sim = Simulator()
+    controllers, ftl = build_stack(sim, spec.stack)
+    engine = None
+    if ftl is not None:
+        from repro.host.engine import ScaleEngine
+
+        workload = spec.workload
+        engine = ScaleEngine(
+            sim, ftl,
+            queue_depth=workload.queue_depth,
+            doorbell_batch=workload.doorbell_batch,
+            record_acks=record_acks or workload.mix == "crashfuzz",
+            auto_dram=auto_dram or workload.mix == "crashfuzz",
+            dram_base=workload.dram_base,
+            dram_stride=workload.dram_stride,
+        )
+    return BuiltExperiment(spec=spec, sim=sim, controllers=controllers,
+                           ftl=ftl, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# The deprecation adapter (old keyword surface -> spec)
+# ----------------------------------------------------------------------
+
+def _vendor_name(vendor) -> str:
+    """Registry name for a vendor argument (name, profile, or None)."""
+    from repro.flash.vendors import VENDOR_PROFILES
+
+    if vendor is None:
+        return "hynix"
+    if isinstance(vendor, str):
+        if vendor not in VENDOR_PROFILES:
+            raise SpecError(
+                f"vendor {vendor!r} unknown; known: {sorted(VENDOR_PROFILES)}"
+            )
+        return vendor
+    for name, profile in VENDOR_PROFILES.items():
+        if profile is vendor or profile == vendor:
+            return name
+    raise SpecError(
+        f"vendor profile {getattr(vendor, 'name', vendor)!r} is not "
+        f"registered; pass a registry name or register the profile"
+    )
+
+
+def legacy_kwargs_to_spec(
+    channels: int = 4,
+    luns_per_channel: int = 4,
+    vendor=None,
+    runtime: str = "coroutine",
+    ftl_config=None,
+    prefill_pages: Optional[int] = None,
+    track_data: bool = False,
+    fidelity: str = "waveform",
+) -> StackSpec:
+    """Map the historical ``build_scale_stack`` keywords to a spec.
+
+    Raises :class:`SpecError` when the kwargs name something a data
+    spec cannot (an unregistered ad-hoc vendor profile) — the shim
+    handles that case with the ``profile`` escape hatch.
+    """
+    ftl_kwargs = {}
+    if ftl_config is not None:
+        ftl_kwargs = {
+            "blocks_per_lun": ftl_config.blocks_per_lun,
+            "overprovision_blocks": ftl_config.overprovision_blocks,
+            "gc_free_threshold": ftl_config.gc_free_threshold,
+            "gc_staging_base": ftl_config.gc_staging_base,
+            "checkpoint_interval": ftl_config.checkpoint_interval,
+            "journal_flush_records": ftl_config.journal_flush_records,
+            "meta_blocks": ftl_config.meta_blocks,
+        }
+    spec = StackSpec(
+        vendor=_vendor_name(vendor),
+        channels=channels,
+        luns_per_channel=luns_per_channel,
+        runtime=runtime,
+        track_data=track_data,
+        fidelity=fidelity,
+        ftl=FtlSpec(prefill_pages=prefill_pages, **ftl_kwargs),
+        geometry=GeometrySpec(),
+    )
+    spec.validate()
+    return spec
+
+
+def workload_from_job(job, queue_depth: int = 32,
+                      doorbell_batch: int = 4) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` mirroring a legacy ``ScaleJob``."""
+    from repro.host.hic import HostOpcode
+
+    mix = "read" if job.opcode is HostOpcode.READ else "write"
+    return WorkloadSpec(
+        mix=mix,
+        pattern=job.pattern,
+        io_count=job.io_count,
+        queue_depth=queue_depth,
+        doorbell_batch=doorbell_batch,
+        seed=job.seed,
+        working_set_pages=job.working_set_pages,
+        dram_base=job.dram_base,
+        dram_stride=job.dram_stride,
+    )

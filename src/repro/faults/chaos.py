@@ -122,19 +122,54 @@ def default_campaign(seed: int = 4) -> FaultCampaign:
     )
 
 
+#: The shrunken chaos array as spec data — what :func:`chaos_spec`
+#: puts in ``stack.geometry`` (full code paths, tiny state).
+CHAOS_GEOMETRY = {
+    "page_size": 2048,
+    "spare_size": 64,
+    "pages_per_block": 16,
+    "blocks_per_plane": 16,
+    "planes": 2,
+}
+
+
 def _chaos_profile(vendor: VendorProfile) -> VendorProfile:
     """The vendor with a small array: real timing, tiny state."""
-    geometry = dataclasses.replace(
-        vendor.geometry,
-        page_size=2048,
-        spare_size=64,
-        pages_per_block=16,
-        blocks_per_plane=16,
-        planes=2,
-    )
+    geometry = dataclasses.replace(vendor.geometry, **CHAOS_GEOMETRY)
     return dataclasses.replace(
         vendor, geometry=geometry, factory_bad_rate=0.0,
     )
+
+
+def chaos_spec(vendor: str = "hynix", seed: int = 4,
+               baselines: bool = True, fidelity: str = "waveform",
+               plan: str = "chaos-default"):
+    """The :class:`~repro.config.specs.ExperimentSpec` describing one
+    stock chaos run — the spec :func:`run_chaos` embeds in its report
+    (and resolves its profile from) when the caller does not pass one.
+    """
+    from repro.config.specs import (
+        CampaignSpec,
+        ExperimentSpec,
+        GeometrySpec,
+        StackSpec,
+        WorkloadSpec,
+    )
+
+    spec = ExperimentSpec(
+        name="chaos",
+        stack=StackSpec(
+            vendor=vendor,
+            luns_per_channel=_OPS_LUNS,
+            fidelity=fidelity,
+            factory_bad_rate=0.0,
+            geometry=GeometrySpec(**CHAOS_GEOMETRY),
+        ),
+        workload=WorkloadSpec(),
+        campaign=CampaignSpec(plan=plan, seed=seed, baselines=baselines),
+    )
+    spec.validate()
+    return spec
 
 
 def _percentiles(latencies: list[int]) -> dict:
@@ -548,6 +583,7 @@ def run_chaos(
     campaign: Optional[FaultCampaign] = None,
     baselines: bool = True,
     fidelity: str = "waveform",
+    spec=None,
 ) -> dict:
     """Run one campaign; returns the JSON-ready report dict.
 
@@ -555,20 +591,51 @@ def run_chaos(
     injection, recovery, and retirement accounting are tier-independent
     (the injector hooks transaction-level events that both backends
     deliver), so a TLM campaign must reach the same verdicts.
+
+    ``spec`` (an :class:`~repro.config.specs.ExperimentSpec`) supersedes
+    the individual kwargs: vendor/geometry come from ``spec.stack`` (via
+    :func:`repro.config.build.stack_profile`), seed/plan/baselines from
+    ``spec.campaign``.  Without one, an equivalent spec is constructed
+    so the report always embeds ``spec`` + ``spec_hash`` — except when
+    ``vendor`` is an unregistered ad-hoc profile object, which data
+    specs cannot name (the report then carries ``spec: null``).
     """
-    if isinstance(vendor, str):
-        vendor = profile_by_name(vendor)
-    profile = _chaos_profile(vendor)
+    if spec is not None:
+        from repro.config.build import stack_profile
+
+        spec.validate()
+        profile = stack_profile(spec.stack)
+        vendor_name = spec.stack.vendor
+        fidelity = spec.stack.fidelity
+        if spec.campaign is not None:
+            seed = spec.campaign.seed
+            baselines = spec.campaign.baselines
+            if campaign is None:
+                campaign = spec.campaign.resolve_campaign()
+    else:
+        if isinstance(vendor, str):
+            vendor = profile_by_name(vendor)
+        profile = _chaos_profile(vendor)
+        vendor_name = vendor.name
+        from repro.config.specs import SpecError
+
+        try:
+            spec = chaos_spec(vendor=vendor_name, seed=seed,
+                              baselines=baselines, fidelity=fidelity)
+        except SpecError:
+            spec = None  # ad-hoc profile: not expressible as data
     if campaign is None:
         campaign = default_campaign(seed)
     campaign.validate()
 
     targets = ["babol"] + (["sync-hw", "async-hw"] if baselines else [])
     report: dict = {
-        "schema": 1,
+        "schema": 2,
         "campaign": campaign.to_dict(),
-        "vendor": vendor.name,
+        "vendor": vendor_name,
         "fidelity": fidelity,
+        "spec": spec.resolved() if spec is not None else None,
+        "spec_hash": spec.spec_hash() if spec is not None else None,
         "targets": {},
     }
     injected_total = 0

@@ -60,33 +60,48 @@ def build_scale_stack(
     ``"waveform"`` for segment-accurate simulation, ``"tlm"`` for the
     transaction-level fast path (same data and FTL behaviour, ~10x the
     simulated ops per wall-second — see ``repro.core.backend``).
-    """
-    from repro.core.controller import BabolController, ControllerConfig
-    from repro.flash.vendors import profile_by_name
-    from repro.ftl.ftl import FtlConfig
 
+    .. deprecated::
+        This keyword surface is superseded by the declarative spec
+        layer: build a :class:`~repro.config.specs.StackSpec` and call
+        :func:`repro.config.build.build_stack` (or describe the whole
+        run with an :class:`~repro.config.specs.ExperimentSpec` and
+        :func:`~repro.config.build.build_experiment`).  This shim maps
+        its kwargs onto a spec and delegates, so stacks it builds stay
+        byte-identical to spec-built ones.
+    """
+    import warnings
+
+    from repro.config.build import build_stack as _build_stack
+    from repro.config.build import legacy_kwargs_to_spec
+    from repro.config.specs import SpecError
+
+    warnings.warn(
+        "build_scale_stack is deprecated; describe the stack with a "
+        "repro.config StackSpec and use repro.config.build.build_stack",
+        DeprecationWarning, stacklevel=2,
+    )
     if channels <= 0:
         raise ValueError("channels must be positive")
-    if isinstance(vendor, str):
-        vendor = profile_by_name(vendor)
-    config = ftl_config or FtlConfig(
-        blocks_per_lun=8, overprovision_blocks=2,
-        gc_staging_base=48 * 1024 * 1024,
+    profile = None
+    spec_vendor = vendor
+    if vendor is not None and not isinstance(vendor, str):
+        # Ad-hoc profile objects can't be expressed as data; resolve the
+        # spec against the default vendor and override the profile.
+        try:
+            from repro.config.build import _vendor_name
+
+            spec_vendor = _vendor_name(vendor)
+        except SpecError:
+            spec_vendor = None
+            profile = vendor
+    spec = legacy_kwargs_to_spec(
+        channels=channels, luns_per_channel=luns_per_channel,
+        vendor=spec_vendor, runtime=runtime, ftl_config=ftl_config,
+        prefill_pages=prefill_pages, track_data=track_data,
+        fidelity=fidelity,
     )
-    controllers = []
-    for channel in range(channels):
-        kwargs = dict(lun_count=luns_per_channel, runtime=runtime,
-                      track_data=track_data, seed=channel,
-                      fidelity=fidelity)
-        if vendor is not None:
-            kwargs["vendor"] = vendor
-        controllers.append(BabolController(sim, ControllerConfig(**kwargs)))
-    ftl = ShardedFtl(sim, controllers, config)
-    if prefill_pages is None:
-        prefill_pages = min(ftl.logical_pages, 64 * channels * luns_per_channel)
-    if prefill_pages:
-        ftl.prefill(prefill_pages)
-    return controllers, ftl
+    return _build_stack(sim, spec, profile=profile)
 
 
 @dataclass

@@ -77,11 +77,15 @@ def write_chrome_trace(
     destination: Union[str, IO[str]],
     tracer: Tracer,
     metrics: Optional[MetricsRegistry] = None,
+    spec=None,
 ) -> int:
     """Write the JSON-object trace format; returns the event count.
 
     ``metrics``, when given, lands in the file's ``otherData`` section
     so one artifact carries both the timeline and the aggregates.
+    ``spec`` (an :class:`~repro.config.specs.ExperimentSpec`) stamps
+    ``otherData`` with the resolved experiment and its ``spec_hash``,
+    so a trace names the exact run that produced it.
     """
     payload: dict = {
         "traceEvents": chrome_trace_events(tracer),
@@ -89,6 +93,10 @@ def write_chrome_trace(
     }
     if metrics is not None:
         payload["otherData"] = metrics.snapshot()
+    if spec is not None:
+        payload.setdefault("otherData", {})
+        payload["otherData"]["spec"] = spec.resolved()
+        payload["otherData"]["spec_hash"] = spec.spec_hash()
     rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     if isinstance(destination, str):
         with open(destination, "w") as handle:

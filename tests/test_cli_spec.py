@@ -1,0 +1,187 @@
+"""The --spec/--set surface of the CLI and the ``repro spec`` tools."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.config import ExperimentSpec, load_spec
+
+SPEC_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+EXAMPLE_SPECS = sorted(str(p) for p in SPEC_DIR.iterdir())
+
+
+# --- repro spec ----------------------------------------------------------
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SPECS) >= 4
+
+
+@pytest.mark.parametrize("path", EXAMPLE_SPECS)
+def test_every_example_spec_validates(path):
+    spec = load_spec(path)
+    assert spec.name
+    assert spec.description  # curated examples explain themselves
+
+
+def test_spec_validate_command(capsys):
+    assert main(["spec", "validate", *EXAMPLE_SPECS]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ok   ") == len(EXAMPLE_SPECS)
+
+
+def test_spec_validate_flags_bad_files(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"stack": {"channels": 0}}')
+    good = str(SPEC_DIR / "default-1ch-waveform.json")
+    assert main(["spec", "validate", good, str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "ok   " in out and "FAIL" in out and "channels" in out
+
+
+def test_spec_show_resolved_materializes_defaults(capsys):
+    path = str(SPEC_DIR / "default-1ch-waveform.json")
+    assert main(["spec", "show", path, "--resolved"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["stack"]["vendor"] == "hynix"
+    assert document["stack"]["channels"] == 1
+    assert document["workload"]["queue_depth"] == 32
+    # The resolved document is itself a valid spec with the same hash.
+    spec = ExperimentSpec.from_dict(document)
+    assert spec.spec_hash() == load_spec(path).spec_hash()
+
+
+def test_spec_hash_command_matches_library(capsys):
+    path = str(SPEC_DIR / "crashfuzz-mix.json")
+    assert main(["spec", "hash", path]) == 0
+    assert capsys.readouterr().out.strip() == load_spec(path).spec_hash()
+
+
+# --- --spec / --set on stack-building subcommands ------------------------
+
+
+def test_bench_smoke_embeds_hash_of_its_spec_file(tmp_path, capsys):
+    spec_path = tmp_path / "smoke.json"
+    spec_path.write_text(json.dumps({
+        "name": "smoke-from-file",
+        "stack": {"luns_per_channel": 1},
+        "workload": {"io_count": 2},
+    }))
+    out = tmp_path / "BENCH.json"
+    assert main(["bench-smoke", "--spec", str(spec_path),
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    # The acceptance check: what the artifact embeds IS the file's hash.
+    assert payload["spec_hash"] == load_spec(str(spec_path)).spec_hash()
+    assert payload["spec"]["name"] == "smoke-from-file"
+    assert payload["fig11"]["coroutine"]["reads"] == 2
+
+
+def test_set_overrides_beat_spec_file(tmp_path):
+    spec_path = tmp_path / "smoke.json"
+    spec_path.write_text(json.dumps({
+        "stack": {"luns_per_channel": 1},
+        "workload": {"io_count": 2},
+    }))
+    out = tmp_path / "BENCH.json"
+    assert main(["bench-smoke", "--spec", str(spec_path),
+                 "--set", "workload.io_count=3",
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["spec"]["workload"]["io_count"] == 3
+
+
+def test_explicit_flags_beat_spec_file_and_set_beats_flags(tmp_path):
+    spec_path = tmp_path / "smoke.json"
+    spec_path.write_text(json.dumps({
+        "stack": {"luns_per_channel": 1},
+        "workload": {"io_count": 2},
+    }))
+    flag_out = tmp_path / "flag.json"
+    assert main(["bench-smoke", "--spec", str(spec_path), "--reads", "4",
+                 "--out", str(flag_out)]) == 0
+    assert json.loads(flag_out.read_text())[
+        "spec"]["workload"]["io_count"] == 4
+    both_out = tmp_path / "both.json"
+    assert main(["bench-smoke", "--spec", str(spec_path), "--reads", "4",
+                 "--set", "workload.io_count=5",
+                 "--out", str(both_out)]) == 0
+    assert json.loads(both_out.read_text())[
+        "spec"]["workload"]["io_count"] == 5
+
+
+def test_bad_spec_file_is_a_usage_error(tmp_path, capsys):
+    spec_path = tmp_path / "bad.json"
+    spec_path.write_text('{"stack": {"vendor": "acme"}}')
+    assert main(["bench-smoke", "--spec", str(spec_path)]) == 1
+    out = capsys.readouterr().out
+    assert "spec error" in out and "acme" in out
+
+
+def test_chaos_runs_from_example_spec(tmp_path, capsys):
+    report_path = tmp_path / "chaos.json"
+    code = main(["chaos", "--spec", str(SPEC_DIR / "chaos-campaign.json"),
+                 "--set", "campaign.baselines=false",
+                 "--json", str(report_path)])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == 2
+    assert report["spec"]["campaign"]["baselines"] is False
+    # Embedded hash covers the *overridden* spec, not the file.
+    embedded = ExperimentSpec.from_dict(report["spec"])
+    assert report["spec_hash"] == embedded.spec_hash()
+
+
+def test_crashfuzz_runs_from_example_spec(tmp_path):
+    report_path = tmp_path / "fuzz.json"
+    code = main(["crashfuzz",
+                 "--spec", str(SPEC_DIR / "crashfuzz-mix.json"),
+                 "--set", "campaign.crash_seeds=1",
+                 "--set", "campaign.crash_points=2",
+                 "--set", "workload.io_count=60",
+                 "--json", str(report_path)])
+    assert code == 0
+    report = json.loads(report_path.read_text())
+    assert report["schema"] == 2
+    assert report["seeds"] == 1
+    assert report["points"] == 2
+    assert report["spec_hash"]
+
+
+def test_perf_quick_and_full_share_spec_hash(tmp_path):
+    quick_out = tmp_path / "quick.json"
+    full_out = tmp_path / "full.json"
+    args = ["perf", "--channels", "1", "2", "--qd", "4",
+            "--luns", "2", "--ios", "16"]
+    assert main(args + ["--quick", "--out", str(quick_out)]) == 0
+    assert main(args + ["--out", str(full_out)]) == 0
+    quick = json.loads(quick_out.read_text())
+    full = json.loads(full_out.read_text())
+    assert quick["spec_hash"] == full["spec_hash"]
+    assert quick["schema"] == 3
+
+
+def test_trace_artifact_embeds_spec(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "--ops", "4", "--luns", "2",
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["otherData"]["spec"]["workload"]["io_count"] == 4
+    assert payload["otherData"]["spec_hash"]
+
+
+def test_sanitize_report_embeds_spec(tmp_path, capsys):
+    out = tmp_path / "sanitize.json"
+    assert main(["sanitize", "--luns", "2", "--ops", "6",
+                 "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["spec_hash"]
+    assert payload["spec"]["workload"]["io_count"] == 6
+
+
+def test_figures_accept_spec_overrides(capsys):
+    assert main(["fig11", "--set", "workload.io_count=2"]) == 0
+    out = capsys.readouterr().out
+    assert "polling" in out.lower() or "rtos" in out.lower()

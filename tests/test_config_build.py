@@ -1,0 +1,211 @@
+"""Spec-built stacks vs the legacy keyword wiring.
+
+The contract this file pins: ``build_stack(spec)`` constructs exactly
+the stack the historical per-subcommand wiring did — same controller
+configs, same prefill, same simulated timeline — and the deprecated
+``build_scale_stack`` surface keeps working through the kwargs→spec
+adapter (with a DeprecationWarning)."""
+
+import dataclasses
+import json
+import warnings
+
+import pytest
+
+from repro.config import (
+    SpecError,
+    build_controllers,
+    build_experiment,
+    build_stack,
+    legacy_kwargs_to_spec,
+    stack_profile,
+)
+from repro.config.specs import ExperimentSpec, FtlSpec, StackSpec
+from repro.flash.vendors import VENDOR_PROFILES, profile_by_name
+from repro.host.engine import (
+    ScaleEngine,
+    ScaleJob,
+    build_scale_stack,
+    run_scale_workload,
+)
+from repro.sim import Simulator
+
+
+def _run(sim, ftl, io_count=48, queue_depth=8):
+    engine = ScaleEngine(sim, ftl, queue_depth=queue_depth)
+    return run_scale_workload(sim, engine, ScaleJob(io_count=io_count))
+
+
+# --- spec-built == legacy-built ------------------------------------------
+
+
+def test_spec_stack_matches_legacy_stack_exactly():
+    legacy_sim = Simulator()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy_controllers, legacy_ftl = build_scale_stack(
+            legacy_sim, channels=2, luns_per_channel=2, vendor="micron",
+            fidelity="tlm")
+    legacy_result = _run(legacy_sim, legacy_ftl)
+
+    spec_sim = Simulator()
+    spec = legacy_kwargs_to_spec(channels=2, luns_per_channel=2,
+                                 vendor="micron", fidelity="tlm")
+    spec_controllers, spec_ftl = build_stack(spec_sim, spec)
+    spec_result = _run(spec_sim, spec_ftl)
+
+    assert len(spec_controllers) == len(legacy_controllers) == 2
+    # Identical simulated outcome, field for field: the spec path is a
+    # refactor, not a behavior change.
+    assert spec_result.to_json_obj() == legacy_result.to_json_obj()
+    assert spec_sim.now == legacy_sim.now
+
+
+@pytest.mark.parametrize("vendor", sorted(VENDOR_PROFILES))
+def test_controller_configs_match_legacy_defaults(vendor):
+    sim = Simulator()
+    controllers = build_controllers(
+        sim, StackSpec(vendor=vendor, channels=2, luns_per_channel=3))
+    for channel, controller in enumerate(controllers):
+        config = controller.config
+        assert config.vendor == profile_by_name(vendor)
+        assert config.lun_count == 3
+        assert config.seed == channel        # the scale stack's convention
+        assert config.runtime == "coroutine"
+        assert config.fidelity == "waveform"
+        assert config.track_data is False
+
+
+def test_prefill_default_matches_legacy_formula():
+    sim = Simulator()
+    stack = StackSpec(channels=2, luns_per_channel=2, ftl=FtlSpec())
+    _, ftl = build_stack(sim, stack)
+    expected = min(ftl.logical_pages, 64 * 2 * 2)
+    assert ftl.mapped_count == expected
+
+
+def test_explicit_prefill_pages_win():
+    sim = Simulator()
+    stack = StackSpec(channels=1, luns_per_channel=2,
+                      ftl=FtlSpec(prefill_pages=5))
+    _, ftl = build_stack(sim, stack)
+    assert ftl.mapped_count == 5
+
+
+def test_stack_profile_applies_data_only_overrides():
+    stack = StackSpec(vendor="hynix", factory_bad_rate=0.0,
+                      geometry=dataclasses.replace(
+                          StackSpec().geometry, page_size=2048, planes=1))
+    profile = stack_profile(stack)
+    assert profile.factory_bad_rate == 0.0
+    assert profile.geometry.page_size == 2048
+    assert profile.geometry.planes == 1
+    # Untouched fields keep the vendor's values.
+    assert profile.geometry.pages_per_block == \
+        profile_by_name("hynix").geometry.pages_per_block
+
+
+# --- the deprecation shim ------------------------------------------------
+
+
+def test_build_scale_stack_warns_deprecation():
+    sim = Simulator()
+    with pytest.warns(DeprecationWarning, match="build_scale_stack"):
+        build_scale_stack(sim, channels=1, luns_per_channel=1)
+
+
+def test_build_scale_stack_still_validates_channels():
+    sim = Simulator()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(ValueError):
+            build_scale_stack(sim, channels=0)
+
+
+def test_adapter_output_is_locked():
+    """The kwargs→spec adapter's exact output, as a regression lock:
+    changing what old keywords map to silently changes every caller
+    still on the legacy surface."""
+    spec = legacy_kwargs_to_spec()
+    assert json.loads(json.dumps(spec.to_dict(), sort_keys=True)) == {
+        "channels": 4,
+        "ftl": {},
+    }
+    spec = legacy_kwargs_to_spec(
+        channels=2, luns_per_channel=8, vendor="micron", runtime="rtos",
+        prefill_pages=7, track_data=True, fidelity="tlm")
+    assert spec.to_dict() == {
+        "vendor": "micron",
+        "channels": 2,
+        "luns_per_channel": 8,
+        "runtime": "rtos",
+        "fidelity": "tlm",
+        "track_data": True,
+        "ftl": {"prefill_pages": 7},
+    }
+
+
+def test_adapter_accepts_vendor_profile_objects():
+    spec = legacy_kwargs_to_spec(vendor=profile_by_name("micron"))
+    assert spec.vendor == "micron"
+
+
+def test_adapter_rejects_unregistered_profiles():
+    stranger = dataclasses.replace(profile_by_name("hynix"),
+                                   name="franken-nand")
+    with pytest.raises(SpecError, match="not.*registered"):
+        legacy_kwargs_to_spec(vendor=stranger)
+
+
+def test_shim_escape_hatch_for_unregistered_profiles():
+    """The legacy surface accepted ad-hoc VendorProfile objects (the
+    test suites' shrunken geometries); the shim must keep that working
+    even though a data spec cannot name them."""
+    shrunk = dataclasses.replace(
+        profile_by_name("hynix"),
+        geometry=dataclasses.replace(profile_by_name("hynix").geometry,
+                                     pages_per_block=16, blocks_per_plane=8),
+    )
+    sim = Simulator()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        controllers, ftl = build_scale_stack(
+            sim, channels=1, luns_per_channel=2, vendor=shrunk)
+    assert controllers[0].config.vendor is shrunk
+    assert ftl is not None
+
+
+# --- build_experiment ----------------------------------------------------
+
+
+def test_build_experiment_runs_the_specified_workload():
+    spec = ExperimentSpec.from_dict({
+        "name": "tiny",
+        "stack": {"channels": 1, "luns_per_channel": 2, "fidelity": "tlm",
+                  "ftl": {}},
+        "workload": {"io_count": 24, "queue_depth": 4},
+    })
+    built = build_experiment(spec)
+    assert built.spec_hash() == spec.spec_hash()
+    result = built.run_workload()
+    assert result.commands == 24
+
+
+def test_build_experiment_without_ftl_has_no_engine():
+    built = build_experiment(ExperimentSpec.from_dict(
+        {"stack": {"luns_per_channel": 1}}))
+    assert built.engine is None and built.ftl is None
+    assert built.controller is built.controllers[0]
+    with pytest.raises(SpecError, match="no queue-depth engine"):
+        built.run_workload()
+
+
+def test_crashfuzz_mix_forces_ack_recording():
+    spec = ExperimentSpec.from_dict({
+        "stack": {"channels": 1, "luns_per_channel": 2, "track_data": True,
+                  "ftl": {"overprovision_blocks": 4,
+                          "checkpoint_interval": 16}},
+        "workload": {"mix": "crashfuzz", "io_count": 8, "queue_depth": 4},
+    })
+    built = build_experiment(spec)
+    assert built.engine.record_acks

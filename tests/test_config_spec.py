@@ -1,0 +1,291 @@
+"""The spec layer itself: round-trips, canonical hashing, defaulting,
+override parsing, and one red test per cross-field validation rule."""
+
+import json
+import sys
+
+import pytest
+
+from repro.config import (
+    SPEC_SCHEMA,
+    ExperimentSpec,
+    OverrideError,
+    SpecError,
+    apply_overrides,
+    canonical_json,
+    load_spec,
+    parse_override,
+    to_toml,
+)
+from repro.config.specs import (
+    CampaignSpec,
+    FtlSpec,
+    GeometrySpec,
+    StackSpec,
+    WorkloadSpec,
+)
+from repro.core.backend import FidelityError
+
+# A document exercising every section, including non-default nesting.
+FULL_DOC = {
+    "schema": SPEC_SCHEMA,
+    "name": "full",
+    "description": "everything set",
+    "stack": {
+        "vendor": "micron",
+        "channels": 2,
+        "luns_per_channel": 3,
+        "runtime": "rtos",
+        "interface_mt": 100,
+        "fidelity": "waveform",
+        "track_data": True,
+        "seed": 9,
+        "noiseless": True,
+        "factory_bad_rate": 0.01,
+        "sanitizers": ["memory", "liveness"],
+        "watchdog": True,
+        "timing_overrides": {"t_read_ns": 40000},
+        "geometry": {"page_size": 2048, "pages_per_block": 16},
+        "ftl": {"blocks_per_lun": 10, "overprovision_blocks": 4,
+                "checkpoint_interval": 48},
+    },
+    "workload": {
+        "mix": "write",
+        "pattern": "random",
+        "io_count": 64,
+        "queue_depth": 8,
+        "doorbell_batch": 2,
+        "seed": 5,
+    },
+    "campaign": {"plan": "chaos-default", "seed": 11, "baselines": False},
+}
+
+
+# --- round-trips ---------------------------------------------------------
+
+
+def test_sparse_dict_round_trip():
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    again = ExperimentSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.spec_hash() == spec.spec_hash()
+
+
+def test_resolved_dict_round_trip():
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    again = ExperimentSpec.from_dict(spec.resolved())
+    assert again == spec
+
+
+def test_empty_document_is_the_stock_experiment():
+    spec = ExperimentSpec.from_dict({})
+    assert spec.stack == StackSpec()
+    assert spec.workload == WorkloadSpec()
+    assert spec.campaign is None
+    # Sparse form of the default spec carries only schema + name.
+    assert spec.to_dict() == {
+        "schema": SPEC_SCHEMA, "name": "experiment",
+        "stack": {}, "workload": {},
+    }
+
+
+def test_json_round_trip_through_text():
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    again = ExperimentSpec.from_dict(json.loads(spec.to_json()))
+    assert again == spec
+
+
+@pytest.mark.skipif(sys.version_info < (3, 11),
+                    reason="tomllib ships with Python 3.11+")
+def test_toml_round_trip_preserves_hash(tmp_path):
+    import tomllib
+
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    rendered = to_toml(spec)
+    again = ExperimentSpec.from_dict(tomllib.loads(rendered))
+    assert again == spec
+    assert again.spec_hash() == spec.spec_hash()
+
+
+def test_load_spec_reads_both_formats(tmp_path):
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    jpath = tmp_path / "s.json"
+    jpath.write_text(spec.to_json())
+    tpath = tmp_path / "s.toml"
+    tpath.write_text(to_toml(spec))
+    assert load_spec(str(jpath)) == spec
+    if sys.version_info >= (3, 11):
+        assert load_spec(str(tpath)) == spec
+
+
+def test_load_spec_prefixes_errors_with_the_path(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"stack": {"vendor": "nope"}}')
+    with pytest.raises(SpecError, match="bad.json"):
+        load_spec(str(path))
+
+
+# --- canonical hash ------------------------------------------------------
+
+
+def test_hash_stable_across_key_order():
+    shuffled = {
+        "workload": dict(reversed(list(FULL_DOC["workload"].items()))),
+        "stack": dict(reversed(list(FULL_DOC["stack"].items()))),
+        "campaign": FULL_DOC["campaign"],
+        "name": "full",
+        "description": "everything set",
+        "schema": SPEC_SCHEMA,
+    }
+    assert (ExperimentSpec.from_dict(shuffled).spec_hash()
+            == ExperimentSpec.from_dict(FULL_DOC).spec_hash())
+
+
+def test_hash_stable_across_spelled_out_defaults():
+    sparse = ExperimentSpec.from_dict({"name": "x"})
+    explicit = ExperimentSpec.from_dict({
+        "name": "x",
+        "stack": {"vendor": "hynix", "channels": 1, "runtime": "coroutine"},
+        "workload": {"mix": "read", "queue_depth": 32},
+    })
+    assert sparse.spec_hash() == explicit.spec_hash()
+
+
+def test_hash_differs_when_the_experiment_differs():
+    base = ExperimentSpec.from_dict({})
+    other = ExperimentSpec.from_dict({"stack": {"channels": 2}})
+    assert base.spec_hash() != other.spec_hash()
+
+
+def test_canonical_json_is_deterministic():
+    assert canonical_json({"b": 1, "a": [True, None]}) == \
+        '{"a":[true,null],"b":1}'
+
+
+# --- validation: one red test per cross-field rule -----------------------
+
+
+def test_waveform_only_sanitizer_under_tlm_is_rejected_at_parse_time():
+    with pytest.raises(FidelityError, match="bus"):
+        ExperimentSpec.from_dict({
+            "stack": {"fidelity": "tlm", "sanitizers": ["bus"]},
+        })
+
+
+def test_doorbell_batch_cannot_exceed_queue_depth():
+    with pytest.raises(SpecError, match="doorbell_batch"):
+        ExperimentSpec.from_dict({
+            "workload": {"queue_depth": 2, "doorbell_batch": 4},
+        })
+
+
+def test_crashfuzz_mix_requires_checkpointing_ftl():
+    with pytest.raises(SpecError, match="checkpoint_interval"):
+        ExperimentSpec.from_dict({"workload": {"mix": "crashfuzz"}})
+    with pytest.raises(SpecError, match="checkpoint_interval"):
+        ExperimentSpec.from_dict({
+            "workload": {"mix": "crashfuzz"},
+            "stack": {"ftl": {"checkpoint_interval": 0}},
+        })
+
+
+def test_unknown_fields_are_rejected_everywhere():
+    with pytest.raises(SpecError, match="unknown spec field"):
+        ExperimentSpec.from_dict({"stacc": {}})
+    with pytest.raises(SpecError, match="unknown stack field"):
+        ExperimentSpec.from_dict({"stack": {"chanels": 2}})
+    with pytest.raises(SpecError, match="unknown workload field"):
+        ExperimentSpec.from_dict({"workload": {"iodepth": 2}})
+    with pytest.raises(SpecError, match="unknown campaign field"):
+        ExperimentSpec.from_dict({"campaign": {"sed": 2}})
+
+
+def test_future_schema_is_rejected():
+    with pytest.raises(SpecError, match="unsupported"):
+        ExperimentSpec.from_dict({"schema": SPEC_SCHEMA + 1})
+
+
+def test_bool_is_not_an_int():
+    with pytest.raises(SpecError, match="must be an integer"):
+        ExperimentSpec.from_dict({"stack": {"channels": True}})
+
+
+def test_factory_bad_rate_range():
+    with pytest.raises(SpecError, match="factory_bad_rate"):
+        ExperimentSpec.from_dict({"stack": {"factory_bad_rate": 1.5}})
+
+
+def test_geometry_must_be_positive():
+    with pytest.raises(SpecError, match="geometry.page_size"):
+        ExperimentSpec.from_dict({"stack": {"geometry": {"page_size": 0}}})
+
+
+def test_inline_faults_are_validated():
+    with pytest.raises(SpecError, match="campaign.faults"):
+        ExperimentSpec.from_dict({
+            "campaign": {"faults": [{"kind": "meteor-strike"}]},
+        })
+
+
+def test_replace_revalidates():
+    spec = ExperimentSpec.from_dict({})
+    with pytest.raises(SpecError):
+        spec.replace(name="")
+
+
+def test_specs_are_frozen_and_hashable():
+    spec = ExperimentSpec.from_dict(FULL_DOC)
+    with pytest.raises(Exception):
+        spec.name = "other"
+    assert len({spec, ExperimentSpec.from_dict(FULL_DOC)}) == 1
+    assert isinstance(hash(spec), int)
+
+
+def test_component_defaults_round_trip():
+    for cls in (GeometrySpec, FtlSpec, WorkloadSpec, CampaignSpec):
+        assert cls.from_dict(cls().to_dict()) == cls()
+
+
+# --- overrides -----------------------------------------------------------
+
+
+def test_parse_override_json_values():
+    assert parse_override("stack.channels=8") == (("stack", "channels"), 8)
+    assert parse_override("stack.noiseless=true") == \
+        (("stack", "noiseless"), True)
+    assert parse_override("stack.seed=null") == (("stack", "seed"), None)
+    assert parse_override("stack.sanitizers=[\"memory\"]") == \
+        (("stack", "sanitizers"), ["memory"])
+
+
+def test_parse_override_bare_strings():
+    assert parse_override("stack.vendor=micron") == \
+        (("stack", "vendor"), "micron")
+
+
+def test_parse_override_rejects_malformed():
+    with pytest.raises(OverrideError):
+        parse_override("no-equals-sign")
+    with pytest.raises(OverrideError):
+        parse_override("=5")
+    with pytest.raises(OverrideError):
+        parse_override("stack..channels=2")
+
+
+def test_apply_overrides_creates_intermediate_objects():
+    doc = {}
+    apply_overrides(doc, ["stack.ftl.checkpoint_interval=48"])
+    assert doc == {"stack": {"ftl": {"checkpoint_interval": 48}}}
+
+
+def test_apply_overrides_refuses_to_tunnel_through_scalars():
+    with pytest.raises(OverrideError, match="not an object"):
+        apply_overrides({"stack": 3}, ["stack.channels=2"])
+
+
+def test_overridden_documents_still_validate():
+    doc = {}
+    apply_overrides(doc, ["workload.queue_depth=1",
+                          "workload.doorbell_batch=4"])
+    with pytest.raises(SpecError, match="doorbell_batch"):
+        ExperimentSpec.from_dict(doc)

@@ -385,7 +385,9 @@ def test_cli_bench_smoke_writes_json(tmp_path, capsys):
     out = tmp_path / "BENCH_smoke.json"
     assert main(["bench-smoke", "--reads", "2", "--out", str(out)]) == 0
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
+    assert payload["spec_hash"]
+    assert payload["spec"]["workload"]["io_count"] == 2
     assert set(payload["fig11"]) == {"rtos", "coroutine"}
     assert payload["fig11"]["coroutine"]["polls"] >= 1
     assert payload["wall_s"] >= 0

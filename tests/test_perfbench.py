@@ -130,7 +130,9 @@ def test_gate_reports_no_comparable_cells():
 
 def test_sweep_records_fidelity_per_cell():
     report = tiny_sweep(fidelity="tlm")
-    assert report["schema"] == 2
+    assert report["schema"] == 3
+    assert report["spec_hash"]
+    assert report["spec"]["stack"]["fidelity"] == "tlm"
     assert all(cell["fidelity"] == "tlm"
                for cell in report["cells"].values())
 
